@@ -1,0 +1,128 @@
+package gcs_test
+
+// Architecture tests: the paper's central contribution is a *dependency
+// structure* (Figures 6, 7 and 9 versus Figures 1–5). These tests verify
+// the claimed structure mechanically from the package import graph, so the
+// reproduction cannot silently drift back to the traditional layering.
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// imports returns the set of repro-internal packages imported by the given
+// internal package (test files excluded).
+func imports(t *testing.T, pkg string) map[string]bool {
+	t.Helper()
+	dir := filepath.Join("internal", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read %s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	out := make(map[string]bool)
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(path, "repro/internal/"); ok {
+				out[rest] = true
+			}
+		}
+	}
+	return out
+}
+
+// TestArchitectureDependencies asserts the new architecture's layering
+// (Figures 6/7/9).
+func TestArchitectureDependencies(t *testing.T) {
+	mustNot := func(pkg, forbidden, why string) {
+		t.Helper()
+		if imports(t, pkg)[forbidden] {
+			t.Errorf("internal/%s imports internal/%s — %s", pkg, forbidden, why)
+		}
+	}
+	must := func(pkg, required, why string) {
+		t.Helper()
+		if !imports(t, pkg)[required] {
+			t.Errorf("internal/%s does not import internal/%s — %s", pkg, required, why)
+		}
+	}
+
+	// Section 3.1.1: "Atomic broadcast does not rely on group membership,
+	// but group membership relies on atomic broadcast."
+	mustNot("abcast", "membership", "atomic broadcast must not depend on membership (Section 3.1.1)")
+	mustNot("consensus", "membership", "consensus must not depend on membership")
+	mustNot("gbcast", "membership", "generic broadcast must not depend on membership")
+	must("abcast", "consensus", "atomic broadcast is a sequence of consensus instances (Figure 6)")
+	must("gbcast", "abcast", "thrifty generic broadcast falls back to atomic broadcast (Figure 7)")
+	must("gbcast", "rbcast", "generic broadcast's fast path is reliable broadcast")
+
+	// Section 3.1.3: "Group membership and failure detection are decoupled."
+	mustNot("membership", "fd", "membership must not consume failure detection directly (Section 3.1.3)")
+	mustNot("fd", "membership", "failure detection must not know about membership")
+
+	// Section 3.3.2: the monitoring component owns the exclusion decision.
+	must("monitoring", "membership", "monitoring calls the membership remove operation (Figure 9)")
+	must("monitoring", "fd", "monitoring consumes long-timeout suspicions (Figure 9)")
+
+	// The consensus component consumes suspicions directly (Figure 9),
+	// unlike traditional stacks where the membership service plays failure
+	// detector for everyone (Section 2.3.1).
+	must("consensus", "fd", "consensus uses the failure detector directly (Figure 9)")
+
+	// Membership is implemented over the broadcast abstraction; it needs no
+	// consensus of its own (the ordering problem is solved exactly once,
+	// Section 4.1).
+	mustNot("membership", "consensus", "membership must not solve ordering again (Section 4.1)")
+	mustNot("membership", "abcast", "membership talks to generic broadcast only (Figure 9)")
+}
+
+// TestTraditionalArchitectureShape asserts the baseline really has the
+// traditional shape the paper criticises.
+func TestTraditionalArchitectureShape(t *testing.T) {
+	trad := imports(t, "trad")
+	// Section 2.3.3: "except for Phoenix, no consensus component appears in
+	// the implementations" — the baseline has none.
+	if trad["consensus"] {
+		t.Error("internal/trad imports internal/consensus; the traditional baseline must not use the consensus abstraction (Section 2.3.3)")
+	}
+	// Section 2.3.1: failure detection is coupled into the stack directly.
+	if !trad["fd"] {
+		t.Error("internal/trad must consume the failure detector directly (coupled FD+GM, Section 2.3.1)")
+	}
+	// It must not borrow the new architecture's components.
+	for _, forbidden := range []string{"abcast", "gbcast", "membership", "monitoring"} {
+		if trad[forbidden] {
+			t.Errorf("internal/trad imports internal/%s; the baseline must be self-contained", forbidden)
+		}
+	}
+}
+
+// TestSubstrateIsShared asserts both stacks sit on the same substrate, so
+// experiment E8–E11 differences come from architecture, not plumbing.
+func TestSubstrateIsShared(t *testing.T) {
+	for _, pkg := range []string{"trad", "consensus"} {
+		deps := imports(t, pkg)
+		for _, required := range []string{"rchannel", "fd"} {
+			if !deps[required] {
+				t.Errorf("internal/%s does not use shared substrate internal/%s", pkg, required)
+			}
+		}
+	}
+}

@@ -1,0 +1,740 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gbcast"
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/trad"
+	"repro/internal/transport"
+)
+
+// Common network parameters: 50–200µs one-way latency, no loss.
+func newNet(seed int64) *transport.Network {
+	return transport.NewNetwork(
+		transport.WithDelay(50*time.Microsecond, 200*time.Microsecond),
+		transport.WithSeed(seed))
+}
+
+func ids(n int, prefix string) []proc.ID {
+	out := make([]proc.ID, n)
+	for i := range out {
+		out[i] = proc.ID(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return out
+}
+
+// newArchCluster builds n new-architecture nodes; deliveries go to deliver.
+func newArchCluster(network *transport.Network, members []proc.ID, rel *gbcast.Relation,
+	tweak func(*core.Config), deliver func(self proc.ID, d gbcast.Delivery)) ([]*core.Node, error) {
+	var nodes []*core.Node
+	for _, id := range members {
+		self := id
+		cfg := core.Config{Self: id, Universe: members, Relation: rel}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		var cb core.DeliverFunc
+		if deliver != nil {
+			cb = func(d gbcast.Delivery) { deliver(self, d) }
+		}
+		nd, err := core.NewNode(network.Endpoint(id), cfg, cb)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	return nodes, nil
+}
+
+func stopAll(nodes []*core.Node, network *transport.Network) {
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+	network.Shutdown()
+}
+
+// tradCluster builds n traditional nodes.
+func tradCluster(network *transport.Network, members []proc.ID, tweak func(*trad.Config),
+	deliver func(self proc.ID, d trad.Delivery)) ([]*trad.Node, error) {
+	var nodes []*trad.Node
+	for _, id := range members {
+		self := id
+		cfg := trad.Config{Self: id, Universe: members, SuspicionTimeout: 2 * time.Second}
+		if tweak != nil {
+			tweak(&cfg)
+		}
+		var cb trad.DeliverFunc
+		if deliver != nil {
+			cb = func(d trad.Delivery) { deliver(self, d) }
+		}
+		nd, err := trad.NewNode(network.Endpoint(id), cfg, cb)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	return nodes, nil
+}
+
+func stopTrad(nodes []*trad.Node, network *transport.Network) {
+	for _, nd := range nodes {
+		nd.Stop()
+	}
+	network.Shutdown()
+}
+
+func allOrdered() *gbcast.Relation {
+	return gbcast.NewRelationBuilder().Conflict(gbcast.ClassAbcast, gbcast.ClassAbcast).Build()
+}
+
+// ---- E1/E2/E4/E8: ordering protocols ------------------------------------
+
+func experimentOrdering() error {
+	fmt.Println("== E1/E2/E4/E8 — ordering protocols: latency and message cost ==")
+	fmt.Println("   (paper Figs 1-4 vs Figs 6/9; Section 4.1 message accounting)")
+	fmt.Printf("%-28s %3s %10s %10s %8s %9s\n", "system", "n", "mean", "p99", "msgs/dlv", "bytes/dlv")
+
+	const ops = 150
+	for _, n := range []int{3, 5, 7} {
+		// New architecture, pure atomic broadcast semantics.
+		if err := runNewArchOrdering("newarch abcast (CT)", n, allOrdered(), func(nd *core.Node, p sim.Payload) error {
+			return nd.Abcast(p)
+		}, ops); err != nil {
+			return err
+		}
+		// New architecture, fast class (reliable+acks, no consensus).
+		if err := runNewArchOrdering("newarch rbcast (fast)", n, nil, func(nd *core.Node, p sim.Payload) error {
+			return nd.Rbcast(p)
+		}, ops); err != nil {
+			return err
+		}
+		// Traditional sequencer and ring.
+		if err := runTradOrdering("trad sequencer (Isis)", n, trad.ModeSequencer, ops); err != nil {
+			return err
+		}
+		if err := runTradOrdering("trad token ring (Totem)", n, trad.ModeTokenRing, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runNewArchOrdering(label string, n int, rel *gbcast.Relation, send func(*core.Node, sim.Payload) error, ops int) error {
+	network := newNet(int64(n))
+	members := ids(n, "p")
+	hist := sim.NewHistogram()
+	var delivered atomic.Uint64
+	nodes, err := newArchCluster(network, members, rel, nil, func(self proc.ID, d gbcast.Delivery) {
+		p, ok := d.Body.(sim.Payload)
+		if !ok {
+			return
+		}
+		if self == members[0] && d.Origin == members[0] {
+			hist.Add(p.Age())
+			delivered.Add(1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer stopAll(nodes, network)
+
+	warm(network)
+	network.ResetStats()
+	for i := 0; i < ops; i++ {
+		if err := send(nodes[0], sim.NewPayload(uint64(i+1), 64)); err != nil {
+			return err
+		}
+		waitFor(func() bool { return delivered.Load() >= uint64(i+1) })
+	}
+	printOrderingRow(label, n, hist, network.Stats(), ops*n)
+	return nil
+}
+
+func runTradOrdering(label string, n int, mode trad.Mode, ops int) error {
+	network := newNet(int64(n))
+	members := ids(n, "p")
+	hist := sim.NewHistogram()
+	var delivered atomic.Uint64
+	sender := members[1] // not the sequencer / initial token holder
+	nodes, err := tradCluster(network, members, func(c *trad.Config) { c.Mode = mode },
+		func(self proc.ID, d trad.Delivery) {
+			p, ok := d.Body.(sim.Payload)
+			if !ok {
+				return
+			}
+			if self == sender && d.Origin == sender {
+				hist.Add(p.Age())
+				delivered.Add(1)
+			}
+		})
+	if err != nil {
+		return err
+	}
+	defer stopTrad(nodes, network)
+
+	warm(network)
+	network.ResetStats()
+	for i := 0; i < ops; i++ {
+		if err := nodes[1].Broadcast(sim.NewPayload(uint64(i+1), 64)); err != nil {
+			return err
+		}
+		waitFor(func() bool { return delivered.Load() >= uint64(i+1) })
+	}
+	printOrderingRow(label, n, hist, network.Stats(), ops*n)
+	return nil
+}
+
+func printOrderingRow(label string, n int, hist *sim.Histogram, st transport.StatsSnapshot, deliveries int) {
+	fmt.Printf("%-28s %3d %10v %10v %8.1f %9.0f\n",
+		label, n,
+		hist.Mean().Round(time.Microsecond),
+		hist.Quantile(0.99).Round(time.Microsecond),
+		float64(st.Sent)/float64(deliveries),
+		float64(st.Bytes)/float64(deliveries))
+}
+
+// warm lets heartbeats settle so FD state is steady before measuring.
+func warm(_ *transport.Network) { time.Sleep(30 * time.Millisecond) }
+
+func waitFor(cond func() bool) {
+	for !cond() {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// ---- E9: Section 4.2 bank ------------------------------------------------
+
+func experimentBank() error {
+	fmt.Println("== E9 — Section 4.2 bank: generic broadcast vs atomic broadcast ==")
+	fmt.Println("   deposits commute (fast class); withdrawals conflict (ordered)")
+	fmt.Printf("%-14s %-12s %10s %10s %12s %14s\n",
+		"withdraw%", "relation", "mean", "p99", "ops/s", "abcast/100op")
+
+	const ops = 240
+	for _, pct := range []int{0, 5, 10, 25, 50, 100} {
+		for _, mode := range []string{"generic", "all-ordered"} {
+			rel := replication.BankRelation()
+			if mode == "all-ordered" {
+				rel = replication.BankAllOrderedRelation()
+			}
+			if err := runBank(pct, mode, rel, ops); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runBank(pct int, mode string, rel *gbcast.Relation, ops int) error {
+	network := newNet(int64(pct + 1))
+	members := ids(3, "s")
+	banks := make([]*replication.Bank, 3)
+	for i := range banks {
+		banks[i] = replication.NewBank()
+	}
+	i := 0
+	nodes, err := newArchCluster(network, members, rel, nil, nil)
+	if err != nil {
+		return err
+	}
+	// Rebuild with bank delivery callbacks (cluster helper kept simple).
+	stopAll(nodes, network)
+	network = newNet(int64(pct + 1))
+	nodes = nodes[:0]
+	for idx, id := range members {
+		bank := banks[idx]
+		nd, err := core.NewNode(network.Endpoint(id),
+			core.Config{Self: id, Universe: members, Relation: rel},
+			bank.DeliverFunc())
+		if err != nil {
+			return err
+		}
+		nodes = append(nodes, nd)
+	}
+	for idx, bank := range banks {
+		bank.Bind(nodes[idx])
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer stopAll(nodes, network)
+	warm(network)
+
+	hist := sim.NewHistogram()
+	start := time.Now()
+	for i = 0; i < ops; i++ {
+		opStart := time.Now()
+		if i%100 < pct {
+			if err := banks[0].Withdraw("acct", 1); err != nil {
+				return err
+			}
+		} else {
+			if err := banks[0].Deposit("acct", 1); err != nil {
+				return err
+			}
+		}
+		want := uint64(i + 1)
+		waitFor(func() bool {
+			applied, rejected := banks[0].Applied()
+			return applied+rejected >= want
+		})
+		hist.Add(time.Since(opStart))
+	}
+	elapsed := time.Since(start)
+	st := nodes[0].BroadcastStats()
+	abcastUses := st.OrderedDelivered + st.Boundaries // consensus-backed deliveries + CLOSE rounds
+	fmt.Printf("%-14d %-12s %10v %10v %12.0f %14.1f\n",
+		pct, mode,
+		hist.Mean().Round(time.Microsecond),
+		hist.Quantile(0.99).Round(time.Microsecond),
+		float64(ops)/elapsed.Seconds(),
+		float64(abcastUses)*100/float64(ops))
+	return nil
+}
+
+// ---- E10: Section 4.3 responsiveness -------------------------------------
+
+func experimentResponsiveness() error {
+	fmt.Println("== E10 — Section 4.3 responsiveness: crash latency vs FD timeout ==")
+	fmt.Println("   newarch: suspicion != exclusion (no view change, no state transfer)")
+	fmt.Println("   trad:    suspicion == exclusion (kill + rejoin + state transfer)")
+	fmt.Printf("%-10s %12s %18s %14s %18s\n",
+		"timeout", "arch", "crash latency", "false-susp VCs", "false-susp cost")
+
+	for _, timeout := range []time.Duration{30 * time.Millisecond, 60 * time.Millisecond, 120 * time.Millisecond, 240 * time.Millisecond} {
+		if err := runNewArchResponsiveness(timeout); err != nil {
+			return err
+		}
+		if err := runTradResponsiveness(timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runNewArchResponsiveness(timeout time.Duration) error {
+	// Part 1: crash latency — crash the round-1 coordinator (p1), measure
+	// the next abcast's latency: it must wait for the suspicion.
+	network := newNet(100)
+	members := ids(3, "p")
+	var delivered atomic.Uint64
+	hist := sim.NewHistogram()
+	nodes, err := newArchCluster(network, members, allOrdered(), func(c *core.Config) {
+		c.SuspicionTimeout = timeout
+		c.ExclusionTimeout = time.Hour // monitoring never fires
+	}, func(self proc.ID, d gbcast.Delivery) {
+		if p, ok := d.Body.(sim.Payload); ok && self == "p0" && d.Origin == "p0" {
+			hist.Add(p.Age())
+			delivered.Add(1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	warm(network)
+	for i := 0; i < 5; i++ { // steady state
+		_ = nodes[0].Abcast(sim.NewPayload(uint64(i+1), 64))
+		want := uint64(i + 1)
+		waitFor(func() bool { return delivered.Load() >= want })
+	}
+	network.Crash("p1")
+	crashStart := time.Now()
+	_ = nodes[0].Abcast(sim.NewPayload(99, 64))
+	waitFor(func() bool { return delivered.Load() >= 6 })
+	crashLatency := time.Since(crashStart)
+	viewSeqAfter := nodes[0].View().Seq
+	stopAll(nodes, network)
+
+	// Part 2: false suspicion — p1 is silent for 2x the timeout, then
+	// heals. Cost: the extra latency while suspected; no view change.
+	network2 := newNet(101)
+	var delivered2 atomic.Uint64
+	nodes2, err := newArchCluster(network2, members, allOrdered(), func(c *core.Config) {
+		c.SuspicionTimeout = timeout
+		c.ExclusionTimeout = time.Hour
+	}, func(self proc.ID, d gbcast.Delivery) {
+		if _, ok := d.Body.(sim.Payload); ok && self == "p0" {
+			delivered2.Add(1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer stopAll(nodes2, network2)
+	warm(network2)
+	network2.CutLink("p0", "p1")
+	network2.CutLink("p2", "p1")
+	falseStart := time.Now()
+	time.Sleep(2 * timeout)
+	network2.HealLink("p0", "p1")
+	network2.HealLink("p2", "p1")
+	// Cost = time until a fresh broadcast flows normally again.
+	_ = nodes2[0].Abcast(sim.NewPayload(1, 64))
+	waitFor(func() bool { return delivered2.Load() >= 1 })
+	falseCost := time.Since(falseStart) - 2*timeout
+	if falseCost < 0 {
+		falseCost = 0
+	}
+	vcs := nodes2[0].View().Seq
+	fmt.Printf("%-10v %12s %18v %14d %18v\n",
+		timeout, "newarch", crashLatency.Round(time.Millisecond), vcs+viewSeqAfter, falseCost.Round(time.Millisecond))
+	return nil
+}
+
+func runTradResponsiveness(timeout time.Duration) error {
+	// Part 1: crash the sequencer, measure next-delivery latency at p1.
+	stateSize := 256 << 10 // 256 KiB of application state to transfer
+	network := newNet(102)
+	members := ids(3, "p")
+	var delivered atomic.Uint64
+	mkCfg := func(c *trad.Config) {
+		c.SuspicionTimeout = timeout
+		c.AutoRejoin = true
+		c.Snapshot = func() []byte { return make([]byte, stateSize) }
+		c.Restore = func([]byte) {}
+	}
+	nodes, err := tradCluster(network, members, mkCfg, func(self proc.ID, d trad.Delivery) {
+		if _, ok := d.Body.(sim.Payload); ok && self == "p1" {
+			delivered.Add(1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	warm(network)
+	for i := 0; i < 5; i++ {
+		_ = nodes[1].Broadcast(sim.NewPayload(uint64(i+1), 64))
+		want := uint64(i + 1)
+		waitFor(func() bool { return delivered.Load() >= want })
+	}
+	network.Crash("p0")
+	crashStart := time.Now()
+	_ = nodes[1].Broadcast(sim.NewPayload(99, 64))
+	waitFor(func() bool { return delivered.Load() >= 6 })
+	crashLatency := time.Since(crashStart)
+	stopTrad(nodes, network)
+
+	// Part 2: false suspicion of p2 — exclusion, kill, rejoin with state
+	// transfer. Cost = outage until p2 is back in the view.
+	network2 := newNet(103)
+	var vcs atomic.Uint64
+	nodes2, err := tradCluster(network2, members, mkCfg, nil)
+	if err != nil {
+		return err
+	}
+	defer stopTrad(nodes2, network2)
+	nodes2[0].OnView(func(proc.View) { vcs.Add(1) })
+	warm(network2)
+	network2.CutLink("p0", "p2")
+	network2.CutLink("p1", "p2")
+	falseStart := time.Now()
+	time.Sleep(2 * timeout)
+	network2.HealLink("p0", "p2")
+	network2.HealLink("p1", "p2")
+	waitFor(func() bool { return nodes2[0].View().Contains("p2") })
+	falseCost := time.Since(falseStart) - 2*timeout
+	fmt.Printf("%-10v %12s %18v %14d %18v\n",
+		timeout, "trad", crashLatency.Round(time.Millisecond), vcs.Load(), falseCost.Round(time.Millisecond))
+	return nil
+}
+
+// ---- E11: Section 4.4 view-change blocking --------------------------------
+
+func experimentViewChange() error {
+	fmt.Println("== E11 — Section 4.4: throughput across a join (one slow member) ==")
+	fmt.Println("   trad flush waits for ALL members and blocks senders")
+	fmt.Println("   newarch boundary needs a majority and never blocks senders")
+
+	// The offered load is kept well below CPU saturation (all eight stacks
+	// share one process), so the trace shows protocol behaviour rather
+	// than scheduler backlog.
+	const (
+		runFor     = 2 * time.Second
+		joinAt     = 700 * time.Millisecond
+		bucket     = 50 * time.Millisecond
+		sendEvery  = 10 * time.Millisecond
+		slowMin    = 25 * time.Millisecond
+		slowMax    = 35 * time.Millisecond
+		slowMember = proc.ID("p2")
+	)
+
+	makeSlow := func(network *transport.Network, members []proc.ID) {
+		for _, m := range members {
+			if m != slowMember {
+				network.SetLinkDelay(m, slowMember, slowMin, slowMax)
+			}
+		}
+	}
+
+	// --- new architecture ---
+	network := newNet(200)
+	members := ids(4, "p")
+	initial := members[:3]
+	timeline := sim.NewTimeline(bucket)
+	nodes, err := newArchCluster(network, members, nil, func(c *core.Config) {
+		c.InitialView = initial
+	}, func(self proc.ID, d gbcast.Delivery) {
+		if _, ok := d.Body.(sim.Payload); ok && self == "p0" {
+			timeline.Mark()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	makeSlow(network, members)
+	warm(network)
+	newArchBuckets, err := driveJoinWorkload(timeline, runFor, joinAt, sendEvery,
+		func(i uint64) error { return nodes[0].Rbcast(sim.NewPayload(i, 64)) },
+		func() error { return nodes[0].Join("p3") })
+	stopAll(nodes, network)
+	if err != nil {
+		return err
+	}
+
+	// --- traditional ---
+	network2 := newNet(201)
+	timeline2 := sim.NewTimeline(bucket)
+	nodes2, err := tradCluster(network2, members, func(c *trad.Config) {
+		c.InitialView = initial
+		c.SuspicionTimeout = 5 * time.Second // avoid unrelated exclusions of the slow member
+	}, func(self proc.ID, d trad.Delivery) {
+		if _, ok := d.Body.(sim.Payload); ok && self == "p0" {
+			timeline2.Mark()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	makeSlow(network2, members)
+	warm(network2)
+	tradBuckets, err := driveJoinWorkload(timeline2, runFor, joinAt, sendEvery,
+		func(i uint64) error { return nodes2[0].Broadcast(sim.NewPayload(i, 64)) },
+		func() error { nodes2[3].Join(); return nil })
+	stopTrad(nodes2, network2)
+	if err != nil {
+		return err
+	}
+
+	printTimeline("newarch (gbcast, same view delivery)", newArchBuckets, bucket, joinAt)
+	printTimeline("trad    (flush, sending view delivery)", tradBuckets, bucket, joinAt)
+	return nil
+}
+
+// driveJoinWorkload sends one message per tick, triggering join at joinAt.
+func driveJoinWorkload(tl *sim.Timeline, runFor, joinAt, sendEvery time.Duration,
+	send func(uint64) error, join func() error) ([]int, error) {
+	var (
+		wg      sync.WaitGroup
+		sendErr error
+	)
+	start := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(sendEvery)
+		defer ticker.Stop()
+		var i uint64
+		for range ticker.C {
+			if time.Since(start) > runFor {
+				return
+			}
+			i++
+			if err := send(i); err != nil && sendErr == nil {
+				sendErr = err
+			}
+		}
+	}()
+	time.Sleep(joinAt)
+	if err := join(); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	time.Sleep(100 * time.Millisecond) // drain in-flight deliveries
+	if sendErr != nil {
+		return nil, sendErr
+	}
+	return tl.Buckets(), nil
+}
+
+func printTimeline(label string, buckets []int, width, joinAt time.Duration) {
+	joinIdx := int(joinAt / width)
+	steady := median(buckets[2:joinIdx])
+	minDuring, holes := 1<<30, 0
+	hi := joinIdx + int(200*time.Millisecond/width)
+	if hi > len(buckets) {
+		hi = len(buckets)
+	}
+	for _, b := range buckets[joinIdx:hi] {
+		if b < minDuring {
+			minDuring = b
+		}
+		if b == 0 {
+			holes++
+		}
+	}
+	fmt.Printf("%s\n  steady=%d msgs/%v  min-during-join=%d  empty-buckets=%d\n  trace: ",
+		label, steady, width, minDuring, holes)
+	for _, b := range buckets {
+		fmt.Printf("%d ", b)
+	}
+	fmt.Println()
+}
+
+func median(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]int(nil), xs...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	return sorted[len(sorted)/2]
+}
+
+// ---- E5: Figure 8 ---------------------------------------------------------
+
+type blindRegister struct {
+	mu sync.Mutex
+	v  []byte
+}
+
+func (r *blindRegister) Execute(op []byte) ([]byte, []byte) { return []byte("ok"), op }
+func (r *blindRegister) ApplyUpdate(update []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = append([]byte(nil), update...)
+}
+
+func experimentFig8() error {
+	fmt.Println("== E5 — Figure 8: passive replication, update vs primary-change race ==")
+	const rounds = 40
+	case1, case2 := 0, 0
+	for i := 0; i < rounds; i++ {
+		applied, err := fig8Round(int64(i))
+		if err != nil {
+			return err
+		}
+		if applied {
+			case1++
+		} else {
+			case2++
+		}
+	}
+	fmt.Printf("outcomes over %d races: case1 (update before change) = %d, case2 (change first, update ignored) = %d\n",
+		rounds, case1, case2)
+
+	lat, err := fig8Failover()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover (crash primary, FD timeout 60ms): first request served by new primary after %v\n",
+		lat.Round(time.Millisecond))
+	return nil
+}
+
+func fig8Round(seed int64) (bool, error) {
+	network := newNet(300 + seed)
+	members := ids(3, "s")
+	reps := make([]*replication.Passive, 3)
+	sms := make([]*blindRegister, 3)
+	var nodes []*core.Node
+	for i, id := range members {
+		sms[i] = &blindRegister{}
+		reps[i] = replication.NewPassive(sms[i], members)
+		nd, err := core.NewNode(network.Endpoint(id),
+			core.Config{Self: id, Universe: members, Relation: replication.PassiveRelation()},
+			reps[i].DeliverFunc())
+		if err != nil {
+			return false, err
+		}
+		nodes = append(nodes, nd)
+	}
+	for i, r := range reps {
+		r.Bind(nodes[i])
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer stopAll(nodes, network)
+
+	// Race the two messages. The fast-path update normally beats the
+	// consensus-backed primary-change, so the update side is staggered
+	// across rounds to exercise both interleavings of Figure 8.
+	var wg sync.WaitGroup
+	var reqErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Duration(seed%8) * time.Millisecond)
+		_, reqErr = reps[0].Request([]byte("x"))
+	}()
+	go func() {
+		defer wg.Done()
+		_ = reps[1].RequestPrimaryChange("s0")
+	}()
+	wg.Wait()
+	waitFor(func() bool { return reps[2].Epoch() >= 1 })
+	// reqErr == nil: update applied everywhere before the change (case 1).
+	// ErrDemoted / ErrNotPrimary: the change ordered first (case 2).
+	return reqErr == nil, nil
+}
+
+func fig8Failover() (time.Duration, error) {
+	network := newNet(400)
+	members := ids(3, "s")
+	reps := make([]*replication.Passive, 3)
+	var nodes []*core.Node
+	for i, id := range members {
+		reps[i] = replication.NewPassive(&blindRegister{}, members)
+		nd, err := core.NewNode(network.Endpoint(id),
+			core.Config{Self: id, Universe: members, Relation: replication.PassiveRelation()},
+			reps[i].DeliverFunc())
+		if err != nil {
+			return 0, err
+		}
+		nodes = append(nodes, nd)
+	}
+	for i, r := range reps {
+		r.Bind(nodes[i])
+		r.StartFailover(60 * time.Millisecond)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, r := range reps {
+			r.StopFailover()
+		}
+		stopAll(nodes, network)
+	}()
+	warm(network)
+	if _, err := reps[0].Request([]byte("warm")); err != nil {
+		return 0, err
+	}
+	network.Crash("s0")
+	start := time.Now()
+	for {
+		if _, err := reps[1].Request([]byte("after")); err == nil {
+			return time.Since(start), nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

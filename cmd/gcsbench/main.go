@@ -1,0 +1,64 @@
+// Command gcsbench regenerates the experiment tables of EXPERIMENTS.md —
+// one subcommand per experiment family:
+//
+//	gcsbench ordering        E1/E2/E4/E8: per-op latency and message cost of
+//	                         all four ordering protocols vs group size
+//	gcsbench bank            E9: Section 4.2 bank, conflict-ratio sweep,
+//	                         generic vs all-ordered relation, thriftiness
+//	gcsbench responsiveness  E10: Section 4.3, crash latency vs FD timeout,
+//	                         and the cost of a false suspicion
+//	gcsbench viewchange      E11: Section 4.4, throughput across a join with
+//	                         one slow member: blocking flush vs boundaries
+//	gcsbench fig8            E5: Figure 8 outcome distribution and failover
+//	gcsbench all             everything above
+//
+// All experiments run on the in-memory simulated network with identical
+// substrate parameters for both architectures.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	cmd := "all"
+	if len(os.Args) > 1 {
+		cmd = os.Args[1]
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "ordering":
+		return experimentOrdering()
+	case "bank":
+		return experimentBank()
+	case "responsiveness":
+		return experimentResponsiveness()
+	case "viewchange":
+		return experimentViewChange()
+	case "fig8":
+		return experimentFig8()
+	case "all":
+		for _, f := range []func() error{
+			experimentOrdering,
+			experimentBank,
+			experimentResponsiveness,
+			experimentViewChange,
+			experimentFig8,
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|all)", cmd)
+	}
+}

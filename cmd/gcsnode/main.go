@@ -1,0 +1,141 @@
+// Command gcsnode runs one member of a group over real TCP — the same
+// stack the examples run in-process, deployed as separate OS processes.
+//
+// Every member is given the full peer map; each process runs the full
+// Figure 9 stack and broadcasts a numbered message once per second while
+// printing everything it delivers, so total order is visible across
+// terminals.
+//
+// Example (three shells):
+//
+//	gcsnode -self a -listen 127.0.0.1:7001 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
+//	gcsnode -self b -listen 127.0.0.1:7002 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
+//	gcsnode -self c -listen 127.0.0.1:7003 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	gcs "repro"
+)
+
+// note is the demo message type.
+type note struct {
+	From string
+	Seq  uint64
+	Text string
+}
+
+func main() {
+	var (
+		self      = flag.String("self", "", "this process's ID")
+		listen    = flag.String("listen", "", "listen address host:port")
+		peersSpec = flag.String("peers", "", "comma-separated id=host:port for every member (including self)")
+		sendEvery = flag.Duration("send-every", time.Second, "interval between demo broadcasts (0 = silent)")
+		useAbcast = flag.Bool("abcast", true, "broadcast with total order (false = rbcast)")
+	)
+	flag.Parse()
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast); err != nil {
+		fmt.Fprintln(os.Stderr, "gcsnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool) error {
+	if self == "" || listen == "" || peersSpec == "" {
+		return fmt.Errorf("-self, -listen and -peers are required")
+	}
+	peers, err := parsePeers(peersSpec)
+	if err != nil {
+		return err
+	}
+	if _, ok := peers[gcs.ID(self)]; !ok {
+		return fmt.Errorf("self %q not in peer map", self)
+	}
+	universe := make([]gcs.ID, 0, len(peers))
+	for id := range peers {
+		universe = append(universe, id)
+	}
+	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
+
+	gcs.RegisterType(note{})
+	tr, err := gcs.NewTCPTransport(gcs.ID(self), listen, peers)
+	if err != nil {
+		return err
+	}
+	node, err := gcs.NewNode(tr, gcs.Config{
+		Self:     gcs.ID(self),
+		Universe: universe,
+		// TCP between real processes: slightly relaxed timing defaults.
+		RTO:              50 * time.Millisecond,
+		HeartbeatEvery:   20 * time.Millisecond,
+		SuspicionTimeout: 200 * time.Millisecond,
+		ExclusionTimeout: 2 * time.Second,
+		StartMonitor:     true,
+	}, func(d gcs.Delivery) {
+		if n, ok := d.Body.(note); ok {
+			fmt.Printf("[deliver %-6s] %s #%d: %s\n", d.Class, n.From, n.Seq, n.Text)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	node.OnView(func(v gcs.View) {
+		fmt.Printf("[view] %v\n", v)
+	})
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("gcsnode %s up; universe %v\n", self, universe)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	var seq uint64
+	var tick <-chan time.Time
+	if sendEvery > 0 {
+		ticker := time.NewTicker(sendEvery)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
+	for {
+		select {
+		case <-stop:
+			fmt.Println("shutting down")
+			return nil
+		case <-tick:
+			seq++
+			n := note{From: self, Seq: seq, Text: fmt.Sprintf("hello from %s", self)}
+			var err error
+			if useAbcast {
+				err = node.Abcast(n)
+			} else {
+				err = node.Rbcast(n)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "broadcast:", err)
+			}
+		}
+	}
+}
+
+func parsePeers(spec string) (map[gcs.ID]string, error) {
+	peers := make(map[gcs.ID]string)
+	for _, part := range strings.Split(spec, ",") {
+		id, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		peers[gcs.ID(id)] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("empty peer map")
+	}
+	return peers, nil
+}

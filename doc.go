@@ -1,0 +1,42 @@
+// Package gcs is a group communication toolkit reproducing the architecture
+// of Mena, Schiper and Wojciechowski, "A Step Towards a New Generation of
+// Group Communication Systems" (Middleware 2003; EPFL TR IC/2003/01).
+//
+// # The new architecture (AB-GB)
+//
+// Unlike traditional group communication stacks (Isis, Phoenix, RMP, Totem,
+// Ensemble), where group membership and view synchrony sit at the bottom and
+// atomic broadcast depends on them, this stack inverts the layering:
+//
+//   - Atomic broadcast is the basic ordering component, built as a sequence
+//     of Chandra–Toueg consensus instances over an unreliable (<>S) failure
+//     detector. It tolerates f < n/2 crashes and any number of false
+//     suspicions without reconfiguration.
+//   - Group membership is built ON TOP of atomic broadcast: view changes are
+//     just totally-ordered messages.
+//   - View synchrony is replaced by generic broadcast: the application
+//     declares a conflict relation over message classes, and only
+//     conflicting messages pay for ordering (thrifty implementation —
+//     atomic broadcast is invoked only when conflicts actually occur).
+//   - Failure detection is decoupled from membership: suspicions with a
+//     short timeout drive consensus (cheap false positives), while the
+//     separate monitoring component uses a long timeout, corroboration
+//     thresholds, and output-triggered suspicions before excluding anyone.
+//
+// # Quick start
+//
+//	cluster, err := gcs.NewCluster(3)
+//	// handle err
+//	defer cluster.Stop()
+//	cluster.Nodes[0].Abcast(myMsg{...})   // total order
+//	cluster.Nodes[0].Rbcast(myMsg{...})   // unordered, cheap
+//	cluster.Nodes[0].Join("p9")           // view change, totally ordered
+//
+// Applications register their message types with RegisterType (gob-based
+// codec), may declare custom conflict relations with NewRelationBuilder,
+// and can run each node over the in-memory simulated network (NewNetwork)
+// or real TCP (NewTCPTransport).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's claims.
+package gcs

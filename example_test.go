@@ -1,0 +1,53 @@
+package gcs_test
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	gcs "repro"
+)
+
+// Greeting is a message type used by the example.
+type Greeting struct {
+	Text string
+}
+
+// Example demonstrates the smallest useful program: a three-node group
+// delivering a totally-ordered broadcast.
+func Example() {
+	gcs.RegisterType(Greeting{})
+
+	var (
+		mu    sync.Mutex
+		count int
+		done  = make(chan struct{})
+	)
+	cluster, err := gcs.NewCluster(3, gcs.WithDeliver(func(self gcs.ID, d gcs.Delivery) {
+		if g, ok := d.Body.(Greeting); ok {
+			mu.Lock()
+			count++
+			if count == 3 { // all three nodes delivered it
+				fmt.Printf("everyone delivered %q\n", g.Text)
+				close(done)
+			}
+			mu.Unlock()
+		}
+	}))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer cluster.Stop()
+
+	if err := cluster.Nodes[0].Abcast(Greeting{Text: "hello group"}); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		fmt.Println("timeout")
+	}
+	// Output: everyone delivered "hello group"
+}

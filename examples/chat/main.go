@@ -1,0 +1,109 @@
+// Chat: dynamic membership with totally-ordered messages.
+//
+// A chat room where the roster is the group view: joins and leaves are view
+// changes riding the same broadcast stack as the messages, so every member
+// sees messages and roster changes in exactly the same order ("same view
+// delivery" without any flush protocol). A silent member is excluded by the
+// monitoring component — not by the failure detector directly.
+//
+// Run with: go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	gcs "repro"
+)
+
+// Post is a chat message.
+type Post struct {
+	From string
+	Text string
+}
+
+func main() {
+	gcs.RegisterType(Post{})
+
+	var (
+		mu   sync.Mutex
+		logs = make(map[gcs.ID][]string)
+	)
+	record := func(self gcs.ID, line string) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs[self] = append(logs[self], line)
+	}
+
+	cluster, err := gcs.NewCluster(4,
+		gcs.WithDeliver(func(self gcs.ID, d gcs.Delivery) {
+			if p, ok := d.Body.(Post); ok {
+				record(self, fmt.Sprintf("<%s> %s", p.From, p.Text))
+			}
+		}),
+		gcs.WithConfig(func(cfg *gcs.Config) {
+			cfg.StartMonitor = true
+			cfg.ExclusionTimeout = 300 * time.Millisecond
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	for _, node := range cluster.Nodes {
+		self := node.Self()
+		node.OnView(func(v gcs.View) {
+			record(self, fmt.Sprintf("-- roster is now %v", v.Members))
+		})
+	}
+
+	say := func(i int, text string) {
+		node := cluster.Nodes[i]
+		if err := node.Abcast(Post{From: string(node.Self()), Text: text}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	say(0, "hello everyone")
+	say(1, "hi p0!")
+	say(2, "ordered chat is nice")
+	time.Sleep(300 * time.Millisecond)
+
+	// p3 goes silent; the monitoring component eventually excludes it.
+	fmt.Println("p3 drops off the network ...")
+	cluster.Net.Crash("p3")
+	waitUntil(func() bool { return !cluster.Nodes[0].View().Contains("p3") })
+	say(0, "p3 left the room")
+	time.Sleep(300 * time.Millisecond)
+
+	mu.Lock()
+	defer mu.Unlock()
+	ids := make([]string, 0, len(logs))
+	for id := range logs {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if id == "p3" {
+			continue // crashed; its log is frozen
+		}
+		fmt.Printf("--- transcript at %s ---\n", id)
+		for _, line := range logs[gcs.ID(id)] {
+			fmt.Println(" ", line)
+		}
+	}
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,122 @@
+// Failover: the Figure 8 scenario, live.
+//
+// Three replicas (s1 s2 s3) run a passively-replicated register. s1 is the
+// primary. We crash s1 while traffic is flowing; s2's failure detector
+// suspects it and g-broadcasts primary-change(s1). Because primary-change
+// conflicts with updates (the Section 3.2.3 conflict table), every replica
+// agrees on which updates happened before the change — with no view
+// synchrony layer anywhere, and without excluding s1 from the replica list.
+//
+// Run with: go run ./examples/failover
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/transport"
+)
+
+// register is the passive state machine: a single versioned value.
+type register struct {
+	mu sync.Mutex
+	v  string
+}
+
+func (r *register) Execute(op []byte) (result, update []byte) {
+	return []byte("ok:" + string(op)), op
+}
+
+func (r *register) ApplyUpdate(update []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = string(update)
+}
+
+func (r *register) value() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+func main() {
+	network := transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond))
+	replicas := proc.IDs("s1", "s2", "s3")
+
+	regs := make([]*register, len(replicas))
+	reps := make([]*replication.Passive, len(replicas))
+	nodes := make([]*core.Node, len(replicas))
+	for i, id := range replicas {
+		regs[i] = &register{}
+		reps[i] = replication.NewPassive(regs[i], replicas)
+		node, err := core.NewNode(network.Endpoint(id), core.Config{
+			Self:     id,
+			Universe: replicas,
+			Relation: replication.PassiveRelation(),
+		}, reps[i].DeliverFunc())
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = node
+		reps[i].Bind(node)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+	for _, r := range reps {
+		r.StartFailover(60 * time.Millisecond)
+	}
+	defer func() {
+		for _, r := range reps {
+			r.StopFailover()
+		}
+		for _, n := range nodes {
+			n.Stop()
+		}
+		network.Shutdown()
+	}()
+
+	// Normal operation at the primary.
+	res, err := reps[0].Request([]byte("v1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("primary %s served request: %s\n", reps[0].Primary(), res)
+
+	// Crash the primary.
+	fmt.Println("crashing s1 ...")
+	network.Crash("s1")
+	start := time.Now()
+
+	// The client retries at the next replica until the failover completes.
+	for {
+		if _, err := reps[1].Request([]byte("v2")); err == nil {
+			break
+		} else if !errors.Is(err, replication.ErrNotPrimary) && !errors.Is(err, replication.ErrDemoted) {
+			log.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("failover complete in %v: new primary is %s\n",
+		time.Since(start).Round(time.Millisecond), reps[1].Primary())
+
+	// The old primary is still in the replica list (Figure 8: a primary
+	// change does not exclude).
+	fmt.Printf("replica list at s2: %v (s1 demoted, not excluded)\n", reps[1].Replicas())
+
+	// Both surviving backups converged.
+	deadline := time.Now().Add(10 * time.Second)
+	for regs[2].value() != "v2" {
+		if time.Now().After(deadline) {
+			log.Fatalf("s3 did not converge: %q", regs[2].value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("state at s2=%q s3=%q\n", regs[1].value(), regs[2].value())
+}

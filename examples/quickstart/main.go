@@ -1,0 +1,100 @@
+// Quickstart: a replicated counter over the new-architecture stack.
+//
+// Three nodes run in one process over the simulated network. Increments are
+// atomically broadcast, so every replica applies them in the same order;
+// the group survives the crash of any single member with no membership
+// change at all — the core property of the paper's architecture.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	gcs "repro"
+)
+
+// Inc is the replicated command.
+type Inc struct {
+	By int64
+}
+
+func main() {
+	gcs.RegisterType(Inc{})
+
+	// One counter per node, updated from the delivery callback.
+	var (
+		counters [3]atomic.Int64
+		mu       sync.Mutex
+		orders   = make(map[gcs.ID][]int64)
+	)
+	cluster, err := gcs.NewCluster(3, gcs.WithDeliver(func(self gcs.ID, d gcs.Delivery) {
+		inc, ok := d.Body.(Inc)
+		if !ok {
+			return
+		}
+		idx := int(self[1] - '0')
+		counters[idx].Add(inc.By)
+		mu.Lock()
+		orders[self] = append(orders[self], inc.By)
+		mu.Unlock()
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	// Every node increments concurrently.
+	var wg sync.WaitGroup
+	for i, node := range cluster.Nodes {
+		wg.Add(1)
+		go func(i int, node *gcs.Node) {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if err := node.Abcast(Inc{By: int64(i + 1)}); err != nil {
+					log.Printf("broadcast: %v", err)
+				}
+			}
+		}(i, node)
+	}
+	wg.Wait()
+
+	waitUntil(func() bool {
+		want := int64(5 * (1 + 2 + 3))
+		return counters[0].Load() == want && counters[1].Load() == want && counters[2].Load() == want
+	})
+	fmt.Printf("all replicas converged: %d %d %d\n",
+		counters[0].Load(), counters[1].Load(), counters[2].Load())
+
+	// Crash one node; the group keeps making progress without any view
+	// change (suspicion is not exclusion).
+	cluster.Net.Crash("p2")
+	for k := 0; k < 5; k++ {
+		if err := cluster.Nodes[0].Abcast(Inc{By: 10}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	waitUntil(func() bool { return counters[0].Load() == 30+50 && counters[1].Load() == 30+50 })
+	fmt.Printf("after crashing p2, survivors still agree: p0=%d p1=%d (view unchanged: %v)\n",
+		counters[0].Load(), counters[1].Load(), cluster.Nodes[0].View())
+
+	// And the delivery order was identical everywhere.
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("p0 delivery order: %v\n", orders["p0"])
+	fmt.Printf("p1 delivery order: %v\n", orders["p1"])
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			log.Fatal("timed out waiting for convergence")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

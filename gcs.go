@@ -1,0 +1,210 @@
+package gcs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gbcast"
+	"repro/internal/membership"
+	"repro/internal/monitoring"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/transport"
+)
+
+// Type aliases re-exporting the stack's vocabulary so that users of the
+// library can name every type that appears in its API.
+type (
+	// ID identifies a process.
+	ID = proc.ID
+	// View is an ordered member list; the head is the primary.
+	View = proc.View
+	// Delivery is a message delivered by the stack.
+	Delivery = gbcast.Delivery
+	// DeliverFunc consumes deliveries.
+	DeliverFunc = core.DeliverFunc
+	// Relation is a conflict relation over message classes.
+	Relation = gbcast.Relation
+	// RelationBuilder declares classes and conflicts.
+	RelationBuilder = gbcast.RelationBuilder
+	// Config parameterises a node.
+	Config = core.Config
+	// Node is one process's protocol stack.
+	Node = core.Node
+	// Network is the in-memory simulated network with fault injection.
+	Network = transport.Network
+	// NetOption configures the simulated network.
+	NetOption = transport.NetOption
+	// Transport is the unreliable transport abstraction.
+	Transport = transport.Transport
+	// MonitoringPolicy configures exclusion decisions.
+	MonitoringPolicy = monitoring.Policy
+	// BroadcastStats counts fast/ordered deliveries and epoch boundaries.
+	BroadcastStats = gbcast.Stats
+	// Snapshotter provides state transfer for joiners.
+	Snapshotter = membership.Snapshotter
+)
+
+// Default class names of the standard relation (Section 3.3 of the paper).
+const (
+	// ClassRbcast is the fast class: not ordered against itself.
+	ClassRbcast = gbcast.ClassRbcast
+	// ClassAbcast is the ordered class: ordered against everything.
+	ClassAbcast = gbcast.ClassAbcast
+)
+
+// RegisterType registers a concrete message type with the wire codec. Call
+// it once per application message type before broadcasting values of that
+// type (typically from a package-level registration helper).
+func RegisterType(v any) {
+	msg.Register(v)
+}
+
+// NewRelationBuilder starts the declaration of a custom conflict relation.
+func NewRelationBuilder() *RelationBuilder {
+	return gbcast.NewRelationBuilder()
+}
+
+// DefaultRelation returns the paper's standard relation: fast "rbcast"
+// conflicting with ordered "abcast".
+func DefaultRelation() *Relation {
+	return gbcast.DefaultRelation()
+}
+
+// NewNetwork creates an in-memory simulated network.
+func NewNetwork(opts ...NetOption) *Network {
+	return transport.NewNetwork(opts...)
+}
+
+// Simulated network options.
+var (
+	// WithDelay sets the one-way latency range of the simulated network.
+	WithDelay = transport.WithDelay
+	// WithLoss sets the packet loss probability.
+	WithLoss = transport.WithLoss
+	// WithSeed makes loss and jitter reproducible.
+	WithSeed = transport.WithSeed
+)
+
+// NewNode builds a node of the new-architecture stack over an arbitrary
+// transport endpoint.
+func NewNode(tr Transport, cfg Config, deliver DeliverFunc) (*Node, error) {
+	return core.NewNode(tr, cfg, deliver)
+}
+
+// NewTCPTransport creates a TCP transport endpoint for multi-process
+// deployments; peers maps every process ID to its listen address.
+func NewTCPTransport(self ID, listenAddr string, peers map[ID]string) (Transport, error) {
+	return transport.NewTCP(self, listenAddr, peers)
+}
+
+// Cluster is an in-process group of nodes over a simulated network — the
+// quickest way to use the library and the harness for all experiments.
+type Cluster struct {
+	Net   *Network
+	Nodes []*Node
+	ids   []ID
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*clusterConfig)
+
+type clusterConfig struct {
+	netOpts  []NetOption
+	deliver  func(self ID, d Delivery)
+	tweak    func(*Config)
+	relation *Relation
+}
+
+// WithNetOptions forwards options to the simulated network.
+func WithNetOptions(opts ...NetOption) ClusterOption {
+	return func(c *clusterConfig) { c.netOpts = append(c.netOpts, opts...) }
+}
+
+// WithDeliver sets the delivery callback invoked at every node.
+func WithDeliver(fn func(self ID, d Delivery)) ClusterOption {
+	return func(c *clusterConfig) { c.deliver = fn }
+}
+
+// WithRelation sets the conflict relation used by every node.
+func WithRelation(r *Relation) ClusterOption {
+	return func(c *clusterConfig) { c.relation = r }
+}
+
+// WithConfig applies an arbitrary tweak to every node's Config.
+func WithConfig(fn func(*Config)) ClusterOption {
+	return func(c *clusterConfig) { c.tweak = fn }
+}
+
+// NewCluster builds and starts n nodes ("p0".."p<n-1>") over a fresh
+// simulated network.
+func NewCluster(n int, opts ...ClusterOption) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gcs: cluster size %d < 1", n)
+	}
+	var cc clusterConfig
+	for _, o := range opts {
+		o(&cc)
+	}
+	if len(cc.netOpts) == 0 {
+		cc.netOpts = []NetOption{WithDelay(0, 2*time.Millisecond)}
+	}
+	net := NewNetwork(cc.netOpts...)
+	ids := make([]ID, n)
+	for i := range ids {
+		ids[i] = ID(fmt.Sprintf("p%d", i))
+	}
+	c := &Cluster{Net: net, ids: ids}
+	for _, id := range ids {
+		cfg := Config{Self: id, Universe: ids}
+		if cc.relation != nil {
+			cfg.Relation = cc.relation
+		}
+		if cc.tweak != nil {
+			cc.tweak(&cfg)
+		}
+		var deliver DeliverFunc
+		if cc.deliver != nil {
+			self := id
+			deliver = func(d Delivery) { cc.deliver(self, d) }
+		}
+		node, err := core.NewNode(net.Endpoint(id), cfg, deliver)
+		if err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("gcs: build node %s: %w", id, err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	for _, nd := range c.Nodes {
+		nd.Start()
+	}
+	return c, nil
+}
+
+// IDs returns the cluster's process IDs in order.
+func (c *Cluster) IDs() []ID {
+	out := make([]ID, len(c.ids))
+	copy(out, c.ids)
+	return out
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id ID) *Node {
+	for _, nd := range c.Nodes {
+		if nd.Self() == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+// Stop halts every node and the network.
+func (c *Cluster) Stop() {
+	for _, nd := range c.Nodes {
+		nd.Stop()
+	}
+	if c.Net != nil {
+		c.Net.Shutdown()
+	}
+}

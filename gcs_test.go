@@ -1,0 +1,349 @@
+package gcs_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	gcs "repro"
+)
+
+type appMsg struct {
+	S string
+}
+
+func init() {
+	gcs.RegisterType(appMsg{})
+}
+
+// collector gathers deliveries per node.
+type collector struct {
+	mu   sync.Mutex
+	recs map[gcs.ID][]gcs.Delivery
+}
+
+func newCollector() *collector {
+	return &collector{recs: make(map[gcs.ID][]gcs.Delivery)}
+}
+
+func (c *collector) deliver(self gcs.ID, d gcs.Delivery) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.recs[self] = append(c.recs[self], d)
+}
+
+func (c *collector) get(id gcs.ID) []gcs.Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]gcs.Delivery, len(c.recs[id]))
+	copy(out, c.recs[id])
+	return out
+}
+
+func (c *collector) waitCount(t *testing.T, id gcs.ID, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(c.get(id)) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s delivered %d, want %d", id, len(c.get(id)), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func payloads(ds []gcs.Delivery) []string {
+	out := make([]string, 0, len(ds))
+	for _, d := range ds {
+		if m, ok := d.Body.(appMsg); ok {
+			out = append(out, m.S)
+		}
+	}
+	return out
+}
+
+func TestClusterAbcastTotalOrder(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3, gcs.WithDeliver(col.deliver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := c.Nodes[i%3].Abcast(appMsg{S: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range c.IDs() {
+		col.waitCount(t, id, total, 15*time.Second)
+	}
+	ref := payloads(col.get("p0"))
+	for _, id := range c.IDs()[1:] {
+		got := payloads(col.get(id))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order differs at %d: %q vs %q", i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+func TestClusterRbcastDelivers(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3, gcs.WithDeliver(col.deliver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := c.Nodes[0].Rbcast(appMsg{S: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range c.IDs() {
+		col.waitCount(t, id, total, 10*time.Second)
+	}
+	// Pure rbcast traffic must not have invoked atomic broadcast.
+	for _, nd := range c.Nodes {
+		if st := nd.BroadcastStats(); st.Boundaries != 0 {
+			t.Errorf("%s: rbcast-only run used %d boundaries", nd.Self(), st.Boundaries)
+		}
+	}
+}
+
+// TestViewChangesTotallyOrdered verifies the paper's membership claim: all
+// processes observe the same sequence of views, implemented purely on top
+// of the broadcast layer.
+func TestViewChangesTotallyOrdered(t *testing.T) {
+	type viewRec struct {
+		mu    sync.Mutex
+		views map[gcs.ID][]gcs.View
+	}
+	vr := &viewRec{views: make(map[gcs.ID][]gcs.View)}
+
+	c, err := gcs.NewCluster(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	for _, nd := range c.Nodes {
+		self := nd.Self()
+		nd.OnView(func(v gcs.View) {
+			vr.mu.Lock()
+			vr.views[self] = append(vr.views[self], v)
+			vr.mu.Unlock()
+		})
+	}
+
+	// Membership churn issued from several different nodes. Each step waits
+	// for convergence so the resulting view sequence is deterministic.
+	waitSeq := func(want uint64) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			done := true
+			for _, nd := range c.Nodes {
+				if nd.Self() != "p4" && nd.View().Seq < want {
+					done = false
+				}
+			}
+			if done {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("view seq %d did not converge", want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := c.Nodes[0].Remove("p4"); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(1)
+	if err := c.Nodes[1].RotatePrimary("p0"); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(2)
+	if err := c.Nodes[2].Join("p4"); err != nil {
+		t.Fatal(err)
+	}
+	waitSeq(3)
+	time.Sleep(50 * time.Millisecond) // let p4 catch up too
+
+	vr.mu.Lock()
+	defer vr.mu.Unlock()
+	ref := vr.views["p0"]
+	for _, nd := range c.Nodes[1:] {
+		got := vr.views[nd.Self()]
+		if len(got) != len(ref) {
+			t.Fatalf("%s saw %d views, p0 saw %d", nd.Self(), len(got), len(ref))
+		}
+		for i := range ref {
+			if !ref[i].Equal(got[i]) {
+				t.Fatalf("view sequence diverged at %d: %v vs %v", i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestMonitoringExcludesCrashed verifies the monitoring path: a crashed
+// process is eventually excluded from the view by the survivors, while the
+// ordering layer keeps running throughout (no blocking).
+func TestMonitoringExcludesCrashed(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3,
+		gcs.WithDeliver(col.deliver),
+		gcs.WithConfig(func(cfg *gcs.Config) {
+			cfg.StartMonitor = true
+			cfg.ExclusionTimeout = 150 * time.Millisecond
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	c.Net.Crash("p2")
+	// Keep broadcasting while the failure is detected and handled.
+	for i := 0; i < 10; i++ {
+		_ = c.Nodes[0].Abcast(appMsg{S: fmt.Sprintf("during-%d", i)})
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v0, v1 := c.Nodes[0].View(), c.Nodes[1].View()
+		if !v0.Contains("p2") && !v1.Contains("p2") {
+			if !v0.Equal(v1) {
+				t.Fatalf("survivor views differ: %v vs %v", v0, v1)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("p2 not excluded: %v / %v", c.Nodes[0].View(), c.Nodes[1].View())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	col.waitCount(t, "p0", 10, 10*time.Second)
+	col.waitCount(t, "p1", 10, 10*time.Second)
+}
+
+// TestSuspicionWithoutExclusion is the Section 4.3 decoupling property: the
+// consensus layer may suspect a slow process (short timeout) without the
+// membership ever changing, because the monitoring component's long timeout
+// does not fire.
+func TestSuspicionWithoutExclusion(t *testing.T) {
+	c, err := gcs.NewCluster(3,
+		gcs.WithConfig(func(cfg *gcs.Config) {
+			cfg.StartMonitor = true
+			cfg.SuspicionTimeout = 30 * time.Millisecond
+			cfg.ExclusionTimeout = 10 * time.Second // effectively never
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	// Make p2 transiently silent: cut its links, then heal.
+	c.Net.CutLink("p0", "p2")
+	c.Net.CutLink("p1", "p2")
+	time.Sleep(120 * time.Millisecond) // well past the short timeout
+	c.Net.HealLink("p0", "p2")
+	c.Net.HealLink("p1", "p2")
+	time.Sleep(120 * time.Millisecond)
+
+	for _, nd := range c.Nodes {
+		v := nd.View()
+		if !v.Contains("p2") {
+			t.Fatalf("%s excluded p2 despite long exclusion timeout: %v", nd.Self(), v)
+		}
+		if v.Seq != 0 {
+			t.Fatalf("%s installed view %v; wrong suspicions must not change membership", nd.Self(), v)
+		}
+	}
+}
+
+// TestStateTransferOnJoin checks the snapshot path: a process that starts
+// outside the initial view receives the primary's state when it joins.
+func TestStateTransferOnJoin(t *testing.T) {
+	network := gcs.NewNetwork(gcs.WithDelay(0, 2*time.Millisecond))
+	universe := []gcs.ID{"p0", "p1", "p2", "p3"}
+	initial := []gcs.ID{"p0", "p1", "p2"}
+
+	var (
+		mu       sync.Mutex
+		restored []byte
+	)
+	var nodes []*gcs.Node
+	for _, id := range universe {
+		cfg := gcs.Config{
+			Self:        id,
+			Universe:    universe,
+			InitialView: initial,
+			Snapshot:    func() []byte { return []byte("state-of-the-art") },
+		}
+		if id == "p3" {
+			cfg.Restore = func(b []byte) {
+				mu.Lock()
+				restored = append([]byte(nil), b...)
+				mu.Unlock()
+			}
+		}
+		nd, err := gcs.NewNode(network.Endpoint(id), cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		network.Shutdown()
+	}()
+
+	if err := nodes[0].Join("p3"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		got := string(restored)
+		mu.Unlock()
+		if got == "state-of-the-art" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner never received state; got %q", got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// And the view converged to include p3 everywhere.
+	for _, nd := range nodes {
+		deadline := time.Now().Add(5 * time.Second)
+		for !nd.View().Contains("p3") {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s view lacks p3: %v", nd.Self(), nd.View())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := gcs.NewCluster(0); err == nil {
+		t.Fatal("expected error for empty cluster")
+	}
+}

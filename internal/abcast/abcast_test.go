@@ -1,0 +1,227 @@
+package abcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/fd"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+type testPayload struct {
+	S string
+}
+
+func init() {
+	msg.Register(testPayload{})
+}
+
+type node struct {
+	id proc.ID
+	ep *rchannel.Endpoint
+	fd *fd.Detector
+	cs *consensus.Service
+	ab *Broadcaster
+
+	mu    sync.Mutex
+	order []string // delivered payloads in delivery order
+}
+
+func (n *node) delivered() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+type cluster struct {
+	net   *transport.Network
+	nodes []*node
+}
+
+func newCluster(t *testing.T, n int, netOpts ...transport.NetOption) *cluster {
+	t.Helper()
+	if len(netOpts) == 0 {
+		netOpts = []transport.NetOption{transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(5)}
+	}
+	network := transport.NewNetwork(netOpts...)
+	members := make([]proc.ID, n)
+	for i := range members {
+		members[i] = proc.ID(fmt.Sprintf("p%d", i))
+	}
+	c := &cluster{net: network}
+	for _, id := range members {
+		nd := &node{id: id}
+		nd.ep = rchannel.New(network.Endpoint(id), rchannel.WithRTO(10*time.Millisecond))
+		nd.fd = fd.New(nd.ep, members, fd.WithInterval(3*time.Millisecond), fd.WithCheckEvery(2*time.Millisecond))
+		// Generous suspicion timeout: on loaded machines (e.g. under the
+		// race detector) an aggressive timeout keeps suspecting correct
+		// coordinators and stalls round progression.
+		sub := nd.fd.Subscribe(120 * time.Millisecond)
+		nd.ab = New(nd.ep, "ab", members, func(d Delivery) {
+			p, ok := d.Body.(testPayload)
+			if !ok {
+				return
+			}
+			nd.mu.Lock()
+			nd.order = append(nd.order, p.S)
+			nd.mu.Unlock()
+		})
+		nd.cs = consensus.New(nd.ep, members, sub, nd.ab.Decide)
+		nd.ab.AttachConsensus(nd.cs)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		nd.ep.Start()
+		nd.fd.Start()
+		nd.cs.Start()
+		nd.ab.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.ab.Stop()
+			nd.cs.Stop()
+			nd.fd.Stop()
+			nd.ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return c
+}
+
+func waitCount(t *testing.T, nd *node, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(nd.delivered()) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s delivered %d messages, want %d", nd.id, len(nd.delivered()), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func assertSameOrder(t *testing.T, nodes []*node, want int) {
+	t.Helper()
+	ref := nodes[0].delivered()[:want]
+	seen := make(map[string]bool, want)
+	for _, s := range ref {
+		if seen[s] {
+			t.Fatalf("duplicate delivery %q at %s", s, nodes[0].id)
+		}
+		seen[s] = true
+	}
+	for _, nd := range nodes[1:] {
+		got := nd.delivered()[:want]
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("total order violated at index %d: %s has %q, %s has %q",
+					i, nodes[0].id, ref[i], nd.id, got[i])
+			}
+		}
+	}
+}
+
+func TestAbcastTotalOrderSingleSender(t *testing.T) {
+	c := newCluster(t, 3)
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := c.nodes[0].ab.Broadcast(testPayload{S: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 10*time.Second)
+	}
+	assertSameOrder(t, c.nodes, total)
+	// Single sender: total order must also respect the sender's FIFO order.
+	got := c.nodes[0].delivered()
+	for i := 0; i < total; i++ {
+		if got[i] != fmt.Sprintf("m%d", i) {
+			t.Fatalf("FIFO violated: index %d is %q", i, got[i])
+		}
+	}
+}
+
+func TestAbcastTotalOrderConcurrentSenders(t *testing.T) {
+	c := newCluster(t, 3)
+	const perNode = 25
+	var wg sync.WaitGroup
+	for _, nd := range c.nodes {
+		wg.Add(1)
+		go func(nd *node) {
+			defer wg.Done()
+			for i := 0; i < perNode; i++ {
+				_ = nd.ab.Broadcast(testPayload{S: fmt.Sprintf("%s-%d", nd.id, i)})
+			}
+		}(nd)
+	}
+	wg.Wait()
+	total := perNode * len(c.nodes)
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 20*time.Second)
+	}
+	assertSameOrder(t, c.nodes, total)
+}
+
+func TestAbcastFiveNodes(t *testing.T) {
+	c := newCluster(t, 5)
+	const perNode = 10
+	for _, nd := range c.nodes {
+		for i := 0; i < perNode; i++ {
+			_ = nd.ab.Broadcast(testPayload{S: fmt.Sprintf("%s-%d", nd.id, i)})
+		}
+	}
+	total := perNode * len(c.nodes)
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 20*time.Second)
+	}
+	assertSameOrder(t, c.nodes, total)
+}
+
+// TestAbcastSurvivesMinorityCrash crashes one process out of three mid-run;
+// the rest keep delivering without any membership change — the paper's core
+// claim for the new architecture.
+func TestAbcastSurvivesMinorityCrash(t *testing.T) {
+	c := newCluster(t, 3)
+	for i := 0; i < 10; i++ {
+		_ = c.nodes[0].ab.Broadcast(testPayload{S: fmt.Sprintf("pre-%d", i)})
+	}
+	for _, nd := range c.nodes {
+		waitCount(t, nd, 10, 10*time.Second)
+	}
+	c.net.Crash("p1")
+	for i := 0; i < 10; i++ {
+		_ = c.nodes[2].ab.Broadcast(testPayload{S: fmt.Sprintf("post-%d", i)})
+	}
+	survivors := []*node{c.nodes[0], c.nodes[2]}
+	for _, nd := range survivors {
+		waitCount(t, nd, 20, 15*time.Second)
+	}
+	assertSameOrder(t, survivors, 20)
+}
+
+func TestAbcastLossyNetwork(t *testing.T) {
+	c := newCluster(t, 3,
+		transport.WithDelay(0, 3*time.Millisecond),
+		transport.WithLoss(0.15),
+		transport.WithSeed(23),
+	)
+	const total = 15
+	for i := 0; i < total; i++ {
+		_ = c.nodes[i%3].ab.Broadcast(testPayload{S: fmt.Sprintf("m%d", i)})
+	}
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 30*time.Second)
+	}
+	assertSameOrder(t, c.nodes, total)
+}

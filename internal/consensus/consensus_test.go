@@ -1,0 +1,269 @@
+package consensus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+// node bundles one process's lower stack for tests.
+type node struct {
+	id  proc.ID
+	ep  *rchannel.Endpoint
+	fd  *fd.Detector
+	sub *fd.Subscription
+	cs  *Service
+
+	mu        sync.Mutex
+	decisions map[uint64][]byte
+	decidedCh chan Decision
+}
+
+type cluster struct {
+	net   *transport.Network
+	nodes []*node
+}
+
+func newCluster(t *testing.T, n int, netOpts ...transport.NetOption) *cluster {
+	t.Helper()
+	if len(netOpts) == 0 {
+		netOpts = []transport.NetOption{transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(7)}
+	}
+	network := transport.NewNetwork(netOpts...)
+	members := make([]proc.ID, n)
+	for i := range members {
+		members[i] = proc.ID(fmt.Sprintf("p%d", i))
+	}
+	c := &cluster{net: network}
+	for _, id := range members {
+		nd := &node{
+			id:        id,
+			decisions: make(map[uint64][]byte),
+			decidedCh: make(chan Decision, 1024),
+		}
+		nd.ep = rchannel.New(network.Endpoint(id), rchannel.WithRTO(10*time.Millisecond))
+		nd.fd = fd.New(nd.ep, members, fd.WithInterval(3*time.Millisecond), fd.WithCheckEvery(2*time.Millisecond))
+		nd.sub = nd.fd.Subscribe(40 * time.Millisecond)
+		nd.cs = New(nd.ep, members, nd.sub, func(d Decision) {
+			nd.mu.Lock()
+			nd.decisions[d.Instance] = d.Value
+			nd.mu.Unlock()
+			nd.decidedCh <- d
+		})
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		nd.ep.Start()
+		nd.fd.Start()
+		nd.cs.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.cs.Stop()
+			nd.fd.Stop()
+			nd.ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return c
+}
+
+func (nd *node) waitDecision(t *testing.T, inst uint64, timeout time.Duration) []byte {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		nd.mu.Lock()
+		v, ok := nd.decisions[inst]
+		nd.mu.Unlock()
+		if ok {
+			return v
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("%s: no decision for instance %d within %v", nd.id, inst, timeout)
+			return nil
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestConsensusAgreementAndValidity(t *testing.T) {
+	c := newCluster(t, 3)
+	proposals := map[string]bool{}
+	for i, nd := range c.nodes {
+		v := fmt.Sprintf("value-%d", i)
+		proposals[v] = true
+		nd.cs.Propose(1, []byte(v))
+	}
+	var first []byte
+	for _, nd := range c.nodes {
+		v := nd.waitDecision(t, 1, 5*time.Second)
+		if first == nil {
+			first = v
+		} else if string(first) != string(v) {
+			t.Fatalf("disagreement: %q vs %q", first, v)
+		}
+	}
+	if !proposals[string(first)] {
+		t.Fatalf("decided value %q was never proposed (validity violation)", first)
+	}
+}
+
+func TestConsensusSingleProposer(t *testing.T) {
+	c := newCluster(t, 5)
+	c.nodes[2].cs.Propose(1, []byte("only"))
+	for _, nd := range c.nodes {
+		if got := nd.waitDecision(t, 1, 5*time.Second); string(got) != "only" {
+			t.Fatalf("%s decided %q, want %q", nd.id, got, "only")
+		}
+	}
+}
+
+func TestConsensusManyInstances(t *testing.T) {
+	c := newCluster(t, 3)
+	const instances = 20
+	for inst := uint64(1); inst <= instances; inst++ {
+		proposer := c.nodes[int(inst)%len(c.nodes)]
+		proposer.cs.Propose(inst, []byte(fmt.Sprintf("v%d", inst)))
+	}
+	for _, nd := range c.nodes {
+		for inst := uint64(1); inst <= instances; inst++ {
+			want := fmt.Sprintf("v%d", inst)
+			if got := nd.waitDecision(t, inst, 60*time.Second); string(got) != want {
+				t.Fatalf("%s instance %d decided %q, want %q", nd.id, inst, got, want)
+			}
+		}
+	}
+}
+
+// TestConsensusCoordinatorCrash kills the round-1 coordinator of the
+// instance before anyone proposes; the remaining majority must still decide
+// (this is the property that frees atomic broadcast from the membership
+// service in the new architecture).
+func TestConsensusCoordinatorCrash(t *testing.T) {
+	c := newCluster(t, 3)
+	// Coordinator of round 1 for any instance is members[1 % 3] = p1.
+	c.net.Crash("p1")
+	time.Sleep(5 * time.Millisecond)
+	c.nodes[0].cs.Propose(1, []byte("survivor"))
+	for i, nd := range c.nodes {
+		if i == 1 {
+			continue // crashed
+		}
+		if got := nd.waitDecision(t, 1, 5*time.Second); string(got) != "survivor" {
+			t.Fatalf("%s decided %q, want %q", nd.id, got, "survivor")
+		}
+	}
+}
+
+// TestConsensusLossyNetwork checks liveness under 20% message loss (the
+// reliable channel layer repairs the loss by retransmission).
+func TestConsensusLossyNetwork(t *testing.T) {
+	c := newCluster(t, 3,
+		transport.WithDelay(0, 2*time.Millisecond),
+		transport.WithLoss(0.2),
+		transport.WithSeed(11),
+	)
+	for i, nd := range c.nodes {
+		nd.cs.Propose(1, []byte(fmt.Sprintf("v%d", i)))
+	}
+	var first []byte
+	for _, nd := range c.nodes {
+		v := nd.waitDecision(t, 1, 15*time.Second)
+		if first == nil {
+			first = v
+		} else if string(first) != string(v) {
+			t.Fatalf("disagreement under loss: %q vs %q", first, v)
+		}
+	}
+}
+
+// TestConsensusFalseSuspicion runs with an absurdly small suspicion timeout
+// so that correct coordinators are routinely suspected; <>S tolerates this:
+// the algorithm must still terminate and agree.
+func TestConsensusFalseSuspicion(t *testing.T) {
+	network := transport.NewNetwork(transport.WithDelay(1*time.Millisecond, 6*time.Millisecond), transport.WithSeed(3))
+	members := proc.IDs("a", "b", "c")
+	var nodes []*node
+	for _, id := range members {
+		nd := &node{id: id, decisions: make(map[uint64][]byte), decidedCh: make(chan Decision, 16)}
+		nd.ep = rchannel.New(network.Endpoint(id), rchannel.WithRTO(10*time.Millisecond))
+		nd.fd = fd.New(nd.ep, members, fd.WithInterval(2*time.Millisecond), fd.WithCheckEvery(1*time.Millisecond))
+		nd.sub = nd.fd.Subscribe(4 * time.Millisecond) // aggressive: false suspicions guaranteed
+		nd.cs = New(nd.ep, members, nd.sub, func(d Decision) {
+			nd.mu.Lock()
+			nd.decisions[d.Instance] = d.Value
+			nd.mu.Unlock()
+		})
+		nodes = append(nodes, nd)
+	}
+	for _, nd := range nodes {
+		nd.ep.Start()
+		nd.fd.Start()
+		nd.cs.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.cs.Stop()
+			nd.fd.Stop()
+			nd.ep.Stop()
+		}
+		network.Shutdown()
+	}()
+
+	for i, nd := range nodes {
+		nd.cs.Propose(1, []byte(fmt.Sprintf("v%d", i)))
+	}
+	var first []byte
+	for _, nd := range nodes {
+		v := nd.waitDecision(t, 1, 20*time.Second)
+		if first == nil {
+			first = v
+		} else if string(first) != string(v) {
+			t.Fatalf("disagreement under false suspicion: %q vs %q", first, v)
+		}
+	}
+}
+
+// TestConsensusPropertySweep runs one consensus instance per seed under
+// randomized loss and jitter, asserting agreement and validity every time.
+func TestConsensusPropertySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	for _, seed := range []int64{2, 4, 6, 9, 12} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			c := newCluster(t, 3,
+				transport.WithDelay(0, time.Duration(1+seed%3)*time.Millisecond),
+				transport.WithLoss(float64(seed%10)/100),
+				transport.WithSeed(seed),
+			)
+			proposals := map[string]bool{}
+			for i, nd := range c.nodes {
+				v := fmt.Sprintf("s%d-v%d", seed, i)
+				proposals[v] = true
+				nd.cs.Propose(1, []byte(v))
+			}
+			var first []byte
+			for _, nd := range c.nodes {
+				v := nd.waitDecision(t, 1, 30*time.Second)
+				if first == nil {
+					first = v
+				} else if string(first) != string(v) {
+					t.Fatalf("agreement violated: %q vs %q", first, v)
+				}
+			}
+			if !proposals[string(first)] {
+				t.Fatalf("validity violated: %q never proposed", first)
+			}
+		})
+	}
+}

@@ -1,0 +1,76 @@
+// Package eventq provides an unbounded FIFO queue used as the inbox of the
+// protocol components' event loops.
+//
+// Components of the stack form a cycle of interactions (e.g. atomic
+// broadcast pushes proposals into consensus while consensus pushes decisions
+// back into atomic broadcast). With bounded channels on both edges, two full
+// queues could deadlock the loops against each other. Unbounded inboxes with
+// non-blocking Push break every such cycle: a component's event loop can
+// always make progress, and producers never block.
+package eventq
+
+import "sync"
+
+// Queue is an unbounded multiple-producer single-consumer FIFO.
+// The zero value is not usable; call New.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	items  []T
+	notify chan struct{}
+	closed bool
+}
+
+// New creates an empty queue.
+func New[T any]() *Queue[T] {
+	return &Queue[T]{notify: make(chan struct{}, 1)}
+}
+
+// Push appends v. It never blocks. Pushing to a closed queue is a no-op.
+func (q *Queue[T]) Push(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	select {
+	case q.notify <- struct{}{}:
+	default:
+	}
+}
+
+// TryPop removes and returns the head of the queue, if any.
+func (q *Queue[T]) TryPop() (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := q.items[0]
+	// Shift rather than re-slice so the backing array does not pin
+	// already-consumed items.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return v, true
+}
+
+// Wait returns a channel that receives a token when items may be available.
+// A consumer loop drains with TryPop until empty, then blocks on Wait.
+func (q *Queue[T]) Wait() <-chan struct{} { return q.notify }
+
+// Len returns the current queue length.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close marks the queue closed; subsequent Pushes are dropped.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.items = nil
+}

@@ -1,0 +1,76 @@
+package eventq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestFIFO(t *testing.T) {
+	q := New[int]()
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("pop from empty succeeded")
+	}
+}
+
+func TestWaitSignals(t *testing.T) {
+	q := New[string]()
+	done := make(chan string)
+	go func() {
+		for {
+			if v, ok := q.TryPop(); ok {
+				done <- v
+				return
+			}
+			<-q.Wait()
+		}
+	}()
+	q.Push("x")
+	if got := <-done; got != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	q := New[int]()
+	const producers, each = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				q.Push(i)
+			}
+		}()
+	}
+	wg.Wait()
+	count := 0
+	for {
+		if _, ok := q.TryPop(); !ok {
+			break
+		}
+		count++
+	}
+	if count != producers*each {
+		t.Fatalf("popped %d of %d", count, producers*each)
+	}
+}
+
+func TestClose(t *testing.T) {
+	q := New[int]()
+	q.Push(1)
+	q.Close()
+	q.Push(2) // dropped
+	if q.Len() != 0 {
+		t.Fatalf("len after close %d", q.Len())
+	}
+}

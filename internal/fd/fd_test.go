@@ -1,0 +1,127 @@
+package fd
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+func newFDRig(t *testing.T) (*transport.Network, map[proc.ID]*Detector) {
+	t.Helper()
+	network := transport.NewNetwork(transport.WithDelay(0, time.Millisecond), transport.WithSeed(4))
+	ids := proc.IDs("a", "b", "c")
+	dets := make(map[proc.ID]*Detector)
+	var eps []*rchannel.Endpoint
+	for _, id := range ids {
+		ep := rchannel.New(network.Endpoint(id))
+		dets[id] = New(ep, ids, WithInterval(2*time.Millisecond), WithCheckEvery(1*time.Millisecond))
+		ep.Start()
+		dets[id].Start()
+		eps = append(eps, ep)
+	}
+	t.Cleanup(func() {
+		for _, d := range dets {
+			d.Stop()
+		}
+		for _, ep := range eps {
+			ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return network, dets
+}
+
+func TestNoFalseSuspicionWhenHealthy(t *testing.T) {
+	_, dets := newFDRig(t)
+	sub := dets["a"].Subscribe(50 * time.Millisecond)
+	defer sub.Close()
+	time.Sleep(150 * time.Millisecond)
+	if got := sub.Suspects(); len(got) != 0 {
+		t.Fatalf("healthy peers suspected: %v", got)
+	}
+}
+
+func TestCrashEventuallySuspected(t *testing.T) {
+	network, dets := newFDRig(t)
+	sub := dets["a"].Subscribe(30 * time.Millisecond)
+	defer sub.Close()
+	network.Crash("b")
+	deadline := time.Now().Add(5 * time.Second)
+	for !sub.Suspected("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("crashed peer never suspected (completeness violated)")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if sub.Suspected("c") {
+		t.Fatal("healthy peer suspected alongside the crash")
+	}
+}
+
+func TestSuspicionRevokedOnRecovery(t *testing.T) {
+	network, dets := newFDRig(t)
+	sub := dets["a"].Subscribe(25 * time.Millisecond)
+	defer sub.Close()
+	network.CutLink("a", "b")
+	deadline := time.Now().Add(5 * time.Second)
+	for !sub.Suspected("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer never suspected")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	network.HealLink("a", "b")
+	deadline = time.Now().Add(5 * time.Second)
+	for sub.Suspected("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("suspicion never revoked (<>S accuracy)")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPerSubscriberTimeouts is the decoupling property of Section 3.3.2:
+// the same detector serves an aggressive consensus subscription and a
+// conservative monitoring subscription; a short outage trips only the
+// former.
+func TestPerSubscriberTimeouts(t *testing.T) {
+	network, dets := newFDRig(t)
+	short := dets["a"].Subscribe(20 * time.Millisecond)
+	long := dets["a"].Subscribe(10 * time.Second)
+	defer short.Close()
+	defer long.Close()
+
+	network.CutLink("a", "b")
+	deadline := time.Now().Add(5 * time.Second)
+	for !short.Suspected("b") {
+		if time.Now().After(deadline) {
+			t.Fatal("short subscription never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if long.Suspected("b") {
+		t.Fatal("long subscription fired on a short outage")
+	}
+	network.HealLink("a", "b")
+}
+
+func TestEventsStream(t *testing.T) {
+	network, dets := newFDRig(t)
+	sub := dets["a"].Subscribe(25 * time.Millisecond)
+	defer sub.Close()
+	network.Crash("c")
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case ev := <-sub.Events():
+			if ev.Peer == "c" && ev.Suspected {
+				return
+			}
+		case <-deadline:
+			t.Fatal("no suspect event for crashed peer")
+		}
+	}
+}

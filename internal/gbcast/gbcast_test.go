@@ -1,0 +1,356 @@
+package gbcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/abcast"
+	"repro/internal/consensus"
+	"repro/internal/fd"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+type testPayload struct {
+	S string
+}
+
+func init() {
+	msg.Register(testPayload{})
+}
+
+type record struct {
+	class string
+	s     string
+}
+
+type node struct {
+	id proc.ID
+	ep *rchannel.Endpoint
+	fd *fd.Detector
+	cs *consensus.Service
+	ab *abcast.Broadcaster
+	gb *Broadcaster
+
+	mu    sync.Mutex
+	order []record
+}
+
+func (n *node) delivered() []record {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]record, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+type cluster struct {
+	net   *transport.Network
+	nodes []*node
+}
+
+func newCluster(t *testing.T, n int, rel *Relation, netOpts ...transport.NetOption) *cluster {
+	t.Helper()
+	if len(netOpts) == 0 {
+		netOpts = []transport.NetOption{transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(9)}
+	}
+	network := transport.NewNetwork(netOpts...)
+	members := make([]proc.ID, n)
+	for i := range members {
+		members[i] = proc.ID(fmt.Sprintf("p%d", i))
+	}
+	c := &cluster{net: network}
+	for _, id := range members {
+		nd := &node{id: id}
+		nd.ep = rchannel.New(network.Endpoint(id), rchannel.WithRTO(10*time.Millisecond))
+		nd.fd = fd.New(nd.ep, members, fd.WithInterval(3*time.Millisecond), fd.WithCheckEvery(2*time.Millisecond))
+		sub := nd.fd.Subscribe(40 * time.Millisecond)
+		nd.gb = New(nd.ep, "gb", members, rel, func(d Delivery) {
+			p, ok := d.Body.(testPayload)
+			if !ok {
+				return
+			}
+			nd.mu.Lock()
+			nd.order = append(nd.order, record{class: d.Class, s: p.S})
+			nd.mu.Unlock()
+		})
+		nd.ab = abcast.New(nd.ep, "gb.ab", members, nd.gb.Adeliver)
+		nd.cs = consensus.New(nd.ep, members, sub, nd.ab.Decide)
+		nd.ab.AttachConsensus(nd.cs)
+		nd.gb.AttachAbcast(nd.ab)
+		c.nodes = append(c.nodes, nd)
+	}
+	for _, nd := range c.nodes {
+		nd.ep.Start()
+		nd.fd.Start()
+		nd.cs.Start()
+		nd.ab.Start()
+		nd.gb.Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range c.nodes {
+			nd.gb.Stop()
+			nd.ab.Stop()
+			nd.cs.Stop()
+			nd.fd.Stop()
+			nd.ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return c
+}
+
+func passiveRelation() *Relation {
+	return NewRelationBuilder().
+		Conflict("primary-change", "primary-change").
+		Conflict("update", "primary-change").
+		Class("update").
+		Build()
+}
+
+func waitCount(t *testing.T, nd *node, want int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(nd.delivered()) >= want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s delivered %d, want %d", nd.id, len(nd.delivered()), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFastOnlyNoAbcast sends only non-conflicting messages: everything must
+// deliver without a single epoch boundary — the thriftiness property [1].
+func TestFastOnlyNoAbcast(t *testing.T) {
+	c := newCluster(t, 3, passiveRelation())
+	const perNode = 20
+	for _, nd := range c.nodes {
+		for i := 0; i < perNode; i++ {
+			if err := nd.gb.Broadcast("update", testPayload{S: fmt.Sprintf("%s-%d", nd.id, i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := perNode * len(c.nodes)
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 10*time.Second)
+	}
+	for _, nd := range c.nodes {
+		st := nd.gb.Stats()
+		if st.Boundaries != 0 {
+			t.Errorf("%s ran %d boundaries; thrifty generic broadcast must not invoke abcast without conflicts", nd.id, st.Boundaries)
+		}
+		if st.FastDelivered != uint64(total) {
+			t.Errorf("%s fast-delivered %d, want %d", nd.id, st.FastDelivered, total)
+		}
+	}
+	// Per-origin FIFO: the payloads "pX-i" from each origin must appear in
+	// increasing i order at every node.
+	for _, nd := range c.nodes {
+		last := map[string]int{}
+		for _, r := range nd.delivered() {
+			var origin string
+			var i int
+			if _, err := fmt.Sscanf(r.s, "%2s-%d", &origin, &i); err != nil {
+				t.Fatalf("bad payload %q: %v", r.s, err)
+			}
+			if prev, ok := last[origin]; ok && i <= prev {
+				t.Fatalf("%s: FIFO violation for %s: %d after %d", nd.id, origin, i, prev)
+			}
+			last[origin] = i
+		}
+	}
+}
+
+// TestAllOrderedIsAtomicBroadcast uses a relation where every class
+// conflicts: generic broadcast must behave as atomic broadcast (identical
+// delivery order everywhere) without running boundaries.
+func TestAllOrderedIsAtomicBroadcast(t *testing.T) {
+	rel := NewRelationBuilder().Conflict("cmd", "cmd").Build()
+	c := newCluster(t, 3, rel)
+	const perNode = 15
+	for _, nd := range c.nodes {
+		for i := 0; i < perNode; i++ {
+			if err := nd.gb.Broadcast("cmd", testPayload{S: fmt.Sprintf("%s-%d", nd.id, i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := perNode * len(c.nodes)
+	for _, nd := range c.nodes {
+		waitCount(t, nd, total, 15*time.Second)
+	}
+	ref := c.nodes[0].delivered()
+	for _, nd := range c.nodes[1:] {
+		got := nd.delivered()
+		for i := range ref[:total] {
+			if got[i] != ref[i] {
+				t.Fatalf("order differs at %d: %v vs %v", i, ref[i], got[i])
+			}
+		}
+	}
+	for _, nd := range c.nodes {
+		if st := nd.gb.Stats(); st.Boundaries != 0 {
+			t.Errorf("%s: all-ordered relation must skip boundaries, got %d", nd.id, st.Boundaries)
+		}
+	}
+}
+
+// TestConflictingPairsTotallyOrdered is the central correctness property of
+// generic broadcast: every (update, primary-change) pair must be delivered
+// in the same relative order by all processes, while updates themselves may
+// interleave freely.
+func TestConflictingPairsTotallyOrdered(t *testing.T) {
+	c := newCluster(t, 3, passiveRelation())
+	const updates = 40
+	const changes = 6
+
+	var wg sync.WaitGroup
+	for i, nd := range c.nodes {
+		wg.Add(1)
+		go func(i int, nd *node) {
+			defer wg.Done()
+			for u := 0; u < updates; u++ {
+				_ = nd.gb.Broadcast("update", testPayload{S: fmt.Sprintf("u-%s-%d", nd.id, u)})
+				if u%(updates/changes+1) == 0 {
+					_ = nd.gb.Broadcast("primary-change", testPayload{S: fmt.Sprintf("pc-%s-%d", nd.id, u)})
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(i, nd)
+	}
+	wg.Wait()
+
+	// Each node sends `updates` updates plus one primary-change for every
+	// u with u % (updates/changes+1) == 0; wait for every delivery.
+	perNodeChanges := 0
+	for u := 0; u < updates; u++ {
+		if u%(updates/changes+1) == 0 {
+			perNodeChanges++
+		}
+	}
+	total := len(c.nodes) * (updates + perNodeChanges)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		n0 := len(c.nodes[0].delivered())
+		n1 := len(c.nodes[1].delivered())
+		n2 := len(c.nodes[2].delivered())
+		if n0 >= total && n1 >= total && n2 >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("deliveries incomplete: %d/%d/%d of %d", n0, n1, n2, total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// All nodes delivered the same multiset; verify pairwise order of
+	// conflicting messages.
+	for _, nd := range c.nodes {
+		if got := len(nd.delivered()); got != total {
+			t.Fatalf("%s delivered %d, others %d", nd.id, got, total)
+		}
+	}
+	ref := c.nodes[0].delivered()
+	refPos := make(map[string]int, len(ref))
+	for i, r := range ref {
+		if _, dup := refPos[r.s]; dup {
+			t.Fatalf("duplicate delivery %q", r.s)
+		}
+		refPos[r.s] = i
+	}
+	for _, nd := range c.nodes[1:] {
+		got := nd.delivered()
+		pos := make(map[string]int, len(got))
+		for i, r := range got {
+			pos[r.s] = i
+		}
+		for _, a := range ref {
+			for _, b := range ref {
+				if a.s == b.s {
+					continue
+				}
+				conflicting := a.class == "primary-change" || b.class == "primary-change"
+				if !conflicting {
+					continue
+				}
+				refOrder := refPos[a.s] < refPos[b.s]
+				gotOrder := pos[a.s] < pos[b.s]
+				if refOrder != gotOrder {
+					t.Fatalf("conflicting pair (%s,%s) ordered differently at %s", a.s, b.s, nd.id)
+				}
+			}
+		}
+	}
+
+	// Per-origin FIFO of updates.
+	for _, nd := range c.nodes {
+		lastU := map[string]int{}
+		for _, r := range nd.delivered() {
+			if r.class != "update" {
+				continue
+			}
+			var origin string
+			var u int
+			if _, err := fmt.Sscanf(r.s, "u-%2s-%d", &origin, &u); err != nil {
+				t.Fatalf("bad payload %q: %v", r.s, err)
+			}
+			if prev, ok := lastU[origin]; ok && u <= prev {
+				t.Fatalf("%s: FIFO violation for origin %s: %d after %d", nd.id, origin, u, prev)
+			}
+			lastU[origin] = u
+		}
+	}
+
+	// Thriftiness sanity: boundaries ran (conflicts happened) but far fewer
+	// than one per update.
+	st := c.nodes[0].gb.Stats()
+	if st.Boundaries == 0 {
+		t.Error("expected at least one boundary with primary-change traffic")
+	}
+	t.Logf("stats: fast=%d ordered=%d boundaries=%d", st.FastDelivered, st.OrderedDelivered, st.Boundaries)
+}
+
+// TestGbcastUnknownClass verifies input validation.
+func TestGbcastUnknownClass(t *testing.T) {
+	c := newCluster(t, 3, passiveRelation())
+	if err := c.nodes[0].gb.Broadcast("nope", testPayload{S: "x"}); err == nil {
+		t.Fatal("expected error for unknown class")
+	}
+}
+
+// TestGbcastSurvivesCrash: a minority crash must not block either path.
+func TestGbcastSurvivesCrash(t *testing.T) {
+	c := newCluster(t, 3, passiveRelation())
+	_ = c.nodes[0].gb.Broadcast("update", testPayload{S: "before"})
+	for _, nd := range c.nodes {
+		waitCount(t, nd, 1, 5*time.Second)
+	}
+	c.net.Crash("p2")
+	_ = c.nodes[0].gb.Broadcast("update", testPayload{S: "after-fast"})
+	_ = c.nodes[1].gb.Broadcast("primary-change", testPayload{S: "after-ordered"})
+	for _, nd := range c.nodes[:2] {
+		waitCount(t, nd, 3, 15*time.Second)
+	}
+	// Both survivors agree on the relative order of the conflicting pair.
+	order := func(nd *node) []string {
+		var out []string
+		for _, r := range nd.delivered() {
+			out = append(out, r.s)
+		}
+		return out
+	}
+	o0, o1 := order(c.nodes[0]), order(c.nodes[1])
+	for i := range o0 {
+		if o0[i] != o1[i] {
+			t.Fatalf("survivor order differs: %v vs %v", o0, o1)
+		}
+	}
+}

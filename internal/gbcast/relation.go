@@ -1,0 +1,191 @@
+package gbcast
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Relation is a symmetric conflict relation over message classes
+// (Section 3.2.1). Generic broadcast guarantees that two messages whose
+// classes conflict are delivered in the same relative order by all
+// processes; non-conflicting messages are not ordered, which is cheaper.
+//
+// Classes are partitioned by the relation into:
+//
+//   - ordered classes: classes that conflict with themselves. These travel
+//     through atomic broadcast.
+//   - fast classes: classes that do not conflict with themselves. These
+//     travel through the fast path (reliable broadcast + majority acks).
+//
+// The implementation requires that two *distinct fast* classes never
+// conflict; if they are declared to, both are promoted to ordered classes
+// (ordering more than required is always safe). Both conflict tables
+// printed in the paper already have the required shape:
+//
+//	Section 3.2.3:            update        primary-change
+//	   update               no conflict        conflict
+//	   primary-change        conflict          conflict
+//
+//	Section 3.3:              rbcast          abcast
+//	   rbcast              no conflict        conflict
+//	   abcast                conflict         conflict
+type Relation struct {
+	classes  map[string]struct{}
+	conflict map[pair]struct{}
+	ordered  map[string]struct{}
+	// Original declarations, kept so the relation can be extended.
+	declClasses   []string
+	declConflicts []pair
+}
+
+type pair struct{ a, b string }
+
+func normPair(a, b string) pair {
+	if a > b {
+		a, b = b, a
+	}
+	return pair{a: a, b: b}
+}
+
+// RelationBuilder accumulates class and conflict declarations.
+type RelationBuilder struct {
+	classes   []string
+	conflicts []pair
+}
+
+// NewRelationBuilder returns an empty builder.
+func NewRelationBuilder() *RelationBuilder {
+	return &RelationBuilder{}
+}
+
+// Class declares a message class (idempotent).
+func (b *RelationBuilder) Class(name string) *RelationBuilder {
+	b.classes = append(b.classes, name)
+	return b
+}
+
+// Conflict declares that classes a and b conflict (symmetric; a may equal
+// b). Both classes are declared implicitly.
+func (b *RelationBuilder) Conflict(a, c string) *RelationBuilder {
+	b.classes = append(b.classes, a, c)
+	b.conflicts = append(b.conflicts, pair{a: a, b: c})
+	return b
+}
+
+// Build constructs the immutable Relation, promoting conflicting fast
+// classes to ordered as described above.
+func (b *RelationBuilder) Build() *Relation {
+	r := &Relation{
+		classes:       make(map[string]struct{}),
+		conflict:      make(map[pair]struct{}),
+		ordered:       make(map[string]struct{}),
+		declClasses:   append([]string(nil), b.classes...),
+		declConflicts: append([]pair(nil), b.conflicts...),
+	}
+	for _, c := range b.classes {
+		r.classes[c] = struct{}{}
+	}
+	for _, p := range b.conflicts {
+		r.conflict[normPair(p.a, p.b)] = struct{}{}
+	}
+	// Self-conflicting classes are ordered.
+	for c := range r.classes {
+		if _, ok := r.conflict[normPair(c, c)]; ok {
+			r.ordered[c] = struct{}{}
+		}
+	}
+	// Promote pairs of conflicting fast classes.
+	for p := range r.conflict {
+		if p.a == p.b {
+			continue
+		}
+		_, aOrd := r.ordered[p.a]
+		_, bOrd := r.ordered[p.b]
+		if !aOrd && !bOrd {
+			r.ordered[p.a] = struct{}{}
+			r.ordered[p.b] = struct{}{}
+		}
+	}
+	return r
+}
+
+// DefaultRelation returns the relation of the full architecture
+// (Section 3.3): class "rbcast" is fast, class "abcast" is ordered, and the
+// two conflict.
+func DefaultRelation() *Relation {
+	return NewRelationBuilder().
+		Conflict(ClassAbcast, ClassAbcast).
+		Conflict(ClassRbcast, ClassAbcast).
+		Build()
+}
+
+// Names of the default classes.
+const (
+	ClassRbcast = "rbcast"
+	ClassAbcast = "abcast"
+)
+
+// Conflicts reports whether classes a and b conflict.
+func (r *Relation) Conflicts(a, b string) bool {
+	_, ok := r.conflict[normPair(a, b)]
+	return ok
+}
+
+// Ordered reports whether class c travels through the ordered (atomic
+// broadcast) path.
+func (r *Relation) Ordered(c string) bool {
+	_, ok := r.ordered[c]
+	return ok
+}
+
+// Known reports whether class c was declared.
+func (r *Relation) Known(c string) bool {
+	_, ok := r.classes[c]
+	return ok
+}
+
+// HasFastClasses reports whether at least one declared class uses the fast
+// path. When false, the broadcaster skips epoch boundaries entirely and
+// behaves exactly as atomic broadcast (the paper's degenerate case "all
+// messages conflict").
+func (r *Relation) HasFastClasses() bool {
+	return len(r.ordered) < len(r.classes)
+}
+
+// Classes returns the declared class names, sorted.
+func (r *Relation) Classes() []string {
+	out := make([]string, 0, len(r.classes))
+	for c := range r.classes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ExtendWithOrderedClass returns a new relation containing an additional
+// class that conflicts with every declared class and with itself. The stack
+// uses it to splice the membership view-change class into the application's
+// relation: view changes conflicting with everything is precisely what gives
+// "same view delivery" (Section 4.4).
+func (r *Relation) ExtendWithOrderedClass(name string) *Relation {
+	b := NewRelationBuilder()
+	for _, c := range r.declClasses {
+		b.Class(c)
+	}
+	for _, p := range r.declConflicts {
+		b.Conflict(p.a, p.b)
+	}
+	b.Conflict(name, name)
+	for c := range r.classes {
+		b.Conflict(name, c)
+	}
+	return b.Build()
+}
+
+// Validate returns an error if class c is unusable for broadcasting.
+func (r *Relation) Validate(c string) error {
+	if !r.Known(c) {
+		return fmt.Errorf("gbcast: unknown message class %q", c)
+	}
+	return nil
+}

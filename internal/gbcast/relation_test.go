@@ -1,0 +1,129 @@
+package gbcast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultRelationMatchesPaperTable(t *testing.T) {
+	// Section 3.3:          rbcast        abcast
+	//   rbcast            no conflict    conflict
+	//   abcast             conflict      conflict
+	r := DefaultRelation()
+	if r.Conflicts(ClassRbcast, ClassRbcast) {
+		t.Error("rbcast must not conflict with itself")
+	}
+	if !r.Conflicts(ClassRbcast, ClassAbcast) || !r.Conflicts(ClassAbcast, ClassRbcast) {
+		t.Error("rbcast/abcast must conflict (symmetrically)")
+	}
+	if !r.Conflicts(ClassAbcast, ClassAbcast) {
+		t.Error("abcast must conflict with itself")
+	}
+	if r.Ordered(ClassRbcast) {
+		t.Error("rbcast is a fast class")
+	}
+	if !r.Ordered(ClassAbcast) {
+		t.Error("abcast is an ordered class")
+	}
+	if !r.HasFastClasses() {
+		t.Error("default relation has a fast class")
+	}
+}
+
+func TestPassiveRelationMatchesPaperTable(t *testing.T) {
+	// Section 3.2.3:       update        primary-change
+	//   update           no conflict      conflict
+	//   primary-change    conflict        conflict
+	r := NewRelationBuilder().
+		Conflict("primary-change", "primary-change").
+		Conflict("update", "primary-change").
+		Class("update").
+		Build()
+	if r.Conflicts("update", "update") {
+		t.Error("updates must not conflict with each other")
+	}
+	if !r.Conflicts("update", "primary-change") {
+		t.Error("update/primary-change must conflict")
+	}
+	if r.Ordered("update") || !r.Ordered("primary-change") {
+		t.Error("classification wrong")
+	}
+}
+
+func TestConflictingFastClassesPromoted(t *testing.T) {
+	// Two classes that conflict with each other but not themselves cannot
+	// both use the fast path; the builder promotes both to ordered.
+	r := NewRelationBuilder().Conflict("x", "y").Build()
+	if !r.Ordered("x") || !r.Ordered("y") {
+		t.Error("conflicting fast classes must be promoted to ordered")
+	}
+	if r.HasFastClasses() {
+		t.Error("no fast class should remain")
+	}
+}
+
+func TestUnknownClassValidation(t *testing.T) {
+	r := DefaultRelation()
+	if err := r.Validate("nope"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if err := r.Validate(ClassRbcast); err != nil {
+		t.Errorf("known class rejected: %v", err)
+	}
+}
+
+func TestExtendWithOrderedClass(t *testing.T) {
+	r := DefaultRelation().ExtendWithOrderedClass("_view")
+	if !r.Ordered("_view") {
+		t.Error("extension class must be ordered")
+	}
+	for _, c := range []string{ClassRbcast, ClassAbcast, "_view"} {
+		if !r.Conflicts("_view", c) {
+			t.Errorf("_view must conflict with %q", c)
+		}
+	}
+	// The original classes keep their classification.
+	if r.Ordered(ClassRbcast) || !r.Ordered(ClassAbcast) {
+		t.Error("extension changed existing classification")
+	}
+	// The original relation is untouched.
+	if DefaultRelation().Known("_view") {
+		t.Error("ExtendWithOrderedClass mutated the receiver's declarations")
+	}
+}
+
+// Property: the invariant the delivery protocol relies on — after Build,
+// two distinct classes that conflict never are both fast.
+func TestNoConflictingFastPairs(t *testing.T) {
+	classNames := []string{"a", "b", "c", "d"}
+	prop := func(pairBits uint16, selfBits uint8) bool {
+		b := NewRelationBuilder()
+		for _, c := range classNames {
+			b.Class(c)
+		}
+		k := 0
+		for i := 0; i < len(classNames); i++ {
+			if selfBits&(1<<i) != 0 {
+				b.Conflict(classNames[i], classNames[i])
+			}
+			for j := i + 1; j < len(classNames); j++ {
+				if pairBits&(1<<k) != 0 {
+					b.Conflict(classNames[i], classNames[j])
+				}
+				k++
+			}
+		}
+		r := b.Build()
+		for _, x := range classNames {
+			for _, y := range classNames {
+				if x != y && r.Conflicts(x, y) && !r.Ordered(x) && !r.Ordered(y) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

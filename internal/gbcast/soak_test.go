@@ -1,0 +1,145 @@
+package gbcast
+
+// Randomized soak: the epoch-boundary protocol is this repository's novel
+// piece, so it gets adversarial schedules — many seeds, random jitter, loss
+// and class mixes — each checked against the full generic broadcast
+// contract (agreement, integrity, FIFO, conflicting-pair total order).
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestGbcastRandomizedSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	seeds := []int64{1, 2, 3, 5, 8, 13}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			runSoak(t, seed)
+		})
+	}
+}
+
+func runSoak(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	loss := float64(rng.Intn(10)) / 100 // 0–9 %
+	maxDelay := time.Duration(1+rng.Intn(3)) * time.Millisecond
+
+	c := newCluster(t, 3, passiveRelation(),
+		transport.WithDelay(0, maxDelay),
+		transport.WithLoss(loss),
+		transport.WithSeed(seed))
+
+	const perNode = 15
+	var (
+		wg      sync.WaitGroup
+		totalMu sync.Mutex
+		total   int
+	)
+	for idx, nd := range c.nodes {
+		wg.Add(1)
+		go func(idx int, nd *node) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed*31 + int64(idx)))
+			for i := 0; i < perNode; i++ {
+				var err error
+				if r.Intn(100) < 20 {
+					err = nd.gb.Broadcast("primary-change", testPayload{S: fmt.Sprintf("pc-%s-%d", nd.id, i)})
+				} else {
+					err = nd.gb.Broadcast("update", testPayload{S: fmt.Sprintf("u--%s-%d", nd.id, i)})
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				totalMu.Lock()
+				total++
+				totalMu.Unlock()
+				if r.Intn(3) == 0 {
+					time.Sleep(time.Duration(r.Intn(2)) * time.Millisecond)
+				}
+			}
+		}(idx, nd)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		done := true
+		for _, nd := range c.nodes {
+			if len(nd.delivered()) < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("seed %d: %d/%d/%d of %d delivered",
+				seed, len(c.nodes[0].delivered()), len(c.nodes[1].delivered()),
+				len(c.nodes[2].delivered()), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Contract checks.
+	ref := c.nodes[0].delivered()
+	refPos := make(map[string]int, len(ref))
+	for i, r := range ref {
+		if _, dup := refPos[r.s]; dup {
+			t.Fatalf("seed %d: duplicate delivery %q", seed, r.s)
+		}
+		refPos[r.s] = i
+	}
+	for _, nd := range c.nodes[1:] {
+		got := nd.delivered()
+		if len(got) != len(ref) {
+			t.Fatalf("seed %d: agreement violated: %d vs %d", seed, len(got), len(ref))
+		}
+		pos := make(map[string]int, len(got))
+		for i, r := range got {
+			pos[r.s] = i
+		}
+		// Conflicting pairs in the same order everywhere.
+		for _, a := range ref {
+			if a.class != "primary-change" {
+				continue
+			}
+			for _, b := range ref {
+				if a.s == b.s {
+					continue
+				}
+				if (refPos[a.s] < refPos[b.s]) != (pos[a.s] < pos[b.s]) {
+					t.Fatalf("seed %d: pair (%s,%s) ordered differently", seed, a.s, b.s)
+				}
+			}
+		}
+	}
+	// FIFO per origin within the fast class.
+	for _, nd := range c.nodes {
+		last := map[string]int{}
+		for _, r := range nd.delivered() {
+			if r.class != "update" {
+				continue
+			}
+			var origin string
+			var i int
+			if _, err := fmt.Sscanf(r.s, "u--%2s-%d", &origin, &i); err != nil {
+				t.Fatalf("bad payload %q: %v", r.s, err)
+			}
+			if prev, ok := last[origin]; ok && i <= prev {
+				t.Fatalf("seed %d: FIFO violated for %s: %d after %d", seed, origin, i, prev)
+			}
+			last[origin] = i
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package membership implements the group membership component of the new
+// architecture (Figure 9) — layered ON TOP of atomic/generic broadcast, the
+// inversion that distinguishes the paper's design from every traditional
+// stack (Section 3.1.1).
+//
+// View changes (join, remove, rotate-primary) are broadcast through the
+// generic broadcast component under a dedicated ordered class that conflicts
+// with every application class. Consequences, all "for free":
+//
+//   - Views are totally ordered: every process installs the same sequence of
+//     views (primary partition membership), because view changes ride the
+//     atomic broadcast stream. No bespoke view-agreement protocol exists —
+//     the ordering problem is solved exactly once in the stack
+//     (Section 4.1).
+//   - Same view delivery (Section 4.4): the epoch boundary run by generic
+//     broadcast sweeps in-flight application messages consistently before
+//     the view change, so all processes deliver each message in the same
+//     view — without ever blocking senders, unlike the traditional
+//     flush/Sync protocols.
+//   - Removal is decoupled from failure suspicion: only the monitoring
+//     component calls Remove (Section 3.3.2).
+//
+// Views are lists (footnote 10): the head is the primary. RotatePrimary
+// demotes the current primary without excluding it, as in Figure 8.
+package membership
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+)
+
+// Class is the gbcast message class used for view changes. The stack
+// extends the application's conflict relation so this class conflicts with
+// everything.
+const Class = "_memb.view"
+
+// StateProto is the rchannel protocol used for state transfer to joiners.
+const StateProto = "memb.state"
+
+// Op kinds.
+const (
+	opJoin uint8 = iota + 1
+	opRemove
+	opRotate
+)
+
+// Op is a view-change operation (wire format).
+type Op struct {
+	Kind uint8
+	P    proc.ID
+}
+
+// stateMsg carries an application snapshot to a joining process.
+type stateMsg struct {
+	ViewSeq uint64
+	Data    []byte
+}
+
+func init() {
+	msg.Register(Op{})
+	msg.Register(stateMsg{})
+}
+
+// Broadcaster is the slice of the generic broadcast interface the service
+// needs (satisfied by *gbcast.Broadcaster via the stack's wiring).
+type Broadcaster interface {
+	Broadcast(class string, body any) error
+}
+
+// ViewFunc observes installed views. Called on the delivery goroutine of
+// the stack; must not block.
+type ViewFunc func(proc.View)
+
+// Snapshotter provides and restores application state for joins. Both are
+// optional.
+type Snapshotter struct {
+	Snapshot func() []byte
+	Restore  func([]byte)
+}
+
+// Service tracks the current view and issues view changes.
+type Service struct {
+	gb   Broadcaster
+	ep   *rchannel.Endpoint
+	self proc.ID
+	snap Snapshotter
+
+	mu      sync.Mutex
+	view    proc.View
+	viewers []ViewFunc
+}
+
+// New creates the membership service with the given initial view
+// (init_view in Figure 9). ep is used only for state transfer to joiners.
+func New(gb Broadcaster, ep *rchannel.Endpoint, initial proc.View, snap Snapshotter) *Service {
+	s := &Service{
+		gb:   gb,
+		ep:   ep,
+		self: ep.Self(),
+		snap: snap,
+		view: initial.Clone(),
+	}
+	ep.Handle(StateProto, s.onState)
+	return s
+}
+
+// View returns the currently installed view.
+func (s *Service) View() proc.View {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.view.Clone()
+}
+
+// OnView registers an observer for installed views. The current view is
+// delivered immediately.
+func (s *Service) OnView(fn ViewFunc) {
+	s.mu.Lock()
+	s.viewers = append(s.viewers, fn)
+	current := s.view.Clone()
+	s.mu.Unlock()
+	fn(current)
+}
+
+// Join requests the addition of p to the group (operation "join" in
+// Figure 9). The view change is totally ordered with respect to all
+// application traffic.
+func (s *Service) Join(p proc.ID) error {
+	if err := s.gb.Broadcast(Class, Op{Kind: opJoin, P: p}); err != nil {
+		return fmt.Errorf("membership join %s: %w", p, err)
+	}
+	return nil
+}
+
+// Remove requests the exclusion of p (operation "remove"; a process may
+// remove itself). Normally invoked by the monitoring component only.
+func (s *Service) Remove(p proc.ID) error {
+	if err := s.gb.Broadcast(Class, Op{Kind: opRemove, P: p}); err != nil {
+		return fmt.Errorf("membership remove %s: %w", p, err)
+	}
+	return nil
+}
+
+// RotatePrimary requests demotion of old from the head of the view to its
+// tail, without exclusion (the Figure 8 primary-change at membership level).
+func (s *Service) RotatePrimary(old proc.ID) error {
+	if err := s.gb.Broadcast(Class, Op{Kind: opRotate, P: old}); err != nil {
+		return fmt.Errorf("membership rotate %s: %w", old, err)
+	}
+	return nil
+}
+
+// Apply consumes a delivered view-change operation (wired by the stack to
+// gbcast deliveries of Class). Operations are idempotent, so duplicate
+// requests from several members converge.
+func (s *Service) Apply(op Op) {
+	s.mu.Lock()
+	old := s.view
+	switch op.Kind {
+	case opJoin:
+		s.view = s.view.Add(op.P)
+	case opRemove:
+		s.view = s.view.Remove(op.P)
+	case opRotate:
+		s.view = s.view.RotatePast(op.P)
+	}
+	changed := s.view.Seq != old.Seq
+	installed := s.view.Clone()
+	viewers := make([]ViewFunc, len(s.viewers))
+	copy(viewers, s.viewers)
+	isPrimary := installed.Primary() == s.self
+	s.mu.Unlock()
+
+	if !changed {
+		return
+	}
+	// State transfer: the primary ships a snapshot to a joiner (the paper's
+	// "costly state transfer" of Section 4.3; its cost is what makes
+	// exclusion expensive in traditional stacks).
+	if op.Kind == opJoin && isPrimary && op.P != s.self && s.snap.Snapshot != nil {
+		_ = s.ep.Send(op.P, StateProto, stateMsg{ViewSeq: installed.Seq, Data: s.snap.Snapshot()})
+	}
+	for _, fn := range viewers {
+		fn(installed)
+	}
+}
+
+func (s *Service) onState(_ proc.ID, body any) {
+	m, ok := body.(stateMsg)
+	if !ok {
+		return
+	}
+	if s.snap.Restore != nil {
+		s.snap.Restore(m.Data)
+	}
+}

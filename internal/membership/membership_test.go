@@ -1,0 +1,165 @@
+package membership
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+// loopBroadcaster is a fake generic broadcast: it hands every operation
+// straight back to a set of services, in broadcast order — i.e. it behaves
+// as a perfectly ordered channel, which is exactly the guarantee the real
+// stack provides for the membership class.
+type loopBroadcaster struct {
+	mu   sync.Mutex
+	subs []*Service
+}
+
+func (l *loopBroadcaster) Broadcast(class string, body any) error {
+	op := body.(Op)
+	l.mu.Lock()
+	subs := append([]*Service(nil), l.subs...)
+	l.mu.Unlock()
+	for _, s := range subs {
+		s.Apply(op)
+	}
+	return nil
+}
+
+func newService(t *testing.T, lb *loopBroadcaster, id proc.ID, network *transport.Network, initial proc.View) *Service {
+	t.Helper()
+	ep := rchannel.New(network.Endpoint(id))
+	s := New(lb, ep, initial, Snapshotter{})
+	ep.Start()
+	t.Cleanup(ep.Stop)
+	lb.mu.Lock()
+	lb.subs = append(lb.subs, s)
+	lb.mu.Unlock()
+	return s
+}
+
+func TestViewsIdenticalAcrossMembers(t *testing.T) {
+	network := transport.NewNetwork()
+	t.Cleanup(network.Shutdown)
+	lb := &loopBroadcaster{}
+	initial := proc.NewView("a", "b", "c")
+	sa := newService(t, lb, "a", network, initial)
+	sb := newService(t, lb, "b", network, initial)
+
+	if err := sa.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.Join("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.RotatePrimary("a"); err != nil {
+		t.Fatal(err)
+	}
+	va, vb := sa.View(), sb.View()
+	if !va.Equal(vb) {
+		t.Fatalf("views differ: %v vs %v", va, vb)
+	}
+	if va.Seq != 3 {
+		t.Fatalf("seq %d after three effective changes", va.Seq)
+	}
+	if va.Contains("c") || !va.Contains("d") || va.Primary() != "b" {
+		t.Fatalf("wrong view %v", va)
+	}
+}
+
+func TestOnViewObserversAndIdempotence(t *testing.T) {
+	network := transport.NewNetwork()
+	t.Cleanup(network.Shutdown)
+	lb := &loopBroadcaster{}
+	s := newService(t, lb, "a", network, proc.NewView("a", "b"))
+
+	var (
+		mu    sync.Mutex
+		views []proc.View
+	)
+	s.OnView(func(v proc.View) {
+		mu.Lock()
+		views = append(views, v)
+		mu.Unlock()
+	})
+	// The current view is delivered immediately on registration.
+	mu.Lock()
+	if len(views) != 1 || views[0].Seq != 0 {
+		t.Fatalf("initial view not delivered: %v", views)
+	}
+	mu.Unlock()
+
+	_ = s.Join("c")
+	_ = s.Join("c") // duplicate: no view change, no callback
+	mu.Lock()
+	defer mu.Unlock()
+	if len(views) != 2 {
+		t.Fatalf("observer calls %d, want 2 (duplicate join must be silent)", len(views))
+	}
+}
+
+func TestStateTransferToJoiner(t *testing.T) {
+	network := transport.NewNetwork()
+	t.Cleanup(network.Shutdown)
+	lb := &loopBroadcaster{}
+	initial := proc.NewView("a", "b")
+
+	// a is primary with a snapshot; d is the joiner with a restore hook.
+	epA := rchannel.New(network.Endpoint("a"))
+	sa := New(lb, epA, initial, Snapshotter{Snapshot: func() []byte { return []byte("snap") }})
+	epA.Start()
+	t.Cleanup(epA.Stop)
+	lb.subs = append(lb.subs, sa)
+
+	restored := make(chan []byte, 1)
+	epD := rchannel.New(network.Endpoint("d"))
+	sd := New(lb, epD, initial, Snapshotter{Restore: func(b []byte) { restored <- b }})
+	epD.Start()
+	t.Cleanup(epD.Stop)
+	lb.subs = append(lb.subs, sd)
+
+	if err := sa.Join("d"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case b := <-restored:
+		if string(b) != "snap" {
+			t.Fatalf("restored %q", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("joiner never restored state")
+	}
+}
+
+// Property: any sequence of operations applied in the same order to two
+// services starting from the same view yields identical views — the
+// determinism the totally-ordered membership class relies on.
+func TestApplyDeterministic(t *testing.T) {
+	prop := func(kinds []uint8, targets []uint8) bool {
+		network := transport.NewNetwork()
+		defer network.Shutdown()
+		ep1 := rchannel.New(network.Endpoint("x"))
+		ep2 := rchannel.New(network.Endpoint("y"))
+		initial := proc.NewView("a", "b", "c")
+		s1 := New(nil, ep1, initial, Snapshotter{})
+		s2 := New(nil, ep2, initial, Snapshotter{})
+		names := proc.IDs("a", "b", "c", "d", "e")
+		for i := range kinds {
+			if i >= len(targets) {
+				break
+			}
+			op := Op{Kind: kinds[i]%3 + 1, P: names[int(targets[i])%len(names)]}
+			s1.Apply(op)
+			s2.Apply(op)
+		}
+		return s1.View().Equal(s2.View())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package monitoring implements the monitoring component (Section 3.3.2).
+//
+// In the new architecture the decision to *exclude* a suspected process is
+// not made by the membership service (nor by the failure detector): it is an
+// explicit policy owned by this component. The separation allows:
+//
+//   - the consensus component to use a small failure detection timeout
+//     (seconds in the paper; milliseconds here) whose false suspicions cost
+//     almost nothing, while
+//   - the monitoring component uses a large timeout (minutes in the paper)
+//     before the expensive exclusion + state-transfer path is taken, and
+//   - exclusions can additionally require corroboration by a threshold of
+//     other processes, and/or be triggered by the reliable channel's
+//     output-triggered suspicions [12] (a buffered message unacknowledged
+//     for too long can only be discarded by excluding its destination).
+//
+// This decoupling is what Section 4.3 credits for the higher responsiveness
+// of the new architecture.
+package monitoring
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/membership"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+)
+
+// VoteProto is the rchannel protocol for suspicion corroboration votes.
+const VoteProto = "mon.vote"
+
+type voteMsg struct {
+	Target proc.ID
+}
+
+func init() {
+	msg.Register(voteMsg{})
+}
+
+// Policy configures when the monitor converts suspicions into exclusions.
+type Policy struct {
+	// Threshold is the number of distinct processes (including this one)
+	// that must suspect a peer before it is excluded. 1 means exclude on
+	// local suspicion alone.
+	Threshold int
+	// UseOutputTrigger also counts the reliable channel's output-triggered
+	// suspicion as a local vote.
+	UseOutputTrigger bool
+	// PollEvery bounds reaction latency to state changes.
+	PollEvery time.Duration
+}
+
+// DefaultPolicy requires a simple local long-timeout suspicion.
+func DefaultPolicy() Policy {
+	return Policy{Threshold: 1, UseOutputTrigger: false, PollEvery: 5 * time.Millisecond}
+}
+
+// Monitor observes the long-timeout failure detector subscription and the
+// reliable channel, and excludes peers via the membership service.
+type Monitor struct {
+	ep     *rchannel.Endpoint
+	sub    *fd.Subscription
+	memb   *membership.Service
+	policy Policy
+	self   proc.ID
+
+	mu       sync.Mutex
+	votes    map[proc.ID]map[proc.ID]struct{} // target -> voters
+	voted    map[proc.ID]bool                 // targets this process voted for
+	excluded map[proc.ID]bool
+	started  bool
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// New creates a monitor. sub must be a failure detector subscription with
+// the *long* (exclusion) timeout.
+func New(ep *rchannel.Endpoint, sub *fd.Subscription, memb *membership.Service, policy Policy) *Monitor {
+	if policy.Threshold < 1 {
+		policy.Threshold = 1
+	}
+	if policy.PollEvery <= 0 {
+		policy.PollEvery = 5 * time.Millisecond
+	}
+	m := &Monitor{
+		ep:       ep,
+		sub:      sub,
+		memb:     memb,
+		policy:   policy,
+		self:     ep.Self(),
+		votes:    make(map[proc.ID]map[proc.ID]struct{}),
+		voted:    make(map[proc.ID]bool),
+		excluded: make(map[proc.ID]bool),
+		stop:     make(chan struct{}),
+	}
+	ep.Handle(VoteProto, m.onVote)
+	if policy.UseOutputTrigger {
+		ep.OnStuck(func(peer proc.ID, _ time.Duration) {
+			m.castVote(peer)
+		})
+	}
+	return m
+}
+
+// Start begins monitoring (start_monitor in Figure 9).
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	if m.started {
+		m.mu.Unlock()
+		return
+	}
+	m.started = true
+	m.mu.Unlock()
+	m.done.Add(1)
+	go m.loop()
+}
+
+// Stop halts monitoring (stop_monitor in Figure 9).
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	if !m.started {
+		m.mu.Unlock()
+		return
+	}
+	select {
+	case <-m.stop:
+		m.mu.Unlock()
+		m.done.Wait()
+		return
+	default:
+	}
+	close(m.stop)
+	m.mu.Unlock()
+	m.done.Wait()
+}
+
+func (m *Monitor) loop() {
+	defer m.done.Done()
+	ticker := time.NewTicker(m.policy.PollEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case ev := <-m.sub.Events():
+			if ev.Suspected {
+				m.castVote(ev.Peer)
+			}
+		case <-ticker.C:
+			// Sticky state poll: events may have been dropped.
+			for _, p := range m.sub.Suspects() {
+				m.castVote(p)
+			}
+		}
+	}
+}
+
+// castVote records a local suspicion of target, gossips it, and excludes the
+// target if the threshold is met.
+func (m *Monitor) castVote(target proc.ID) {
+	if target == m.self {
+		return
+	}
+	view := m.memb.View()
+	if !view.Contains(target) {
+		return
+	}
+	m.mu.Lock()
+	if m.excluded[target] || m.voted[target] {
+		m.mu.Unlock()
+		return
+	}
+	m.voted[target] = true
+	m.addVoteLocked(target, m.self)
+	reached := len(m.votes[target]) >= m.policy.Threshold
+	m.mu.Unlock()
+
+	// Corroborate with the other members' monitoring components
+	// ("the monitoring component of p may interact with the monitoring
+	// component of other processes", Section 3.3.2).
+	if m.policy.Threshold > 1 {
+		for _, peer := range view.Members {
+			if peer != m.self && peer != target {
+				_ = m.ep.Send(peer, VoteProto, voteMsg{Target: target})
+			}
+		}
+	}
+	if reached {
+		m.exclude(target)
+	}
+}
+
+func (m *Monitor) onVote(from proc.ID, body any) {
+	v, ok := body.(voteMsg)
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	if m.excluded[v.Target] {
+		m.mu.Unlock()
+		return
+	}
+	m.addVoteLocked(v.Target, from)
+	reached := len(m.votes[v.Target]) >= m.policy.Threshold
+	m.mu.Unlock()
+	if reached {
+		m.exclude(v.Target)
+	}
+}
+
+func (m *Monitor) addVoteLocked(target, voter proc.ID) {
+	set, ok := m.votes[target]
+	if !ok {
+		set = make(map[proc.ID]struct{})
+		m.votes[target] = set
+	}
+	set[voter] = struct{}{}
+}
+
+func (m *Monitor) exclude(target proc.ID) {
+	m.mu.Lock()
+	if m.excluded[target] {
+		m.mu.Unlock()
+		return
+	}
+	m.excluded[target] = true
+	m.mu.Unlock()
+	_ = m.memb.Remove(target)
+	// Once excluded, buffered messages for the target may be discarded
+	// (output-triggered suspicion rationale, Section 3.3.2).
+	m.ep.DiscardPeer(target)
+}
+
+// Excluded reports whether the monitor has excluded p (test helper).
+func (m *Monitor) Excluded(p proc.ID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.excluded[p]
+}

@@ -1,0 +1,185 @@
+package monitoring
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fd"
+	"repro/internal/membership"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+// orderedBus fakes the generic broadcast used by the membership services:
+// operations are applied to every registered service in broadcast order.
+type orderedBus struct {
+	mu   sync.Mutex
+	subs []*membership.Service
+}
+
+func (b *orderedBus) Broadcast(_ string, body any) error {
+	op := body.(membership.Op)
+	b.mu.Lock()
+	subs := append([]*membership.Service(nil), b.subs...)
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.Apply(op)
+	}
+	return nil
+}
+
+type rig struct {
+	net  *transport.Network
+	bus  *orderedBus
+	mons map[proc.ID]*Monitor
+	memb map[proc.ID]*membership.Service
+}
+
+func newRig(t *testing.T, ids []proc.ID, policy Policy, fdTimeout time.Duration) *rig {
+	t.Helper()
+	network := transport.NewNetwork(transport.WithDelay(0, time.Millisecond), transport.WithSeed(17))
+	r := &rig{
+		net:  network,
+		bus:  &orderedBus{},
+		mons: make(map[proc.ID]*Monitor),
+		memb: make(map[proc.ID]*membership.Service),
+	}
+	initial := proc.NewView(ids...)
+	var cleanup []func()
+	for _, id := range ids {
+		ep := rchannel.New(network.Endpoint(id), rchannel.WithRTO(5*time.Millisecond))
+		det := fd.New(ep, ids, fd.WithInterval(2*time.Millisecond), fd.WithCheckEvery(1*time.Millisecond))
+		sub := det.Subscribe(fdTimeout)
+		ms := membership.New(r.bus, ep, initial, membership.Snapshotter{})
+		r.bus.subs = append(r.bus.subs, ms)
+		mon := New(ep, sub, ms, policy)
+		ep.Start()
+		det.Start()
+		mon.Start()
+		r.mons[id] = mon
+		r.memb[id] = ms
+		cleanup = append(cleanup, func() { mon.Stop(); det.Stop(); ep.Stop() })
+	}
+	t.Cleanup(func() {
+		for _, fn := range cleanup {
+			fn()
+		}
+		network.Shutdown()
+	})
+	return r
+}
+
+func waitExcluded(t *testing.T, ms *membership.Service, p proc.ID, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for ms.View().Contains(p) {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never excluded: %v", p, ms.View())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestLocalPolicyExcludesCrashed(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids, Policy{Threshold: 1, PollEvery: 2 * time.Millisecond}, 30*time.Millisecond)
+	r.net.Crash("c")
+	waitExcluded(t, r.memb["a"], "c", 10*time.Second)
+	if !r.mons["a"].Excluded("c") && !r.mons["b"].Excluded("c") {
+		t.Fatal("no monitor recorded the exclusion")
+	}
+}
+
+func TestHealthyPeersNeverExcluded(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids, Policy{Threshold: 1, PollEvery: 2 * time.Millisecond}, 60*time.Millisecond)
+	time.Sleep(200 * time.Millisecond)
+	for _, id := range ids {
+		if got := r.memb[id].View(); got.Seq != 0 {
+			t.Fatalf("spurious view change at %s: %v", id, got)
+		}
+	}
+}
+
+// TestThresholdPolicy requires corroboration: with Threshold 2, one
+// process's local suspicion alone must not exclude; a real crash (suspected
+// by everyone) must.
+func TestThresholdPolicy(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	// A generous timeout so that scheduler hiccups on a loaded test machine
+	// cannot produce a second, unintended suspicion at b.
+	r := newRig(t, ids, Policy{Threshold: 2, PollEvery: 2 * time.Millisecond}, 150*time.Millisecond)
+
+	// Only a's inbound link from c is cut: only a suspects c.
+	r.net.CutLink("a", "c")
+	time.Sleep(400 * time.Millisecond)
+	if !r.memb["b"].View().Contains("c") {
+		t.Fatal("single suspicion excluded c despite threshold 2")
+	}
+	r.net.HealLink("a", "c")
+	time.Sleep(200 * time.Millisecond)
+
+	// Now crash c for real: a and b both suspect, threshold reached.
+	r.net.Crash("c")
+	waitExcluded(t, r.memb["a"], "c", 10*time.Second)
+}
+
+// TestOutputTriggeredExclusion drives exclusion from the reliable channel's
+// stuck-buffer notification rather than from heartbeat timeouts
+// (Section 3.3.2, [12]).
+func TestOutputTriggeredExclusion(t *testing.T) {
+	network := transport.NewNetwork(transport.WithDelay(0, time.Millisecond), transport.WithSeed(19))
+	ids := proc.IDs("a", "b")
+	initial := proc.NewView(ids...)
+	bus := &orderedBus{}
+
+	ep := rchannel.New(network.Endpoint("a"),
+		rchannel.WithRTO(5*time.Millisecond),
+		rchannel.WithStuckAfter(30*time.Millisecond))
+	det := fd.New(ep, ids, fd.WithInterval(2*time.Millisecond))
+	sub := det.Subscribe(time.Hour) // heartbeat path disabled in practice
+	ms := membership.New(bus, ep, initial, membership.Snapshotter{})
+	bus.subs = append(bus.subs, ms)
+	mon := New(ep, sub, ms, Policy{Threshold: 1, UseOutputTrigger: true, PollEvery: 2 * time.Millisecond})
+	ep.Start()
+	det.Start()
+	mon.Start()
+	t.Cleanup(func() {
+		mon.Stop()
+		det.Stop()
+		ep.Stop()
+		network.Shutdown()
+	})
+
+	network.Crash("b")
+	// A buffered message to b can never be acknowledged...
+	if err := ep.Send("b", "app", membership.Op{Kind: 1, P: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...so the output trigger must eventually fire and exclude b, allowing
+	// the buffer to be discarded.
+	waitExcluded(t, ms, "b", 10*time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for ep.PendingTo("b") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("buffer to excluded peer not discarded: %d", ep.PendingTo("b"))
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestSelfIsNeverExcluded(t *testing.T) {
+	ids := proc.IDs("a", "b")
+	r := newRig(t, ids, Policy{Threshold: 1, PollEvery: 2 * time.Millisecond}, 30*time.Millisecond)
+	// Even if everything else is silent, a must not exclude itself.
+	// Stop b's monitor first: a crashed process stops acting (the fake bus
+	// would otherwise let the "dead" b keep voting).
+	r.mons["b"].Stop()
+	r.net.Crash("b")
+	waitExcluded(t, r.memb["a"], "b", 10*time.Second)
+	if !r.memb["a"].View().Contains("a") {
+		t.Fatal("process excluded itself")
+	}
+}

@@ -1,0 +1,45 @@
+// Package msg provides the wire codec shared by every protocol layer.
+//
+// All layers exchange Go values encoded with encoding/gob. Using a real
+// codec (rather than passing pointers through the in-memory transport)
+// guarantees that no two processes ever alias mutable state, exactly as if
+// they were on different machines, and lets the same message types travel
+// over the TCP transport unchanged.
+package msg
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// envelope is the concrete top-level type handed to gob; the payload itself
+// is an interface value whose dynamic type must have been registered.
+type envelope struct {
+	V any
+}
+
+// Register makes a concrete message type known to the codec. It must be
+// called (typically from the defining package's registration hook) before a
+// value of that type is encoded or decoded.
+func Register(v any) {
+	gob.Register(v)
+}
+
+// Encode serialises v. The dynamic type of v must be registered.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+		return nil, fmt.Errorf("msg encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserialises a value previously produced by Encode.
+func Decode(data []byte) (any, error) {
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("msg decode: %w", err)
+	}
+	return env.V, nil
+}

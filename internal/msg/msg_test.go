@@ -1,0 +1,104 @@
+package msg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type codecProbe struct {
+	A int64
+	B string
+	C []byte
+	D map[string]uint32
+}
+
+type nestedProbe struct {
+	Inner codecProbe
+	Any   any
+}
+
+func init() {
+	Register(codecProbe{})
+	Register(nestedProbe{})
+}
+
+func TestRoundTrip(t *testing.T) {
+	in := codecProbe{A: -42, B: "hello", C: []byte{1, 2, 3}, D: map[string]uint32{"x": 7}}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.(codecProbe)
+	if !ok {
+		t.Fatalf("decoded type %T", out)
+	}
+	if got.A != in.A || got.B != in.B || string(got.C) != string(in.C) || got.D["x"] != 7 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestNestedAny(t *testing.T) {
+	in := nestedProbe{Inner: codecProbe{A: 1}, Any: codecProbe{B: "nested"}}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.(nestedProbe)
+	inner, ok := got.Any.(codecProbe)
+	if !ok || inner.B != "nested" {
+		t.Fatalf("nested any lost: %+v", got)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not gob at all")); err == nil {
+		t.Fatal("expected error decoding garbage")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("expected error decoding nil")
+	}
+}
+
+func TestEncodeUnregistered(t *testing.T) {
+	type unregistered struct{ X int }
+	if _, err := Encode(unregistered{X: 1}); err == nil {
+		t.Fatal("expected error for unregistered type")
+	}
+}
+
+// Property: every value round-trips unchanged, and decoding never aliases
+// the encoder's buffers.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(a int64, b string, c []byte) bool {
+		in := codecProbe{A: a, B: b, C: c}
+		data, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(data)
+		if err != nil {
+			return false
+		}
+		got, ok := out.(codecProbe)
+		if !ok || got.A != a || got.B != b || len(got.C) != len(c) {
+			return false
+		}
+		for i := range c {
+			if got.C[i] != c[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

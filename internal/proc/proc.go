@@ -1,0 +1,148 @@
+// Package proc defines process identities and group views.
+//
+// Views follow the paper's convention (Section 3.2.3, footnote 10): a view
+// is a *list* of processes, not a set. The process at the head of the list
+// is the primary. A "primary change" rotates the list without excluding the
+// old primary; an exclusion removes a process from the list.
+package proc
+
+import (
+	"slices"
+	"strings"
+)
+
+// ID identifies a process. IDs are comparable and usable as map keys.
+type ID string
+
+// View is an ordered list of group members, delivered to applications by the
+// membership service. Seq increases by one with every installed view, and
+// all processes of the primary partition observe the same sequence of views.
+type View struct {
+	Seq     uint64
+	Members []ID
+}
+
+// NewView returns the initial view (Seq 0) over the given members.
+// The member slice is copied.
+func NewView(members ...ID) View {
+	return View{Members: slices.Clone(members)}
+}
+
+// Primary returns the head of the member list, or "" for an empty view.
+func (v View) Primary() ID {
+	if len(v.Members) == 0 {
+		return ""
+	}
+	return v.Members[0]
+}
+
+// Contains reports whether id is a member of the view.
+func (v View) Contains(id ID) bool {
+	return slices.Contains(v.Members, id)
+}
+
+// Index returns the position of id in the view, or -1 if absent.
+func (v View) Index(id ID) int {
+	return slices.Index(v.Members, id)
+}
+
+// Clone returns a deep copy of the view.
+func (v View) Clone() View {
+	return View{Seq: v.Seq, Members: slices.Clone(v.Members)}
+}
+
+// Remove returns the successor view without id. If id is not a member the
+// view is returned unchanged (same Seq): removing an absent process is a
+// no-op so that duplicate exclusion requests converge.
+func (v View) Remove(id ID) View {
+	i := v.Index(id)
+	if i < 0 {
+		return v
+	}
+	members := make([]ID, 0, len(v.Members)-1)
+	members = append(members, v.Members[:i]...)
+	members = append(members, v.Members[i+1:]...)
+	return View{Seq: v.Seq + 1, Members: members}
+}
+
+// Add returns the successor view with id appended. Adding an existing
+// member is a no-op (same Seq).
+func (v View) Add(id ID) View {
+	if v.Contains(id) {
+		return v
+	}
+	members := make([]ID, 0, len(v.Members)+1)
+	members = append(members, v.Members...)
+	members = append(members, id)
+	return View{Seq: v.Seq + 1, Members: members}
+}
+
+// RotatePast returns the successor view with the old primary moved to the
+// tail, provided the current primary is old. If the primary has already
+// changed (e.g. two concurrent primary-change messages for the same process,
+// or a stale suspicion), the view is returned unchanged, which makes
+// primary-change requests idempotent under total order.
+//
+// This is exactly the Figure 8 transition: primary-change(s1) turns
+// [s1 s2 s3] into [s2 s3 s1] and does not exclude s1.
+func (v View) RotatePast(old ID) View {
+	if len(v.Members) < 2 || v.Primary() != old {
+		return v
+	}
+	members := make([]ID, 0, len(v.Members))
+	members = append(members, v.Members[1:]...)
+	members = append(members, v.Members[0])
+	return View{Seq: v.Seq + 1, Members: members}
+}
+
+// Equal reports whether two views have the same sequence number and the same
+// member list in the same order.
+func (v View) Equal(o View) bool {
+	return v.Seq == o.Seq && slices.Equal(v.Members, o.Members)
+}
+
+// String renders the view as "v3[a b c]".
+func (v View) String() string {
+	var b strings.Builder
+	b.WriteByte('v')
+	b.WriteString(uintToString(v.Seq))
+	b.WriteByte('[')
+	for i, m := range v.Members {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(string(m))
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Majority returns the smallest integer strictly greater than n/2.
+// Quorums of this size pairwise intersect, which is the basis of the
+// consensus and generic broadcast safety arguments (f < n/2).
+func Majority(n int) int {
+	return n/2 + 1
+}
+
+// IDs builds an []ID from strings, a convenience for tests and examples.
+func IDs(names ...string) []ID {
+	ids := make([]ID, len(names))
+	for i, n := range names {
+		ids[i] = ID(n)
+	}
+	return ids
+}
+
+func uintToString(u uint64) string {
+	if u == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(buf[i:])
+}

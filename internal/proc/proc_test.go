@@ -1,0 +1,129 @@
+package proc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestViewBasics(t *testing.T) {
+	v := NewView("a", "b", "c")
+	if v.Seq != 0 {
+		t.Fatalf("initial seq %d", v.Seq)
+	}
+	if v.Primary() != "a" {
+		t.Fatalf("primary %s", v.Primary())
+	}
+	if !v.Contains("b") || v.Contains("x") {
+		t.Fatal("contains wrong")
+	}
+	if v.Index("c") != 2 || v.Index("x") != -1 {
+		t.Fatal("index wrong")
+	}
+}
+
+func TestViewEmptyPrimary(t *testing.T) {
+	var v View
+	if v.Primary() != "" {
+		t.Fatalf("empty view primary %q", v.Primary())
+	}
+}
+
+func TestViewRemove(t *testing.T) {
+	v := NewView("a", "b", "c")
+	v2 := v.Remove("b")
+	if v2.Seq != 1 || v2.Contains("b") || len(v2.Members) != 2 {
+		t.Fatalf("remove: %v", v2)
+	}
+	// Removing an absent member is a no-op with unchanged Seq.
+	v3 := v2.Remove("b")
+	if !v3.Equal(v2) {
+		t.Fatalf("remove absent changed view: %v", v3)
+	}
+	// Original view untouched (immutability).
+	if !v.Contains("b") {
+		t.Fatal("Remove mutated receiver")
+	}
+}
+
+func TestViewAdd(t *testing.T) {
+	v := NewView("a")
+	v2 := v.Add("b")
+	if v2.Seq != 1 || !v2.Contains("b") || v2.Members[1] != "b" {
+		t.Fatalf("add: %v", v2)
+	}
+	if v3 := v2.Add("b"); !v3.Equal(v2) {
+		t.Fatalf("add existing changed view: %v", v3)
+	}
+}
+
+func TestViewRotatePast(t *testing.T) {
+	v := NewView("s1", "s2", "s3")
+	v2 := v.RotatePast("s1")
+	want := []ID{"s2", "s3", "s1"}
+	if v2.Seq != 1 {
+		t.Fatalf("seq %d", v2.Seq)
+	}
+	for i, m := range want {
+		if v2.Members[i] != m {
+			t.Fatalf("rotate: %v want %v", v2.Members, want)
+		}
+	}
+	// Rotating past a non-primary is a no-op (idempotence under total
+	// order of duplicate primary-change requests).
+	if v3 := v2.RotatePast("s1"); !v3.Equal(v2) {
+		t.Fatalf("rotate stale changed view: %v", v3)
+	}
+	// Single-member views never rotate.
+	single := NewView("x")
+	if got := single.RotatePast("x"); !got.Equal(single) {
+		t.Fatalf("single rotate: %v", got)
+	}
+}
+
+func TestMajority(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 6: 4, 7: 4}
+	for n, want := range cases {
+		if got := Majority(n); got != want {
+			t.Errorf("Majority(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: two majorities of the same universe always intersect — the
+// foundation of every quorum argument in the stack.
+func TestMajoritiesIntersect(t *testing.T) {
+	prop := func(n uint8, aBits, bBits uint64) bool {
+		size := int(n%7) + 1
+		m := Majority(size)
+		var a, b []int
+		for i := 0; i < size; i++ {
+			if aBits&(1<<i) != 0 {
+				a = append(a, i)
+			}
+			if bBits&(1<<i) != 0 {
+				b = append(b, i)
+			}
+		}
+		if len(a) < m || len(b) < m {
+			return true // not both quorums; nothing to check
+		}
+		for _, x := range a {
+			for _, y := range b {
+				if x == y {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewString(t *testing.T) {
+	v := View{Seq: 12, Members: IDs("a", "b")}
+	if got := v.String(); got != "v12[a b]" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+package rbcast
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+type probe struct {
+	S string
+}
+
+func init() {
+	msg.Register(probe{})
+}
+
+type rig struct {
+	net *transport.Network
+	bcs map[proc.ID]*Broadcaster
+	mu  sync.Mutex
+	got map[proc.ID][]string
+}
+
+func newRig(t *testing.T, ids []proc.ID, netOpts ...transport.NetOption) *rig {
+	t.Helper()
+	if len(netOpts) == 0 {
+		netOpts = []transport.NetOption{transport.WithDelay(0, time.Millisecond), transport.WithSeed(6)}
+	}
+	network := transport.NewNetwork(netOpts...)
+	r := &rig{net: network, bcs: make(map[proc.ID]*Broadcaster), got: make(map[proc.ID][]string)}
+	var eps []*rchannel.Endpoint
+	for _, id := range ids {
+		self := id
+		ep := rchannel.New(network.Endpoint(id), rchannel.WithRTO(5*time.Millisecond))
+		b := New(ep, "rb", ids, func(d Delivery) {
+			r.mu.Lock()
+			r.got[self] = append(r.got[self], d.Body.(probe).S)
+			r.mu.Unlock()
+		})
+		ep.Start()
+		b.Start()
+		r.bcs[id] = b
+		eps = append(eps, ep)
+	}
+	t.Cleanup(func() {
+		for _, b := range r.bcs {
+			b.Stop()
+		}
+		for _, ep := range eps {
+			ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return r
+}
+
+func (r *rig) deliveredAt(id proc.ID) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.got[id]))
+	copy(out, r.got[id])
+	return out
+}
+
+func (r *rig) waitCount(t *testing.T, id proc.ID, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for len(r.deliveredAt(id)) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s delivered %d, want %d", id, len(r.deliveredAt(id)), want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestAllCorrectDeliver(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids)
+	const total = 20
+	for i := 0; i < total; i++ {
+		if err := r.bcs["a"].Broadcast(probe{S: fmt.Sprintf("m%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		r.waitCount(t, id, total)
+	}
+}
+
+func TestFIFOPerOrigin(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids, transport.WithDelay(0, 3*time.Millisecond), transport.WithSeed(9))
+	const total = 30
+	for i := 0; i < total; i++ {
+		_ = r.bcs["b"].Broadcast(probe{S: fmt.Sprintf("m%d", i)})
+	}
+	for _, id := range ids {
+		r.waitCount(t, id, total)
+		got := r.deliveredAt(id)
+		for i := 0; i < total; i++ {
+			if got[i] != fmt.Sprintf("m%d", i) {
+				t.Fatalf("%s: FIFO violated at %d: %q", id, i, got[i])
+			}
+		}
+	}
+}
+
+func TestNoDuplicatesUnderLoss(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids, transport.WithLoss(0.3), transport.WithSeed(8), transport.WithDelay(0, time.Millisecond))
+	const total = 15
+	for i := 0; i < total; i++ {
+		_ = r.bcs["a"].Broadcast(probe{S: fmt.Sprintf("m%d", i)})
+	}
+	for _, id := range ids {
+		r.waitCount(t, id, total)
+	}
+	time.Sleep(100 * time.Millisecond) // allow any duplicate to surface
+	for _, id := range ids {
+		got := r.deliveredAt(id)
+		seen := make(map[string]bool)
+		for _, s := range got {
+			if seen[s] {
+				t.Fatalf("%s delivered %q twice", id, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestAgreementAfterOriginCrash: the origin reaches only one member before
+// crashing; the relay must spread the message to everyone (agreement).
+func TestAgreementAfterOriginCrash(t *testing.T) {
+	ids := proc.IDs("a", "b", "c")
+	r := newRig(t, ids)
+	// a can reach b but not c; then a crashes.
+	r.net.CutLink("a", "c")
+	if err := r.bcs["a"].Broadcast(probe{S: "half"}); err != nil {
+		t.Fatal(err)
+	}
+	r.waitCount(t, "b", 1)
+	r.net.Crash("a")
+	// c must still deliver through b's relay.
+	r.waitCount(t, "c", 1)
+	if got := r.deliveredAt("c"); got[0] != "half" {
+		t.Fatalf("c delivered %v", got)
+	}
+}

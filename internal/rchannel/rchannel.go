@@ -1,0 +1,496 @@
+// Package rchannel implements the reliable channel component of the
+// architecture (Figure 9, Section 3.3.1).
+//
+// Property: if a correct process p sends message m to a correct process q,
+// then q eventually receives m. On top of that the implementation provides
+// per-peer FIFO delivery and duplicate suppression, which the layers above
+// (reliable broadcast, consensus, generic broadcast) rely on. The paper
+// implements this abstraction on top of TCP [15]; here it is built from
+// sequence numbers, cumulative acknowledgements and retransmission over the
+// unreliable transport, so that it works identically on the simulated
+// network and on TCP.
+//
+// The component also produces "output-triggered suspicions" [12]
+// (Section 3.3.2): when a message stays unacknowledged longer than a
+// threshold, the registered OnStuck callback fires so that the monitoring
+// component can decide to exclude the silent peer and let the sender discard
+// its buffer.
+package rchannel
+
+import (
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/transport"
+)
+
+const (
+	kindData uint8 = iota + 1
+	kindAck
+	kindDgram
+)
+
+// wire is the single frame type exchanged over the transport.
+type wire struct {
+	Kind  uint8
+	Seq   uint64 // data sequence number (kindData)
+	Ack   uint64 // cumulative acknowledgement
+	Proto string // demultiplexing key for the layer above
+	Body  any
+}
+
+// RegisterWireTypes registers the channel's frame type with the codec.
+// It is called once from this package.
+func init() {
+	msg.Register(wire{})
+}
+
+// Handler consumes a message delivered to a protocol. Handlers run on the
+// endpoint's dispatch goroutine: they must not block for long and must not
+// call back into the Endpoint synchronously in a way that can deadlock
+// (Send is safe; Stop is not).
+type Handler func(from proc.ID, body any)
+
+// StuckFunc is notified when the oldest unacknowledged message for a peer
+// exceeds the stuck threshold (output-triggered suspicion).
+type StuckFunc func(peer proc.ID, age time.Duration)
+
+// Option configures an Endpoint.
+type Option func(*Endpoint)
+
+// WithRTO sets the retransmission timeout.
+func WithRTO(d time.Duration) Option {
+	return func(e *Endpoint) { e.rto = d }
+}
+
+// WithStuckAfter sets the output-triggered suspicion threshold. Zero
+// disables stuck detection.
+func WithStuckAfter(d time.Duration) Option {
+	return func(e *Endpoint) { e.stuckAfter = d }
+}
+
+// WithLogger sets a logger for diagnostics; by default logs are discarded.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Endpoint) { e.log = l }
+}
+
+// Endpoint is a process's reliable channel multiplexer. A single Endpoint
+// carries every protocol of the stack, demultiplexed by protocol name.
+type Endpoint struct {
+	tr         transport.Transport
+	self       proc.ID
+	rto        time.Duration
+	stuckAfter time.Duration
+	log        *slog.Logger
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	onStuck  StuckFunc
+	out      map[proc.ID]*outState
+	in       map[proc.ID]*inState
+	started  bool
+
+	loopback chan wire // local deliveries, so handlers always run on dispatch
+
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+type outState struct {
+	nextSeq uint64
+	unacked map[uint64]*pending
+}
+
+type pending struct {
+	frame     []byte
+	firstSent time.Time
+	lastSent  time.Time
+	notified  bool
+}
+
+type inState struct {
+	expected uint64 // next in-order sequence to deliver
+	oob      map[uint64]wire
+}
+
+// New creates an endpoint over the given transport.
+func New(tr transport.Transport, opts ...Option) *Endpoint {
+	e := &Endpoint{
+		tr:       tr,
+		self:     tr.Self(),
+		rto:      25 * time.Millisecond,
+		log:      slog.New(slog.DiscardHandler),
+		handlers: make(map[string]Handler),
+		out:      make(map[proc.ID]*outState),
+		in:       make(map[proc.ID]*inState),
+		loopback: make(chan wire, defaultLoopback),
+		stop:     make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+const defaultLoopback = 1024
+
+// Self returns the local process ID.
+func (e *Endpoint) Self() proc.ID { return e.self }
+
+// Handle registers the handler for a protocol. It must be called before
+// Start; registering twice for the same protocol panics (a wiring bug).
+func (e *Endpoint) Handle(proto string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.started {
+		panic("rchannel: Handle after Start")
+	}
+	if _, dup := e.handlers[proto]; dup {
+		panic(fmt.Sprintf("rchannel: duplicate handler for %q", proto))
+	}
+	e.handlers[proto] = h
+}
+
+// OnStuck registers the output-triggered suspicion callback.
+func (e *Endpoint) OnStuck(fn StuckFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.onStuck = fn
+}
+
+// Start launches the dispatch and retransmission goroutines.
+func (e *Endpoint) Start() {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	e.done.Add(2)
+	go e.dispatchLoop()
+	go e.retransmitLoop()
+}
+
+// Stop terminates the endpoint's goroutines and closes the transport.
+func (e *Endpoint) Stop() {
+	e.mu.Lock()
+	if !e.started {
+		e.mu.Unlock()
+		return
+	}
+	select {
+	case <-e.stop:
+		e.mu.Unlock()
+		e.done.Wait()
+		return
+	default:
+	}
+	close(e.stop)
+	e.mu.Unlock()
+	e.tr.Close()
+	e.done.Wait()
+}
+
+// Send transmits body to the destination with reliable FIFO semantics.
+func (e *Endpoint) Send(to proc.ID, proto string, body any) error {
+	if to == e.self {
+		return e.sendLocal(wire{Kind: kindData, Proto: proto, Body: body})
+	}
+	e.mu.Lock()
+	out := e.outLocked(to)
+	out.nextSeq++
+	w := wire{Kind: kindData, Seq: out.nextSeq, Ack: e.inAckLocked(to), Proto: proto, Body: body}
+	frame, err := msg.Encode(w)
+	if err != nil {
+		out.nextSeq--
+		e.mu.Unlock()
+		return fmt.Errorf("rchannel send to %s: %w", to, err)
+	}
+	now := time.Now()
+	out.unacked[w.Seq] = &pending{frame: frame, firstSent: now, lastSent: now}
+	e.mu.Unlock()
+	e.tr.Send(to, frame)
+	return nil
+}
+
+// SendDatagram transmits body unreliably (no sequencing, no retransmission).
+// The failure detector uses this path for heartbeats so that heartbeats are
+// never artificially "repaired" by retransmission.
+func (e *Endpoint) SendDatagram(to proc.ID, proto string, body any) error {
+	w := wire{Kind: kindDgram, Proto: proto, Body: body}
+	if to == e.self {
+		return e.sendLocal(w)
+	}
+	frame, err := msg.Encode(w)
+	if err != nil {
+		return fmt.Errorf("rchannel datagram to %s: %w", to, err)
+	}
+	e.tr.Send(to, frame)
+	return nil
+}
+
+// SendAll sends reliably to every destination in dests (including self if
+// listed). It returns the first encoding error encountered, if any.
+func (e *Endpoint) SendAll(dests []proc.ID, proto string, body any) error {
+	var firstErr error
+	for _, d := range dests {
+		if err := e.Send(d, proto, body); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (e *Endpoint) sendLocal(w wire) error {
+	// Round-trip through the codec so local and remote deliveries share
+	// aliasing semantics.
+	frame, err := msg.Encode(w)
+	if err != nil {
+		return fmt.Errorf("rchannel loopback: %w", err)
+	}
+	decoded, err := msg.Decode(frame)
+	if err != nil {
+		return fmt.Errorf("rchannel loopback decode: %w", err)
+	}
+	dw, ok := decoded.(wire)
+	if !ok {
+		return fmt.Errorf("rchannel loopback: unexpected frame type %T", decoded)
+	}
+	select {
+	case e.loopback <- dw:
+		return nil
+	case <-e.stop:
+		return nil
+	}
+}
+
+func (e *Endpoint) outLocked(to proc.ID) *outState {
+	out, ok := e.out[to]
+	if !ok {
+		out = &outState{unacked: make(map[uint64]*pending)}
+		e.out[to] = out
+	}
+	return out
+}
+
+func (e *Endpoint) inLocked(from proc.ID) *inState {
+	in, ok := e.in[from]
+	if !ok {
+		in = &inState{expected: 1, oob: make(map[uint64]wire)}
+		e.in[from] = in
+	}
+	return in
+}
+
+// inAckLocked returns the cumulative ack value for from (highest in-order
+// sequence received).
+func (e *Endpoint) inAckLocked(from proc.ID) uint64 {
+	return e.inLocked(from).expected - 1
+}
+
+func (e *Endpoint) dispatchLoop() {
+	defer e.done.Done()
+	rx := e.tr.Receive()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case w := <-e.loopback:
+			e.dispatch(e.self, w.Proto, w.Body)
+		case pkt, ok := <-rx:
+			if !ok {
+				return
+			}
+			e.handlePacket(pkt)
+		}
+	}
+}
+
+func (e *Endpoint) handlePacket(pkt transport.Packet) {
+	decoded, err := msg.Decode(pkt.Data)
+	if err != nil {
+		e.log.Warn("rchannel: undecodable packet", "from", pkt.From, "err", err)
+		return
+	}
+	w, ok := decoded.(wire)
+	if !ok {
+		e.log.Warn("rchannel: unexpected frame type", "from", pkt.From, "type", fmt.Sprintf("%T", decoded))
+		return
+	}
+	switch w.Kind {
+	case kindDgram:
+		e.dispatch(pkt.From, w.Proto, w.Body)
+	case kindAck:
+		e.applyAck(pkt.From, w.Ack)
+	case kindData:
+		e.applyAck(pkt.From, w.Ack)
+		e.handleData(pkt.From, w)
+	default:
+		e.log.Warn("rchannel: unknown frame kind", "kind", w.Kind)
+	}
+}
+
+func (e *Endpoint) applyAck(from proc.ID, ack uint64) {
+	if ack == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out, ok := e.out[from]
+	if !ok {
+		return
+	}
+	for seq := range out.unacked {
+		if seq <= ack {
+			delete(out.unacked, seq)
+		}
+	}
+}
+
+func (e *Endpoint) handleData(from proc.ID, w wire) {
+	type delivery struct {
+		proto string
+		body  any
+	}
+	var deliveries []delivery
+
+	e.mu.Lock()
+	in := e.inLocked(from)
+	switch {
+	case w.Seq < in.expected:
+		// Duplicate: re-acknowledge below.
+	case w.Seq == in.expected:
+		deliveries = append(deliveries, delivery{w.Proto, w.Body})
+		in.expected++
+		for {
+			next, ok := in.oob[in.expected]
+			if !ok {
+				break
+			}
+			delete(in.oob, in.expected)
+			deliveries = append(deliveries, delivery{next.Proto, next.Body})
+			in.expected++
+		}
+	default:
+		if _, dup := in.oob[w.Seq]; !dup {
+			in.oob[w.Seq] = w
+		}
+	}
+	ack := in.expected - 1
+	e.mu.Unlock()
+
+	e.sendAck(from, ack)
+	for _, d := range deliveries {
+		e.dispatch(from, d.proto, d.body)
+	}
+}
+
+func (e *Endpoint) sendAck(to proc.ID, ack uint64) {
+	frame, err := msg.Encode(wire{Kind: kindAck, Ack: ack})
+	if err != nil {
+		e.log.Warn("rchannel: encode ack", "err", err)
+		return
+	}
+	e.tr.Send(to, frame)
+}
+
+func (e *Endpoint) dispatch(from proc.ID, proto string, body any) {
+	e.mu.Lock()
+	h := e.handlers[proto]
+	e.mu.Unlock()
+	if h == nil {
+		e.log.Debug("rchannel: no handler", "proto", proto)
+		return
+	}
+	h(from, body)
+}
+
+func (e *Endpoint) retransmitLoop() {
+	defer e.done.Done()
+	interval := e.rto / 2
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.retransmitPass()
+		}
+	}
+}
+
+func (e *Endpoint) retransmitPass() {
+	now := time.Now()
+	type resend struct {
+		to    proc.ID
+		frame []byte
+	}
+	var (
+		resends []resend
+		stuck   []proc.ID
+		ages    []time.Duration
+		onStuck StuckFunc
+	)
+	e.mu.Lock()
+	onStuck = e.onStuck
+	for to, out := range e.out {
+		var oldest *pending
+		for _, p := range out.unacked {
+			if now.Sub(p.lastSent) >= e.rto {
+				p.lastSent = now
+				resends = append(resends, resend{to: to, frame: p.frame})
+			}
+			if oldest == nil || p.firstSent.Before(oldest.firstSent) {
+				oldest = p
+			}
+		}
+		if oldest != nil && e.stuckAfter > 0 && !oldest.notified &&
+			now.Sub(oldest.firstSent) >= e.stuckAfter {
+			oldest.notified = true
+			stuck = append(stuck, to)
+			ages = append(ages, now.Sub(oldest.firstSent))
+		}
+	}
+	e.mu.Unlock()
+
+	for _, r := range resends {
+		e.tr.Send(r.to, r.frame)
+	}
+	if onStuck != nil {
+		for i, peer := range stuck {
+			onStuck(peer, ages[i])
+		}
+	}
+}
+
+// PendingTo reports how many messages to peer are still unacknowledged,
+// exposed for tests and for the monitoring component's buffer policy.
+func (e *Endpoint) PendingTo(peer proc.ID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out, ok := e.out[peer]
+	if !ok {
+		return 0
+	}
+	return len(out.unacked)
+}
+
+// DiscardPeer drops all buffered state for peer. The monitoring component
+// calls this after peer has been excluded from the membership: once q is no
+// longer a member there is no obligation to deliver to it, so its buffered
+// messages can be discarded (Section 3.3.2).
+func (e *Endpoint) DiscardPeer(peer proc.ID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.out, peer)
+}

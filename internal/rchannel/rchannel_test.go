@@ -1,0 +1,194 @@
+package rchannel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/transport"
+)
+
+type probe struct {
+	N int
+}
+
+func init() {
+	msg.Register(probe{})
+}
+
+type rig struct {
+	net *transport.Network
+	eps map[proc.ID]*Endpoint
+}
+
+func newRig(t *testing.T, ids []proc.ID, netOpts []transport.NetOption, epOpts ...Option) *rig {
+	t.Helper()
+	network := transport.NewNetwork(netOpts...)
+	r := &rig{net: network, eps: make(map[proc.ID]*Endpoint)}
+	for _, id := range ids {
+		r.eps[id] = New(network.Endpoint(id), epOpts...)
+	}
+	t.Cleanup(func() {
+		for _, ep := range r.eps {
+			ep.Stop()
+		}
+		network.Shutdown()
+	})
+	return r
+}
+
+func TestReliableDeliveryUnderLoss(t *testing.T) {
+	r := newRig(t, proc.IDs("a", "b"),
+		[]transport.NetOption{transport.WithLoss(0.4), transport.WithSeed(5), transport.WithDelay(0, time.Millisecond)},
+		WithRTO(5*time.Millisecond))
+	var (
+		mu  sync.Mutex
+		got []int
+	)
+	r.eps["b"].Handle("t", func(from proc.ID, body any) {
+		p := body.(probe)
+		mu.Lock()
+		got = append(got, p.N)
+		mu.Unlock()
+	})
+	for _, ep := range r.eps {
+		ep.Start()
+	}
+	const total = 50
+	for i := 0; i < total; i++ {
+		if err := r.eps["a"].Send("b", "t", probe{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= total {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d under loss", n, total)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// FIFO and no duplicates despite 40% loss and retransmissions.
+	mu.Lock()
+	defer mu.Unlock()
+	for i, n := range got[:total] {
+		if n != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	r := newRig(t, proc.IDs("a"), nil)
+	done := make(chan int, 1)
+	r.eps["a"].Handle("self", func(from proc.ID, body any) {
+		if from != "a" {
+			t.Errorf("loopback from %s", from)
+		}
+		done <- body.(probe).N
+	})
+	r.eps["a"].Start()
+	if err := r.eps["a"].Send("a", "self", probe{N: 9}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-done:
+		if n != 9 {
+			t.Fatalf("got %d", n)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("loopback lost")
+	}
+}
+
+func TestDatagramIsUnreliable(t *testing.T) {
+	r := newRig(t, proc.IDs("a", "b"),
+		[]transport.NetOption{transport.WithLoss(1.0), transport.WithSeed(2)},
+		WithRTO(5*time.Millisecond))
+	r.eps["b"].Handle("d", func(proc.ID, any) { t.Error("datagram delivered through 100% loss") })
+	for _, ep := range r.eps {
+		ep.Start()
+	}
+	_ = r.eps["a"].SendDatagram("b", "d", probe{N: 1})
+	time.Sleep(50 * time.Millisecond) // retransmission would have fired by now
+	if pending := r.eps["a"].PendingTo("b"); pending != 0 {
+		t.Fatalf("datagram buffered for retransmission: %d", pending)
+	}
+}
+
+func TestOutputTriggeredSuspicion(t *testing.T) {
+	r := newRig(t, proc.IDs("a", "b"),
+		[]transport.NetOption{transport.WithSeed(3)},
+		WithRTO(5*time.Millisecond), WithStuckAfter(30*time.Millisecond))
+	stuck := make(chan proc.ID, 1)
+	r.eps["a"].OnStuck(func(peer proc.ID, age time.Duration) {
+		select {
+		case stuck <- peer:
+		default:
+		}
+	})
+	for _, ep := range r.eps {
+		ep.Start()
+	}
+	r.net.Crash("b")
+	if err := r.eps["a"].Send("b", "t", probe{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case peer := <-stuck:
+		if peer != "b" {
+			t.Fatalf("stuck peer %s", peer)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no output-triggered suspicion")
+	}
+	// After the monitoring layer excludes b, its buffer can be discarded.
+	if r.eps["a"].PendingTo("b") == 0 {
+		t.Fatal("expected pending messages before discard")
+	}
+	r.eps["a"].DiscardPeer("b")
+	if r.eps["a"].PendingTo("b") != 0 {
+		t.Fatal("DiscardPeer left buffered messages")
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	r := newRig(t, proc.IDs("a"), nil)
+	r.eps["a"].Handle("x", func(proc.ID, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Handle did not panic")
+		}
+	}()
+	r.eps["a"].Handle("x", func(proc.ID, any) {})
+}
+
+func TestSendAll(t *testing.T) {
+	r := newRig(t, proc.IDs("a", "b", "c"), nil)
+	var count sync.WaitGroup
+	count.Add(2)
+	for _, id := range proc.IDs("b", "c") {
+		ep := r.eps[id]
+		ep.Handle("fan", func(proc.ID, any) { count.Done() })
+	}
+	for _, ep := range r.eps {
+		ep.Start()
+	}
+	if err := r.eps["a"].SendAll(proc.IDs("b", "c"), "fan", probe{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { count.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fan-out incomplete")
+	}
+}

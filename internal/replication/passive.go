@@ -1,0 +1,320 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fd"
+	"repro/internal/gbcast"
+	"repro/internal/msg"
+	"repro/internal/proc"
+)
+
+// Passive replication with generic broadcast instead of view synchrony —
+// the Section 3.2.3 / Figure 8 protocol, verbatim:
+//
+//   - The client sends its request to the primary only. The primary
+//     executes it and g-broadcasts an *update* message (fast class) to the
+//     backups.
+//   - A backup that suspects the primary g-broadcasts
+//     *primary-change(old)* (ordered class). Delivery rotates the replica
+//     list — the old primary is NOT excluded; it simply stops being
+//     primary.
+//   - The conflict relation (the paper's Section 3.2.3 table) guarantees
+//     exactly two outcomes for a concurrent update/primary-change pair:
+//     either every replica applies the update before the change (case 1),
+//     or every replica delivers the change first and then *ignores* the
+//     stale update (case 2) — the client times out, learns the new primary
+//     and reissues its request.
+//
+// Epochs make "stale" precise: every delivered primary-change increments
+// the epoch; an update tagged with an older epoch is ignored by everyone
+// (deliveries are identically ordered, so the ignore decision is identical
+// everywhere).
+
+// Class names of the passive replication conflict relation.
+const (
+	ClassUpdate        = "update"
+	ClassPrimaryChange = "primary-change"
+)
+
+// PassiveRelation returns the Section 3.2.3 conflict table.
+func PassiveRelation() *gbcast.Relation {
+	return gbcast.NewRelationBuilder().
+		Conflict(ClassPrimaryChange, ClassPrimaryChange).
+		Conflict(ClassUpdate, ClassPrimaryChange).
+		Class(ClassUpdate).
+		Build()
+}
+
+// PassiveStateMachine is the application of passive replication.
+type PassiveStateMachine interface {
+	// Execute processes a request WITHOUT mutating authoritative state,
+	// returning the client result and the state update to propagate.
+	Execute(op []byte) (result []byte, update []byte)
+	// ApplyUpdate mutates the state; called at every replica when an update
+	// message is delivered (in the same order everywhere, relative to
+	// conflicting messages).
+	ApplyUpdate(update []byte)
+}
+
+// Wire messages.
+type (
+	pUpdate struct {
+		Epoch  uint64
+		Client proc.ID
+		ReqID  uint64
+		Update []byte
+		Result []byte
+	}
+	pChange struct {
+		Old proc.ID
+	}
+)
+
+func init() {
+	msg.Register(pUpdate{})
+	msg.Register(pChange{})
+}
+
+// Errors returned by Request.
+var (
+	// ErrNotPrimary is returned when a request is submitted at a backup.
+	ErrNotPrimary = errors.New("replication: not the primary")
+	// ErrDemoted is returned when the primary lost its role while the
+	// request was in flight (Figure 8 case 2): the caller must retry at the
+	// new primary.
+	ErrDemoted = errors.New("replication: demoted before update delivery")
+	// ErrTimeout is returned by RequestTimeout when the update was not
+	// delivered in time — e.g. the contacted primary is partitioned from
+	// the quorum. The paper's client reacts by learning the new primary
+	// and reissuing the request (Section 3.2.3).
+	ErrTimeout = errors.New("replication: request timed out")
+)
+
+// Passive is one replica of a passively-replicated service.
+type Passive struct {
+	sm   PassiveStateMachine
+	node *core.Node
+	self proc.ID
+
+	mu       sync.Mutex
+	replicas proc.View // replica list; head is the primary
+	epoch    uint64    // primary-change count
+	nextReq  uint64
+	waiters  map[uint64]chan pUpdate
+	applied  uint64
+	ignored  uint64
+	changes  uint64
+
+	failover     *fd.Subscription
+	stopFailover chan struct{}
+	failoverDone sync.WaitGroup
+}
+
+// NewPassive creates a replica. replicas is the initial replica list (the
+// same at every replica); its head is the initial primary.
+func NewPassive(sm PassiveStateMachine, replicas []proc.ID) *Passive {
+	return &Passive{
+		sm:       sm,
+		replicas: proc.NewView(replicas...),
+		waiters:  make(map[uint64]chan pUpdate),
+	}
+}
+
+// DeliverFunc returns the node delivery callback.
+func (p *Passive) DeliverFunc() core.DeliverFunc {
+	return func(d gbcast.Delivery) {
+		switch m := d.Body.(type) {
+		case pUpdate:
+			p.onUpdate(m)
+		case pChange:
+			p.onChange(m)
+		}
+	}
+}
+
+// Bind attaches the replica to its started node.
+func (p *Passive) Bind(node *core.Node) {
+	p.node = node
+	p.self = node.Self()
+}
+
+// StartFailover begins monitoring the primary with the given suspicion
+// timeout; a backup that suspects the primary requests a primary change.
+func (p *Passive) StartFailover(timeout time.Duration) {
+	p.failover = p.node.FailureDetector().Subscribe(timeout)
+	p.stopFailover = make(chan struct{})
+	p.failoverDone.Add(1)
+	go p.failoverLoop()
+}
+
+// StopFailover halts primary monitoring.
+func (p *Passive) StopFailover() {
+	if p.stopFailover == nil {
+		return
+	}
+	select {
+	case <-p.stopFailover:
+	default:
+		close(p.stopFailover)
+	}
+	p.failoverDone.Wait()
+	p.failover.Close()
+}
+
+func (p *Passive) failoverLoop() {
+	defer p.failoverDone.Done()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopFailover:
+			return
+		case <-ticker.C:
+			prim := p.Primary()
+			if prim != p.self && p.failover.Suspected(prim) {
+				_ = p.RequestPrimaryChange(prim)
+			}
+		}
+	}
+}
+
+// Primary returns the current primary.
+func (p *Passive) Primary() proc.ID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicas.Primary()
+}
+
+// Epoch returns the number of primary changes delivered.
+func (p *Passive) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Replicas returns the current replica list.
+func (p *Passive) Replicas() proc.View {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicas.Clone()
+}
+
+// Counters returns (updates applied, stale updates ignored, primary
+// changes) — the Figure 8 accounting.
+func (p *Passive) Counters() (applied, ignored, changes uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied, p.ignored, p.changes
+}
+
+// RequestPrimaryChange g-broadcasts primary-change(old) (Figure 8).
+func (p *Passive) RequestPrimaryChange(old proc.ID) error {
+	if err := p.node.Gbcast(ClassPrimaryChange, pChange{Old: old}); err != nil {
+		return fmt.Errorf("replication: primary change: %w", err)
+	}
+	return nil
+}
+
+// Request processes a client request at this replica. It fails with
+// ErrNotPrimary at a backup; at the primary it executes the request,
+// g-broadcasts the update (fast class!) and waits for its delivery. If a
+// primary change overtakes the update (Figure 8 case 2), it returns
+// ErrDemoted and the state is untouched at every replica.
+func (p *Passive) Request(op []byte) ([]byte, error) {
+	return p.request(op, 0)
+}
+
+// RequestTimeout is Request with an upper bound on the wait for the
+// update's delivery. It returns ErrTimeout if the bound expires — the
+// situation of a primary cut off from the quorum, which the paper's client
+// resolves by timing out and reissuing elsewhere.
+func (p *Passive) RequestTimeout(op []byte, timeout time.Duration) ([]byte, error) {
+	return p.request(op, timeout)
+}
+
+func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
+	p.mu.Lock()
+	if p.replicas.Primary() != p.self {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, p.replicas.Primary())
+	}
+	epoch := p.epoch
+	p.nextReq++
+	req := p.nextReq
+	ch := make(chan pUpdate, 1)
+	p.waiters[req] = ch
+	p.mu.Unlock()
+
+	result, update := p.sm.Execute(op)
+	u := pUpdate{Epoch: epoch, Client: p.self, ReqID: req, Update: update, Result: result}
+	if err := p.node.Gbcast(ClassUpdate, u); err != nil {
+		p.mu.Lock()
+		delete(p.waiters, req)
+		p.mu.Unlock()
+		return nil, fmt.Errorf("replication: update: %w", err)
+	}
+	var expire <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case delivered := <-ch:
+		if delivered.Epoch == staleEpoch {
+			return nil, ErrDemoted
+		}
+		return delivered.Result, nil
+	case <-expire:
+		p.mu.Lock()
+		delete(p.waiters, req)
+		p.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// staleEpoch marks an update that was ignored because a primary change was
+// delivered first (Figure 8 case 2).
+const staleEpoch = ^uint64(0)
+
+func (p *Passive) onUpdate(u pUpdate) {
+	p.mu.Lock()
+	stale := u.Epoch != p.epoch
+	if stale {
+		p.ignored++
+	} else {
+		p.applied++
+	}
+	var ch chan pUpdate
+	if u.Client == p.self {
+		ch = p.waiters[u.ReqID]
+		delete(p.waiters, u.ReqID)
+	}
+	p.mu.Unlock()
+
+	if !stale {
+		p.sm.ApplyUpdate(u.Update)
+	}
+	if ch != nil {
+		if stale {
+			u.Epoch = staleEpoch
+		}
+		ch <- u
+	}
+}
+
+func (p *Passive) onChange(c pChange) {
+	p.mu.Lock()
+	next := p.replicas.RotatePast(c.Old)
+	if next.Seq != p.replicas.Seq {
+		p.replicas = next
+		p.epoch++
+		p.changes++
+	}
+	p.mu.Unlock()
+}

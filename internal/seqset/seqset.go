@@ -1,0 +1,73 @@
+// Package seqset provides a memory-bounded set of uint64 sequence numbers
+// with prefix compaction.
+//
+// Broadcast layers must remember which (origin, seq) pairs they have already
+// delivered in order to suppress duplicates. Remembering every sequence
+// number forever grows without bound; because sequence numbers per origin are
+// dense (1, 2, 3, ...), a delivered prefix [1..w] compresses into a single
+// watermark w. Set stores the watermark plus the sparse out-of-order suffix.
+package seqset
+
+// Set is a set of positive sequence numbers with prefix compaction.
+type Set struct {
+	watermark uint64              // every seq in [1..watermark] is a member
+	sparse    map[uint64]struct{} // members > watermark
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{sparse: make(map[uint64]struct{})}
+}
+
+// Add inserts seq and returns true if it was not already present.
+// Sequence number 0 is never a member (sequences start at 1).
+func (s *Set) Add(seq uint64) bool {
+	if seq == 0 || seq <= s.watermark {
+		return false
+	}
+	if _, ok := s.sparse[seq]; ok {
+		return false
+	}
+	s.sparse[seq] = struct{}{}
+	s.compact()
+	return true
+}
+
+// Contains reports membership of seq.
+func (s *Set) Contains(seq uint64) bool {
+	if seq == 0 {
+		return false
+	}
+	if seq <= s.watermark {
+		return true
+	}
+	_, ok := s.sparse[seq]
+	return ok
+}
+
+// Watermark returns the largest w such that all of [1..w] are members.
+func (s *Set) Watermark() uint64 {
+	return s.watermark
+}
+
+// Len returns the number of members.
+func (s *Set) Len() int {
+	return int(s.watermark) + len(s.sparse)
+}
+
+// SparseLen returns the number of members kept individually (not compacted
+// into the watermark). It bounds the memory footprint and is exported for
+// tests asserting compaction.
+func (s *Set) SparseLen() int {
+	return len(s.sparse)
+}
+
+func (s *Set) compact() {
+	for {
+		if _, ok := s.sparse[s.watermark+1]; !ok {
+			return
+		}
+		delete(s.sparse, s.watermark+1)
+		s.watermark++
+	}
+}

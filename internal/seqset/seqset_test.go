@@ -1,0 +1,101 @@
+package seqset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddContains(t *testing.T) {
+	s := New()
+	if s.Contains(1) {
+		t.Fatal("empty set contains 1")
+	}
+	if !s.Add(3) || s.Add(3) {
+		t.Fatal("Add(3) semantics")
+	}
+	if !s.Contains(3) || s.Contains(2) {
+		t.Fatal("contains wrong")
+	}
+}
+
+func TestZeroNeverMember(t *testing.T) {
+	s := New()
+	if s.Add(0) || s.Contains(0) {
+		t.Fatal("0 must never be a member")
+	}
+}
+
+func TestPrefixCompaction(t *testing.T) {
+	s := New()
+	// Insert 1..100 out of order; everything must compact into the
+	// watermark.
+	perm := rand.New(rand.NewSource(1)).Perm(100)
+	for _, p := range perm {
+		s.Add(uint64(p + 1))
+	}
+	if s.Watermark() != 100 {
+		t.Fatalf("watermark %d", s.Watermark())
+	}
+	if s.SparseLen() != 0 {
+		t.Fatalf("sparse %d after dense insert", s.SparseLen())
+	}
+	if s.Len() != 100 {
+		t.Fatalf("len %d", s.Len())
+	}
+}
+
+func TestGapBlocksCompaction(t *testing.T) {
+	s := New()
+	s.Add(1)
+	s.Add(3)
+	if s.Watermark() != 1 || s.SparseLen() != 1 {
+		t.Fatalf("watermark %d sparse %d", s.Watermark(), s.SparseLen())
+	}
+	s.Add(2) // fills the gap: 3 must fold in
+	if s.Watermark() != 3 || s.SparseLen() != 0 {
+		t.Fatalf("after gap fill: watermark %d sparse %d", s.Watermark(), s.SparseLen())
+	}
+}
+
+// Property: Set behaves exactly like a map[uint64]bool for any insertion
+// sequence (ignoring zeros).
+func TestMatchesReferenceModel(t *testing.T) {
+	prop := func(seqs []uint16) bool {
+		s := New()
+		ref := make(map[uint64]bool)
+		for _, raw := range seqs {
+			seq := uint64(raw%64) + 1
+			added := s.Add(seq)
+			if added == ref[seq] {
+				return false // Add must report prior absence
+			}
+			ref[seq] = true
+		}
+		for seq := uint64(1); seq <= 64; seq++ {
+			if s.Contains(seq) != ref[seq] {
+				return false
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after inserting any permutation of 1..n, memory is fully
+// compacted (sparse part empty).
+func TestDenseAlwaysCompacts(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		s := New()
+		for _, p := range rand.New(rand.NewSource(seed)).Perm(n) {
+			s.Add(uint64(p + 1))
+		}
+		return s.Watermark() == uint64(n) && s.SparseLen() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

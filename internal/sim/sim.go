@@ -1,0 +1,145 @@
+// Package sim provides the measurement harness shared by the benchmark
+// suite and the experiment driver (cmd/gcsbench): latency histograms,
+// throughput timelines and the common benchmark payload.
+package sim
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+)
+
+// Payload is the message body used by all performance experiments. SentNanos
+// carries the sender's clock so the sender can compute its own
+// broadcast-to-delivery latency; Pad sizes the message.
+type Payload struct {
+	Seq       uint64
+	SentNanos int64
+	Pad       []byte
+}
+
+func init() {
+	msg.Register(Payload{})
+}
+
+// NewPayload stamps a payload with the current time.
+func NewPayload(seq uint64, padBytes int) Payload {
+	return Payload{Seq: seq, SentNanos: time.Now().UnixNano(), Pad: make([]byte, padBytes)}
+}
+
+// Age returns the time elapsed since the payload was stamped.
+func (p Payload) Age() time.Duration {
+	return time.Duration(time.Now().UnixNano() - p.SentNanos)
+}
+
+// Histogram collects duration samples.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the average sample, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1), or 0 if empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var m time.Duration
+	for _, s := range h.samples {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Timeline counts events into fixed-width time buckets, for throughput
+// traces (experiment E11: the throughput hole during a view change).
+type Timeline struct {
+	mu      sync.Mutex
+	start   time.Time
+	width   time.Duration
+	buckets []int
+}
+
+// NewTimeline starts a timeline with the given bucket width.
+func NewTimeline(width time.Duration) *Timeline {
+	return &Timeline{start: time.Now(), width: width}
+}
+
+// Mark records one event at the current time.
+func (t *Timeline) Mark() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := int(time.Since(t.start) / t.width)
+	for len(t.buckets) <= idx {
+		t.buckets = append(t.buckets, 0)
+	}
+	t.buckets[idx]++
+}
+
+// Index returns the bucket index of the current instant.
+func (t *Timeline) Index() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int(time.Since(t.start) / t.width)
+}
+
+// Buckets returns a copy of the counts.
+func (t *Timeline) Buckets() []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int, len(t.buckets))
+	copy(out, t.buckets)
+	return out
+}
+
+// Width returns the bucket width.
+func (t *Timeline) Width() time.Duration { return t.width }

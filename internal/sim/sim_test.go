@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramStats(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Fatalf("mean %v", got)
+	}
+	if got := h.Quantile(0.5); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Fatalf("median %v", got)
+	}
+	if got := h.Quantile(0.99); got < 98*time.Millisecond {
+		t.Fatalf("p99 %v", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Fatalf("max %v", got)
+	}
+}
+
+func TestHistogramQuantileUnsortedInput(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{9, 1, 5, 3, 7} {
+		h.Add(d)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("min %v", got)
+	}
+	if got := h.Quantile(1); got != 9 {
+		t.Fatalf("max quantile %v", got)
+	}
+}
+
+func TestTimelineBuckets(t *testing.T) {
+	tl := NewTimeline(10 * time.Millisecond)
+	tl.Mark()
+	tl.Mark()
+	time.Sleep(25 * time.Millisecond)
+	tl.Mark()
+	buckets := tl.Buckets()
+	if len(buckets) < 3 {
+		t.Fatalf("buckets %v", buckets)
+	}
+	if buckets[0] != 2 {
+		t.Fatalf("bucket 0 = %d", buckets[0])
+	}
+	var total int
+	for _, b := range buckets {
+		total += b
+	}
+	if total != 3 {
+		t.Fatalf("total %d", total)
+	}
+	if tl.Width() != 10*time.Millisecond {
+		t.Fatalf("width %v", tl.Width())
+	}
+}
+
+func TestPayloadAge(t *testing.T) {
+	p := NewPayload(7, 16)
+	if p.Seq != 7 || len(p.Pad) != 16 {
+		t.Fatalf("payload %+v", p)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if age := p.Age(); age < 4*time.Millisecond {
+		t.Fatalf("age %v", age)
+	}
+}

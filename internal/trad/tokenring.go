@@ -1,0 +1,160 @@
+package trad
+
+import (
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+)
+
+// Token-ring ordering mode (RMP [34, 27] and Totem [2], Figures 3–4).
+//
+// Instead of a fixed sequencer, a token circulates over the view members in
+// ring order; the holder assigns global sequence numbers to its pending
+// messages and passes the token to its successor. Data dissemination uses
+// the same tData/tOrder frames as sequencer mode, and failures reuse the
+// coupled membership + flush machinery: when a member is excluded, the
+// commit installs the new ring and the coordinator regenerates the token
+// (the "token recovery" role of Totem's membership layer). Stale tokens are
+// recognised by their view sequence number and dropped.
+
+// Mode selects the ordering protocol of the traditional stack.
+type Mode int
+
+const (
+	// ModeSequencer is Isis/Phoenix-style fixed-sequencer ordering.
+	ModeSequencer Mode = iota
+	// ModeTokenRing is RMP/Totem-style rotating-token ordering.
+	ModeTokenRing
+)
+
+// rToken is the circulating token.
+type rToken struct {
+	ViewSeq uint64
+	NextSeq uint64
+}
+
+func init() {
+	msg.Register(rToken{})
+}
+
+const protoToken = "trad.token"
+
+// tokenIdleDelay throttles token circulation when there is no traffic.
+const tokenIdleDelay = 2 * time.Millisecond
+
+// initRing wires the token-ring handlers; called from NewNode when the mode
+// is ModeTokenRing.
+func (n *Node) initRing() {
+	n.ep.Handle(protoToken, func(from proc.ID, body any) {
+		n.events.Push(event{from: from, body: body})
+	})
+}
+
+// ringSend disseminates data immediately and queues the message for
+// ordering at the next token visit.
+func (n *Node) ringSend(body any) {
+	n.nextSeq++
+	d := tData{ID: tid{Origin: n.self, Seq: n.nextSeq}, Body: body}
+	n.unseq[d.ID] = d
+	n.ringPending = append(n.ringPending, d.ID)
+	n.handleData(d)
+	for _, m := range n.view.Members {
+		if m != n.self {
+			_ = n.ep.Send(m, protoData, d)
+		}
+	}
+	// A single-member ring orders its own messages directly.
+	if n.holdsToken && len(n.view.Members) == 1 {
+		n.ringOrderPending()
+	}
+}
+
+// handleToken processes a received token.
+func (n *Node) handleToken(tk rToken) {
+	if tk.ViewSeq != n.view.Seq || !n.inView || n.flushing {
+		return // stale token from a previous ring
+	}
+	n.holdsToken = true
+	if tk.NextSeq > n.gseqNext {
+		n.gseqNext = tk.NextSeq
+	}
+	n.ringOrderPending()
+	n.schedulePassToken()
+}
+
+// ringOrderPending assigns global sequence numbers to this holder's queued
+// messages.
+func (n *Node) ringOrderPending() {
+	for _, id := range n.ringPending {
+		if _, waiting := n.unseq[id]; waiting {
+			n.assignOrder(id)
+		}
+	}
+	n.ringPending = n.ringPending[:0]
+	n.tryDeliver()
+}
+
+// schedulePassToken forwards the token to the ring successor, after a small
+// idle delay when there is no traffic (keeps an idle ring from saturating
+// the network, as Totem's token retention timer does).
+func (n *Node) schedulePassToken() {
+	if len(n.view.Members) < 2 {
+		return // keep the token; nothing to rotate through
+	}
+	viewSeq := n.view.Seq
+	delay := time.Duration(0)
+	if len(n.ringPending) == 0 {
+		delay = tokenIdleDelay
+	}
+	time.AfterFunc(delay, func() {
+		n.events.Push(event{body: passTokenEvent{viewSeq: viewSeq}})
+	})
+}
+
+// passTokenEvent is an internal event carrying the deferred token pass.
+type passTokenEvent struct {
+	viewSeq uint64
+}
+
+// ringInitEvent seeds the token at the initial view head on startup.
+type ringInitEvent struct{}
+
+func (n *Node) handlePassToken(ev passTokenEvent) {
+	if !n.holdsToken || ev.viewSeq != n.view.Seq || n.flushing || !n.inView {
+		return
+	}
+	// Order anything queued since the token arrived, then pass it on.
+	n.ringOrderPending()
+	succ := n.ringSuccessor()
+	if succ == n.self {
+		n.schedulePassToken()
+		return
+	}
+	n.holdsToken = false
+	_ = n.ep.Send(succ, protoToken, rToken{ViewSeq: n.view.Seq, NextSeq: n.gseqNext})
+}
+
+func (n *Node) ringSuccessor() proc.ID {
+	i := n.view.Index(n.self)
+	if i < 0 || len(n.view.Members) == 0 {
+		return n.self
+	}
+	return n.view.Members[(i+1)%len(n.view.Members)]
+}
+
+// ringAfterCommit regenerates the token after a view change: the view head
+// becomes the holder (Totem's membership layer recovers the token).
+func (n *Node) ringAfterCommit() {
+	if !n.inView {
+		n.holdsToken = false
+		return
+	}
+	if n.view.Primary() == n.self {
+		n.holdsToken = true
+		n.ringOrderPending()
+		n.schedulePassToken()
+	} else {
+		n.holdsToken = false
+	}
+}

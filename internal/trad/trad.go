@@ -1,0 +1,871 @@
+// Package trad implements the *traditional* group communication
+// architecture (Section 2 of the paper) as the experimental baseline:
+//
+//	Application
+//	Atomic Broadcast      ─ fixed sequencer (Isis/Phoenix style, Figs 1–2)
+//	View Synchrony        ─ flush protocol, SENDING view delivery
+//	Group Membership      ─ coupled to failure detection: suspicion ⇒ exclusion
+//	Network
+//
+// plus a token-ring variant (RMP/Totem style, Figs 3–4) in tokenring.go.
+//
+// Characteristic properties the experiments measure against the new
+// architecture:
+//
+//   - The failure detector is *coupled* to membership: one timeout, and a
+//     suspicion immediately triggers exclusion. A false suspicion therefore
+//     costs a view change, a forced "suicide" of the victim (Isis semantics)
+//     and a rejoin with state transfer (Section 4.3).
+//   - The view synchrony layer implements sending view delivery: while the
+//     flush protocol runs, *senders block* (the Ensemble "Sync" layer,
+//     Section 2.2), producing the throughput hole measured in E11
+//     (Section 4.4).
+//   - The ordering problem is solved in several places (sequencer for
+//     messages, flush/GM for views, the flush again for messages vs views),
+//     the structural complexity discussed in Section 4.1.
+//
+// The stack runs on the same transport / reliable channel / failure
+// detector substrate as the new architecture, so measured differences come
+// from the architecture, not the plumbing.
+package trad
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/eventq"
+	"repro/internal/fd"
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/transport"
+)
+
+// Protocol names.
+const (
+	protoData  = "trad.data"
+	protoOrder = "trad.order"
+	protoVC    = "trad.vc"
+	protoJoin  = "trad.join"
+)
+
+// tid identifies an application message.
+type tid struct {
+	Origin proc.ID
+	Seq    uint64
+}
+
+// Wire messages.
+type (
+	// tData disseminates an application message to all members.
+	tData struct {
+		ID   tid
+		Body any
+	}
+	// tOrder is the sequencer's ordering notice.
+	tOrder struct {
+		GSeq uint64
+		ID   tid
+	}
+	// tVCPropose starts a flush for a new view (phase 1).
+	tVCPropose struct {
+		Round   uint64
+		View    []proc.ID
+		ViewSeq uint64
+	}
+	// tVCFlush is a member's flush contribution (phase 1 reply): all
+	// ordered-but-unstable messages it knows plus its unsequenced data.
+	tVCFlush struct {
+		Round   uint64
+		Ordered map[uint64]tData // gseq -> message
+		Pending []tData          // data without an order yet
+	}
+	// tVCCommit installs the new view (phase 2).
+	tVCCommit struct {
+		Round    uint64
+		View     []proc.ID
+		ViewSeq  uint64
+		Ordered  []tData // final agreed suffix, in order, starting at Base
+		Base     uint64  // gseq of Ordered[0]
+		NextGSeq uint64
+		State    []byte // state transfer for joiners
+	}
+	// tJoinReq asks the coordinator to add the sender to the view.
+	tJoinReq struct{}
+	// tKill tells a (wrongly) excluded process to reset and rejoin —
+	// Isis's "killing processes not in the primary partition".
+	tKill struct{}
+)
+
+func init() {
+	msg.Register(tData{})
+	msg.Register(tOrder{})
+	msg.Register(tVCPropose{})
+	msg.Register(tVCFlush{})
+	msg.Register(tVCCommit{})
+	msg.Register(tJoinReq{})
+	msg.Register(tKill{})
+	msg.Register(map[uint64]tData{})
+	msg.Register([]tData{})
+}
+
+// Delivery is a totally-ordered application delivery.
+type Delivery struct {
+	Origin proc.ID
+	GSeq   uint64
+	Body   any
+}
+
+// DeliverFunc consumes deliveries on the node's event loop; must not block.
+type DeliverFunc func(Delivery)
+
+// ViewFunc observes installed views.
+type ViewFunc func(proc.View)
+
+// Config parameterises a traditional node.
+type Config struct {
+	Self        proc.ID
+	Universe    []proc.ID // all processes that may ever join
+	InitialView []proc.ID // initial members; others must Join
+	// SuspicionTimeout is the single coupled timeout: suspicion = exclusion.
+	SuspicionTimeout time.Duration
+	HeartbeatEvery   time.Duration
+	FDCheckEvery     time.Duration
+	RTO              time.Duration
+	// Snapshot/Restore provide the state transferred to joiners.
+	Snapshot func() []byte
+	Restore  func([]byte)
+	// AutoRejoin makes a killed (excluded) process rejoin automatically,
+	// paying the join + state transfer cost (Section 4.3).
+	AutoRejoin bool
+	// Mode selects fixed-sequencer (default) or token-ring ordering.
+	Mode Mode
+}
+
+func (c *Config) applyDefaults() {
+	if c.SuspicionTimeout == 0 {
+		c.SuspicionTimeout = 150 * time.Millisecond
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 5 * time.Millisecond
+	}
+	if c.FDCheckEvery == 0 {
+		c.FDCheckEvery = 2 * time.Millisecond
+	}
+	if c.RTO == 0 {
+		c.RTO = 20 * time.Millisecond
+	}
+	if len(c.InitialView) == 0 {
+		c.InitialView = append([]proc.ID(nil), c.Universe...)
+	}
+}
+
+// Node is one process of the traditional stack.
+type Node struct {
+	cfg  Config
+	self proc.ID
+
+	ep  *rchannel.Endpoint
+	det *fd.Detector
+	sub *fd.Subscription
+
+	events  *eventq.Queue[event]
+	deliver DeliverFunc
+
+	// Event-loop-owned protocol state.
+	view       proc.View
+	inView     bool
+	flushing   bool
+	vcRound    uint64
+	nextSeq    uint64         // my per-origin data sequence
+	gseqNext   uint64         // sequencer: next global seq to assign
+	data       map[tid]tData  // received data bodies
+	ordered    map[uint64]tid // gseq -> id (unstable window)
+	orderedAt  map[tid]uint64 // reverse index
+	deliverTo  uint64         // next gseq to deliver
+	unseq      map[tid]tData  // my own messages not yet sequenced
+	flushAcc   map[proc.ID]tVCFlush
+	flushView  []proc.ID
+	flushSeq   uint64
+	flushJoins []proc.ID
+	viewers    []ViewFunc
+
+	// Token-ring mode state.
+	holdsToken  bool
+	ringPending []tid
+
+	// Sending view delivery: senders block while flushing.
+	sendMu   sync.Mutex
+	sendCond *sync.Cond
+	blocked  bool
+	killed   bool
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      sync.WaitGroup
+}
+
+type event struct {
+	from proc.ID
+	body any
+	tick bool
+	send *tData
+	join bool
+}
+
+// NewNode builds a traditional node over the given transport endpoint.
+func NewNode(tr transport.Transport, cfg Config, deliver DeliverFunc) (*Node, error) {
+	cfg.applyDefaults()
+	if cfg.Self == "" {
+		cfg.Self = tr.Self()
+	}
+	if cfg.Self != tr.Self() {
+		return nil, fmt.Errorf("trad: config self %q != transport %q", cfg.Self, tr.Self())
+	}
+	n := &Node{
+		cfg:       cfg,
+		self:      cfg.Self,
+		deliver:   deliver,
+		events:    eventq.New[event](),
+		view:      proc.NewView(cfg.InitialView...),
+		data:      make(map[tid]tData),
+		ordered:   make(map[uint64]tid),
+		orderedAt: make(map[tid]uint64),
+		deliverTo: 1,
+		gseqNext:  1,
+		unseq:     make(map[tid]tData),
+		flushAcc:  make(map[proc.ID]tVCFlush),
+		stop:      make(chan struct{}),
+	}
+	n.sendCond = sync.NewCond(&n.sendMu)
+	n.inView = n.view.Contains(n.self)
+	n.ep = rchannel.New(tr, rchannel.WithRTO(cfg.RTO))
+	n.det = fd.New(n.ep, cfg.Universe,
+		fd.WithInterval(cfg.HeartbeatEvery),
+		fd.WithCheckEvery(cfg.FDCheckEvery))
+	n.sub = n.det.Subscribe(cfg.SuspicionTimeout)
+	for _, p := range []string{protoData, protoOrder, protoVC, protoJoin} {
+		proto := p
+		n.ep.Handle(proto, func(from proc.ID, body any) {
+			n.events.Push(event{from: from, body: body})
+		})
+	}
+	if cfg.Mode == ModeTokenRing {
+		n.initRing()
+	}
+	return n, nil
+}
+
+// Start launches the stack.
+func (n *Node) Start() {
+	n.startOnce.Do(func() {
+		n.ep.Start()
+		n.det.Start()
+		n.done.Add(2)
+		go n.loop()
+		go n.tickLoop()
+		if n.cfg.Mode == ModeTokenRing {
+			n.events.Push(event{body: ringInitEvent{}})
+		}
+	})
+}
+
+// Stop halts the stack.
+func (n *Node) Stop() {
+	select {
+	case <-n.stop:
+		return
+	default:
+		close(n.stop)
+	}
+	n.sendMu.Lock()
+	n.sendCond.Broadcast()
+	n.sendMu.Unlock()
+	n.done.Wait()
+	n.det.Stop()
+	n.ep.Stop()
+	n.events.Close()
+}
+
+// Self returns the process ID.
+func (n *Node) Self() proc.ID { return n.self }
+
+// View returns the current view (thread-safe snapshot via the loop would be
+// costlier; views change rarely, so a small race window on reads is
+// acceptable for monitoring/test purposes only).
+func (n *Node) View() proc.View {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	return n.view.Clone()
+}
+
+// OnView registers a view observer (called from the event loop).
+func (n *Node) OnView(fn ViewFunc) {
+	n.viewers = append(n.viewers, fn)
+}
+
+// Broadcast submits body for total-order delivery. It BLOCKS while a view
+// change (flush) is in progress — sending view delivery, the very behaviour
+// Section 4.4 criticises — and returns an error if the process was excluded.
+func (n *Node) Broadcast(body any) error {
+	n.sendMu.Lock()
+	for n.blocked && !n.killed {
+		select {
+		case <-n.stop:
+			n.sendMu.Unlock()
+			return fmt.Errorf("trad: node stopped")
+		default:
+		}
+		n.sendCond.Wait()
+	}
+	killed := n.killed
+	n.sendMu.Unlock()
+	if killed {
+		return fmt.Errorf("trad: %s excluded from the view", n.self)
+	}
+	n.events.Push(event{send: &tData{Body: body}})
+	return nil
+}
+
+// Join asks the current coordinator to add this process to the view.
+func (n *Node) Join() {
+	n.events.Push(event{join: true})
+}
+
+// Killed reports whether this process has been excluded.
+func (n *Node) Killed() bool {
+	n.sendMu.Lock()
+	defer n.sendMu.Unlock()
+	return n.killed
+}
+
+func (n *Node) tickLoop() {
+	defer n.done.Done()
+	ticker := time.NewTicker(n.cfg.FDCheckEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.events.Push(event{tick: true})
+		}
+	}
+}
+
+func (n *Node) loop() {
+	defer n.done.Done()
+	for {
+		ev, ok := n.events.TryPop()
+		if !ok {
+			select {
+			case <-n.stop:
+				return
+			case <-n.events.Wait():
+				continue
+			}
+		}
+		n.handle(ev)
+	}
+}
+
+func (n *Node) handle(ev event) {
+	switch {
+	case ev.tick:
+		n.checkSuspicions()
+	case ev.send != nil:
+		n.handleSend(ev.send.Body)
+	case ev.join:
+		n.sendJoinRequest()
+	case ev.body != nil:
+		switch m := ev.body.(type) {
+		case tData:
+			n.handleData(m)
+		case tOrder:
+			n.handleOrder(m)
+		case tVCPropose:
+			n.handleVCPropose(ev.from, m)
+		case tVCFlush:
+			n.handleVCFlush(ev.from, m)
+		case tVCCommit:
+			n.handleVCCommit(m)
+		case tJoinReq:
+			n.handleJoinReq(ev.from)
+		case tKill:
+			n.handleKill()
+		case rToken:
+			n.handleToken(m)
+		case passTokenEvent:
+			n.handlePassToken(m)
+		case ringInitEvent:
+			n.ringAfterCommit()
+		}
+	}
+}
+
+// ---- normal path: fixed-sequencer atomic broadcast --------------------
+
+func (n *Node) sequencer() proc.ID { return n.view.Primary() }
+
+func (n *Node) handleSend(body any) {
+	if !n.inView {
+		return
+	}
+	if n.cfg.Mode == ModeTokenRing {
+		n.ringSend(body)
+		return
+	}
+	n.nextSeq++
+	d := tData{ID: tid{Origin: n.self, Seq: n.nextSeq}, Body: body}
+	n.unseq[d.ID] = d
+	n.handleData(d) // local copy
+	for _, m := range n.view.Members {
+		if m != n.self {
+			_ = n.ep.Send(m, protoData, d)
+		}
+	}
+}
+
+func (n *Node) handleData(d tData) {
+	if _, dup := n.data[d.ID]; dup {
+		return
+	}
+	n.data[d.ID] = d
+	// The sequencer assigns the next global sequence number and broadcasts
+	// the ordering notice (token holders order on token receipt instead).
+	if n.cfg.Mode == ModeSequencer && n.sequencer() == n.self && !n.flushing {
+		n.assignOrder(d.ID)
+	}
+	n.tryDeliver()
+}
+
+func (n *Node) assignOrder(id tid) {
+	if _, done := n.orderedAt[id]; done {
+		return
+	}
+	gseq := n.gseqNext
+	n.gseqNext++
+	o := tOrder{GSeq: gseq, ID: id}
+	n.applyOrder(o)
+	for _, m := range n.view.Members {
+		if m != n.self {
+			_ = n.ep.Send(m, protoOrder, o)
+		}
+	}
+}
+
+func (n *Node) handleOrder(o tOrder) {
+	n.applyOrder(o)
+	n.tryDeliver()
+}
+
+func (n *Node) applyOrder(o tOrder) {
+	if _, dup := n.ordered[o.GSeq]; dup {
+		return
+	}
+	if _, dup := n.orderedAt[o.ID]; dup {
+		return
+	}
+	n.ordered[o.GSeq] = o.ID
+	n.orderedAt[o.ID] = o.GSeq
+	if o.GSeq >= n.gseqNext {
+		n.gseqNext = o.GSeq + 1
+	}
+	delete(n.unseq, o.ID)
+}
+
+func (n *Node) tryDeliver() {
+	for {
+		id, ok := n.ordered[n.deliverTo]
+		if !ok {
+			return
+		}
+		d, ok := n.data[id]
+		if !ok {
+			return // body not here yet
+		}
+		if n.deliver != nil && n.inView {
+			n.deliver(Delivery{Origin: id.Origin, GSeq: n.deliverTo, Body: d.Body})
+		}
+		n.deliverTo++
+	}
+}
+
+// ---- coupled membership: suspicion = exclusion -------------------------
+
+func (n *Node) coordinator() proc.ID {
+	for _, m := range n.view.Members {
+		if m == n.self || !n.sub.Suspected(m) {
+			return m
+		}
+	}
+	return n.view.Primary()
+}
+
+func (n *Node) checkSuspicions() {
+	if !n.inView || n.flushing {
+		return
+	}
+	if n.coordinator() != n.self {
+		return
+	}
+	var excluded []proc.ID
+	for _, m := range n.view.Members {
+		if m != n.self && n.sub.Suspected(m) {
+			excluded = append(excluded, m)
+		}
+	}
+	if len(excluded) == 0 {
+		return
+	}
+	newView := n.view
+	for _, x := range excluded {
+		newView = newView.Remove(x)
+	}
+	// Primary partition rule: only a majority of the current view may
+	// install the next view. A minority coordinator must wait (Isis kills
+	// minority partitions rather than letting them proceed).
+	if len(newView.Members) < proc.Majority(len(n.view.Members)) {
+		return
+	}
+	n.startFlush(newView.Members, newView.Seq, nil)
+	// Isis semantics: processes outside the (primary) view are killed.
+	for _, x := range excluded {
+		_ = n.ep.Send(x, protoVC, tKill{})
+	}
+}
+
+func (n *Node) handleJoinReq(from proc.ID) {
+	if !n.inView || n.coordinator() != n.self {
+		return
+	}
+	if n.view.Contains(from) {
+		return
+	}
+	if n.flushing {
+		n.flushJoins = append(n.flushJoins, from)
+		return
+	}
+	nv := n.view.Add(from)
+	n.startFlush(nv.Members, nv.Seq, []proc.ID{from})
+}
+
+func (n *Node) sendJoinRequest() {
+	// Ask every universe member; only the coordinator will act.
+	for _, m := range n.cfg.Universe {
+		if m != n.self {
+			_ = n.ep.Send(m, protoJoin, tJoinReq{})
+		}
+	}
+}
+
+// ---- view synchrony: 2-phase flush with sending view delivery ----------
+
+// startFlush begins a view change as coordinator (phase 1).
+func (n *Node) startFlush(newView []proc.ID, newSeq uint64, joiners []proc.ID) {
+	n.vcRound++
+	n.flushing = true
+	n.flushAcc = make(map[proc.ID]tVCFlush)
+	n.flushView = append([]proc.ID(nil), newView...)
+	n.flushSeq = newSeq
+	n.flushJoins = append([]proc.ID(nil), joiners...)
+	n.blockSending()
+	prop := tVCPropose{Round: n.vcRound, View: n.flushView, ViewSeq: newSeq}
+	// Survivors = old view ∩ new view, plus self.
+	for _, m := range n.view.Members {
+		if m != n.self && contains(newView, m) {
+			_ = n.ep.Send(m, protoVC, prop)
+		}
+	}
+	n.acceptFlush(n.self, n.makeFlush(n.vcRound))
+}
+
+func (n *Node) handleVCPropose(from proc.ID, p tVCPropose) {
+	if !n.inView {
+		return
+	}
+	if p.Round <= n.vcRound && from != n.self {
+		// Stale round.
+		return
+	}
+	n.vcRound = p.Round
+	n.flushing = true
+	n.blockSending()
+	_ = n.ep.Send(from, protoVC, n.makeFlush(p.Round))
+}
+
+// makeFlush snapshots this member's ordering knowledge.
+func (n *Node) makeFlush(round uint64) tVCFlush {
+	ordered := make(map[uint64]tData, len(n.ordered))
+	for gseq, id := range n.ordered {
+		if d, ok := n.data[id]; ok {
+			ordered[gseq] = d
+		}
+	}
+	pending := make([]tData, 0, len(n.unseq))
+	for _, d := range n.unseq {
+		pending = append(pending, d)
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].ID.Origin != pending[j].ID.Origin {
+			return pending[i].ID.Origin < pending[j].ID.Origin
+		}
+		return pending[i].ID.Seq < pending[j].ID.Seq
+	})
+	return tVCFlush{Round: round, Ordered: ordered, Pending: pending}
+}
+
+func (n *Node) handleVCFlush(from proc.ID, f tVCFlush) {
+	if f.Round != n.vcRound || !n.flushing {
+		return
+	}
+	n.acceptFlush(from, f)
+}
+
+func (n *Node) acceptFlush(from proc.ID, f tVCFlush) {
+	if !n.flushing {
+		return
+	}
+	n.flushAcc[from] = f
+	// Wait for every non-suspected survivor of the new view that was in the
+	// old view.
+	for _, m := range n.flushView {
+		if !n.view.Contains(m) {
+			continue // joiner, does not flush
+		}
+		if _, ok := n.flushAcc[m]; !ok {
+			if !n.sub.Suspected(m) {
+				return // still waiting
+			}
+		}
+	}
+	n.finishFlush()
+}
+
+// finishFlush merges the flush contributions and commits the new view
+// (phase 2). Only the coordinator reaches this with a full accumulator.
+func (n *Node) finishFlush() {
+	// Merge ordering knowledge: gseq -> data; fill holes by compaction.
+	merged := make(map[uint64]tData)
+	var pending []tData
+	seen := make(map[tid]bool)
+	for _, f := range n.flushAcc {
+		for gseq, d := range f.Ordered {
+			merged[gseq] = d
+		}
+	}
+	for _, f := range n.flushAcc {
+		for _, d := range f.Pending {
+			if !seen[d.ID] {
+				seen[d.ID] = true
+				pending = append(pending, d)
+			}
+		}
+	}
+	gseqs := make([]uint64, 0, len(merged))
+	for g := range merged {
+		gseqs = append(gseqs, g)
+	}
+	sort.Slice(gseqs, func(i, j int) bool { return gseqs[i] < gseqs[j] })
+	// Compact into a dense sequence starting at the lowest undelivered
+	// gseq this coordinator knows; then append pending (unsequenced)
+	// messages not already ordered, in deterministic order.
+	base := n.deliverTo
+	final := make([]tData, 0, len(gseqs)+len(pending))
+	for _, g := range gseqs {
+		if g < base {
+			continue
+		}
+		final = append(final, merged[g])
+	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].ID.Origin != pending[j].ID.Origin {
+			return pending[i].ID.Origin < pending[j].ID.Origin
+		}
+		return pending[i].ID.Seq < pending[j].ID.Seq
+	})
+	inFinal := make(map[tid]bool, len(final))
+	for _, d := range final {
+		inFinal[d.ID] = true
+	}
+	for _, d := range pending {
+		if !inFinal[d.ID] {
+			final = append(final, d)
+		}
+	}
+	commit := tVCCommit{
+		Round:    n.vcRound,
+		View:     n.flushView,
+		ViewSeq:  n.flushSeq,
+		Ordered:  final,
+		Base:     base,
+		NextGSeq: base + uint64(len(final)),
+	}
+	var state []byte
+	if n.cfg.Snapshot != nil {
+		state = n.cfg.Snapshot()
+	}
+	for _, m := range n.flushView {
+		if m == n.self {
+			continue
+		}
+		c := commit
+		if !n.view.Contains(m) {
+			c.State = state // joiner gets the state transfer
+		}
+		_ = n.ep.Send(m, protoVC, c)
+	}
+	joins := n.flushJoins
+	n.applyCommit(commit)
+	// Deferred joiners arrive one view change at a time.
+	if len(joins) > 0 && n.coordinator() == n.self {
+		for _, j := range joins {
+			n.handleJoinReq(j)
+		}
+	}
+}
+
+func (n *Node) handleVCCommit(c tVCCommit) {
+	if c.Round < n.vcRound {
+		return
+	}
+	n.vcRound = c.Round
+	if c.State != nil && n.cfg.Restore != nil {
+		n.cfg.Restore(c.State)
+	}
+	n.applyCommit(c)
+}
+
+// applyCommit adopts the agreed message suffix and installs the new view.
+func (n *Node) applyCommit(c tVCCommit) {
+	// Adopt the agreed ordering: overwrite everything at or above Base.
+	for gseq, id := range n.ordered {
+		if gseq >= c.Base {
+			delete(n.orderedAt, id)
+			delete(n.ordered, gseq)
+		}
+	}
+	for i, d := range c.Ordered {
+		gseq := c.Base + uint64(i)
+		n.data[d.ID] = d
+		n.ordered[gseq] = d.ID
+		n.orderedAt[d.ID] = gseq
+		delete(n.unseq, d.ID)
+	}
+	n.gseqNext = c.NextGSeq
+	wasInView := n.inView
+	n.sendMu.Lock()
+	n.view = proc.View{Seq: c.ViewSeq, Members: append([]proc.ID(nil), c.View...)}
+	n.sendMu.Unlock()
+	n.inView = contains(c.View, n.self)
+	if !wasInView && n.inView {
+		// Joiner: deliveries restart from the commit base.
+		n.deliverTo = c.Base
+	}
+	// Sending view delivery: all flushed messages are delivered BEFORE the
+	// new view is announced.
+	n.tryDeliver()
+	n.flushing = false
+	n.flushAcc = make(map[proc.ID]tVCFlush)
+	// The new ordering authority (sequencer, or the token holder after the
+	// ring reforms) assigns orders to any data that arrived during the
+	// flush and was not part of the agreed suffix.
+	switch n.cfg.Mode {
+	case ModeSequencer:
+		if n.inView && n.sequencer() == n.self {
+			n.assignOrphans()
+		}
+	case ModeTokenRing:
+		n.ringAfterCommit()
+	}
+	view := proc.View{Seq: c.ViewSeq, Members: append([]proc.ID(nil), c.View...)}
+	for _, fn := range n.viewers {
+		fn(view)
+	}
+	n.unblockSending()
+	// Stability: entries far below the delivery point can be dropped.
+	n.gcStable()
+}
+
+func (n *Node) handleKill() {
+	n.sendMu.Lock()
+	n.killed = true
+	n.inView = false
+	n.sendCond.Broadcast()
+	n.sendMu.Unlock()
+	if n.cfg.AutoRejoin {
+		// The excluded process resets and rejoins, paying the full cost of
+		// a view change plus state transfer.
+		n.resetAfterKill()
+		n.sendJoinRequest()
+	}
+}
+
+func (n *Node) resetAfterKill() {
+	n.data = make(map[tid]tData)
+	n.ordered = make(map[uint64]tid)
+	n.orderedAt = make(map[tid]uint64)
+	n.unseq = make(map[tid]tData)
+	n.sendMu.Lock()
+	n.killed = false
+	n.sendMu.Unlock()
+}
+
+// assignOrphans orders every known-but-unordered message deterministically.
+func (n *Node) assignOrphans() {
+	var orphans []tid
+	for id := range n.data {
+		if _, ok := n.orderedAt[id]; !ok {
+			orphans = append(orphans, id)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].Origin != orphans[j].Origin {
+			return orphans[i].Origin < orphans[j].Origin
+		}
+		return orphans[i].Seq < orphans[j].Seq
+	})
+	for _, id := range orphans {
+		n.assignOrder(id)
+	}
+	n.tryDeliver()
+}
+
+func (n *Node) gcStable() {
+	const window = 4096
+	if n.deliverTo < window {
+		return
+	}
+	floor := n.deliverTo - window
+	for gseq, id := range n.ordered {
+		if gseq < floor {
+			delete(n.data, id)
+			delete(n.orderedAt, id)
+			delete(n.ordered, gseq)
+		}
+	}
+}
+
+func (n *Node) blockSending() {
+	n.sendMu.Lock()
+	n.blocked = true
+	n.sendMu.Unlock()
+}
+
+func (n *Node) unblockSending() {
+	n.sendMu.Lock()
+	n.blocked = false
+	n.sendCond.Broadcast()
+	n.sendMu.Unlock()
+}
+
+func contains(ids []proc.ID, id proc.ID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,315 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proc"
+)
+
+const defaultQueue = 4096
+
+// Network is an in-memory simulated network. Endpoints attached to the same
+// Network can exchange packets subject to the configured latency, jitter and
+// loss, and to runtime fault injection (crashes, link cuts, partitions).
+//
+// The zero latency configuration still delivers asynchronously (packets
+// cross a goroutine boundary), so no layer can accidentally rely on
+// synchronous delivery.
+type Network struct {
+	mu         sync.Mutex
+	rng        *rand.Rand
+	delayMin   time.Duration
+	delayMax   time.Duration
+	loss       float64
+	endpoints  map[proc.ID]*memEndpoint
+	crashed    map[proc.ID]bool
+	cutLinks   map[link]bool
+	linkDelay  map[link][2]time.Duration // per-link latency override
+	partition  map[proc.ID]int           // partition group per process; empty = connected
+	partActive bool
+	closed     bool
+
+	stats Stats
+}
+
+type link struct{ a, b proc.ID }
+
+func normLink(a, b proc.ID) link {
+	if a > b {
+		a, b = b, a
+	}
+	return link{a: a, b: b}
+}
+
+// NetOption configures a Network.
+type NetOption func(*Network)
+
+// WithDelay sets the per-packet one-way latency range [min, max].
+func WithDelay(min, max time.Duration) NetOption {
+	return func(n *Network) {
+		n.delayMin, n.delayMax = min, max
+	}
+}
+
+// WithLoss sets the independent per-packet loss probability in [0, 1].
+func WithLoss(p float64) NetOption {
+	return func(n *Network) { n.loss = p }
+}
+
+// WithSeed seeds the network's random source, making loss and jitter
+// sequences reproducible.
+func WithSeed(seed int64) NetOption {
+	return func(n *Network) { n.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// NewNetwork creates a simulated network.
+func NewNetwork(opts ...NetOption) *Network {
+	n := &Network{
+		rng:       rand.New(rand.NewSource(1)),
+		endpoints: make(map[proc.ID]*memEndpoint),
+		crashed:   make(map[proc.ID]bool),
+		cutLinks:  make(map[link]bool),
+		linkDelay: make(map[link][2]time.Duration),
+		partition: make(map[proc.ID]int),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint returns (creating if needed) the transport endpoint for id.
+func (n *Network) Endpoint(id proc.ID) Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &memEndpoint{
+		net:   n,
+		self:  id,
+		inbox: make(chan Packet, defaultQueue),
+	}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Crash drops all traffic from and to id until Restart. It models a process
+// crash at the network level; the process's goroutines are unaffected (a
+// crashed process in the crash-stop model simply stops being heard).
+func (n *Network) Crash(id proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Restart re-enables traffic from and to a previously crashed process.
+// Used to model recovery/rejoin experiments.
+func (n *Network) Restart(id proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// CutLink symmetrically drops all traffic between a and b.
+func (n *Network) CutLink(a, b proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutLinks[normLink(a, b)] = true
+}
+
+// HealLink restores the a-b link.
+func (n *Network) HealLink(a, b proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutLinks, normLink(a, b))
+}
+
+// Partition splits the network into the given groups; traffic crosses group
+// boundaries only by being dropped. Processes not listed in any group form
+// an implicit extra group.
+func (n *Network) Partition(groups ...[]proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[proc.ID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.partition[id] = gi + 1
+		}
+	}
+	n.partActive = true
+}
+
+// Heal removes any partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[proc.ID]int)
+	n.partActive = false
+}
+
+// SetLinkDelay overrides the latency of the symmetric a-b link, e.g. to
+// model one slow member. Zero durations restore the network default.
+func (n *Network) SetLinkDelay(a, b proc.ID, min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if min == 0 && max == 0 {
+		delete(n.linkDelay, normLink(a, b))
+		return
+	}
+	n.linkDelay[normLink(a, b)] = [2]time.Duration{min, max}
+}
+
+// SetLoss changes the loss probability at runtime.
+func (n *Network) SetLoss(p float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loss = p
+}
+
+// SetDelay changes the latency range at runtime.
+func (n *Network) SetDelay(min, max time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.delayMin, n.delayMax = min, max
+}
+
+// Stats returns the traffic counters.
+func (n *Network) Stats() StatsSnapshot {
+	return n.stats.Snapshot()
+}
+
+// ResetStats zeroes the traffic counters (between experiment phases).
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+}
+
+// Shutdown closes every endpoint.
+func (n *Network) Shutdown() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// route decides the fate of a packet at send time. It returns the delivery
+// delay, the destination endpoint, and whether the packet survives.
+func (n *Network) route(from, to proc.ID, size int) (*memEndpoint, time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.addSent(size)
+	if n.closed || n.crashed[from] || n.crashed[to] {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	if n.cutLinks[normLink(from, to)] {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	if n.partActive && n.partition[from] != n.partition[to] {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	if n.loss > 0 && n.rng.Float64() < n.loss {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	ep, ok := n.endpoints[to]
+	if !ok {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	delayMin, delayMax := n.delayMin, n.delayMax
+	if override, ok := n.linkDelay[normLink(from, to)]; ok {
+		delayMin, delayMax = override[0], override[1]
+	}
+	delay := delayMin
+	if delayMax > delayMin {
+		delay += time.Duration(n.rng.Int63n(int64(delayMax - delayMin)))
+	}
+	return ep, delay, true
+}
+
+// isCrashed reports whether id is currently crashed (checked again at
+// delivery time so that packets in flight at crash time are lost too).
+func (n *Network) isCrashed(id proc.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+type memEndpoint struct {
+	net   *Network
+	self  proc.ID
+	inbox chan Packet
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*memEndpoint)(nil)
+
+func (e *memEndpoint) Self() proc.ID { return e.self }
+
+func (e *memEndpoint) Send(to proc.ID, data []byte) {
+	dst, delay, ok := e.net.route(e.self, to, len(data))
+	if !ok {
+		return
+	}
+	// Copy the payload so the caller may reuse its buffer, as with a real
+	// network write.
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	pkt := Packet{From: e.self, Data: buf}
+	if delay <= 0 {
+		dst.enqueue(pkt)
+		return
+	}
+	time.AfterFunc(delay, func() {
+		if e.net.isCrashed(dst.self) {
+			e.net.stats.addDropped()
+			return
+		}
+		dst.enqueue(pkt)
+	})
+}
+
+func (e *memEndpoint) enqueue(pkt Packet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		e.net.stats.addDropped()
+		return
+	}
+	select {
+	case e.inbox <- pkt:
+		e.net.stats.addDelivered()
+	default:
+		// Queue overflow: the unreliable transport drops the packet.
+		e.net.stats.addDropped()
+	}
+}
+
+func (e *memEndpoint) Receive() <-chan Packet { return e.inbox }
+
+func (e *memEndpoint) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.inbox)
+}

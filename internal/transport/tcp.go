@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/proc"
+)
+
+const maxFrame = 16 << 20 // 16 MiB, sanity bound on frame length
+
+// TCPTransport carries packets over TCP connections between real processes.
+// It still presents the *unreliable* transport contract: a connection error
+// simply drops the packet (the reliable channel layer above retransmits).
+//
+// Framing: every frame is a 4-byte big-endian length followed by that many
+// bytes. The first frame on an outbound connection carries the sender's
+// process ID so the receiver can attribute packets.
+type TCPTransport struct {
+	self  proc.ID
+	peers map[proc.ID]string
+	ln    net.Listener
+	inbox chan Packet
+
+	mu     sync.Mutex
+	conns  map[proc.ID]net.Conn
+	closed bool
+	wg     sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// NewTCP starts a TCP transport listening on listenAddr. peers maps every
+// process (including self) to its listen address.
+func NewTCP(self proc.ID, listenAddr string, peers map[proc.ID]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp transport listen: %w", err)
+	}
+	peerCopy := make(map[proc.ID]string, len(peers))
+	for id, addr := range peers {
+		peerCopy[id] = addr
+	}
+	t := &TCPTransport{
+		self:  self,
+		peers: peerCopy,
+		ln:    ln,
+		inbox: make(chan Packet, defaultQueue),
+		conns: make(map[proc.ID]net.Conn),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the actual listen address (useful with ":0").
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPTransport) Self() proc.ID { return t.self }
+
+func (t *TCPTransport) Send(to proc.ID, data []byte) {
+	conn, err := t.conn(to)
+	if err != nil {
+		return // unreliable: drop
+	}
+	if err := writeFrame(conn, data); err != nil {
+		t.dropConn(to, conn)
+	}
+}
+
+func (t *TCPTransport) Receive() <-chan Packet { return t.inbox }
+
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	_ = t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+}
+
+func (t *TCPTransport) conn(to proc.ID) (net.Conn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp transport closed")
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown peer %q", to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", to, err)
+	}
+	if err := writeFrame(c, []byte(t.self)); err != nil {
+		_ = c.Close()
+		return nil, fmt.Errorf("handshake %s: %w", to, err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return nil, fmt.Errorf("tcp transport closed")
+	}
+	if existing, ok := t.conns[to]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	return c, nil
+}
+
+func (t *TCPTransport) dropConn(to proc.ID, c net.Conn) {
+	_ = c.Close()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPTransport) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer c.Close()
+	idFrame, err := readFrame(c)
+	if err != nil {
+		return
+	}
+	from := proc.ID(idFrame)
+	for {
+		data, err := readFrame(c)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- Packet{From: from, Data: data}:
+		default:
+			// Queue overflow: drop, per the unreliable contract.
+		}
+	}
+}
+
+func writeFrame(c net.Conn, data []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := c.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := c.Write(data)
+	return err
+}
+
+func readFrame(c net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("frame too large: %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

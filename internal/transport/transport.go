@@ -1,0 +1,77 @@
+// Package transport provides the unreliable transport at the bottom of the
+// stack (Figure 9, "Unreliable Transport", operations u-send / u-receive).
+//
+// Two implementations are provided:
+//
+//   - Network, an in-memory simulated network with configurable latency,
+//     jitter, message loss, link failures, partitions and process crashes.
+//     All experiments and tests run on it.
+//   - TCPTransport, a real TCP mesh for multi-process deployments
+//     (cmd/gcsnode).
+//
+// The transport is allowed to drop, delay and reorder messages; it must
+// never corrupt or duplicate them (duplication is tolerated by the layers
+// above regardless).
+package transport
+
+import (
+	"sync/atomic"
+
+	"repro/internal/proc"
+)
+
+// Packet is a datagram delivered by a Transport.
+type Packet struct {
+	From proc.ID
+	Data []byte
+}
+
+// Transport is the unreliable point-to-point substrate (u-send/u-receive).
+type Transport interface {
+	// Self returns the local process identity.
+	Self() proc.ID
+	// Send transmits data to the destination on a best-effort basis: the
+	// packet may be dropped, delayed or reordered, and no error is reported
+	// for loss.
+	Send(to proc.ID, data []byte)
+	// Receive returns the channel of incoming packets. The channel is
+	// closed when the transport is closed.
+	Receive() <-chan Packet
+	// Close releases the endpoint. Subsequent Sends are dropped.
+	Close()
+}
+
+// Stats counts transport-level traffic. All fields are updated atomically
+// and may be read concurrently via Snapshot.
+type Stats struct {
+	sent      atomic.Uint64
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	bytes     atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Sent      uint64 // packets submitted to Send
+	Delivered uint64 // packets handed to a receiver
+	Dropped   uint64 // packets lost (loss, partition, crash, overflow)
+	Bytes     uint64 // payload bytes submitted
+}
+
+func (s *Stats) addSent(n int) {
+	s.sent.Add(1)
+	s.bytes.Add(uint64(n))
+}
+
+func (s *Stats) addDelivered() { s.delivered.Add(1) }
+func (s *Stats) addDropped()   { s.dropped.Add(1) }
+
+// Snapshot returns the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Sent:      s.sent.Load(),
+		Delivered: s.delivered.Load(),
+		Dropped:   s.dropped.Load(),
+		Bytes:     s.bytes.Load(),
+	}
+}

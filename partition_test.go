@@ -1,0 +1,187 @@
+package gcs_test
+
+// Failure-injection integration tests: partitions, healing, catch-up, and
+// the generic broadcast garbage-collection boundary. These exercise the
+// primary-partition model of the paper end to end on the public API.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	gcs "repro"
+)
+
+// TestPartitionMajoritySideProgresses splits 5 nodes 3/2: the majority side
+// keeps delivering (f < n/2), the minority blocks, and after healing the
+// minority catches up with the identical total order.
+func TestPartitionMajoritySideProgresses(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(5, gcs.WithDeliver(col.deliver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	majority := []gcs.ID{"p0", "p1", "p2"}
+	minority := []gcs.ID{"p3", "p4"}
+	c.Net.Partition(majority, minority)
+
+	for i := 0; i < 10; i++ {
+		if err := c.Nodes[0].Abcast(appMsg{S: fmt.Sprintf("maj-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range majority {
+		col.waitCount(t, id, 10, 20*time.Second)
+	}
+	// Minority must not have delivered anything (no quorum).
+	time.Sleep(100 * time.Millisecond)
+	for _, id := range minority {
+		if got := len(col.get(id)); got != 0 {
+			t.Fatalf("minority member %s delivered %d messages inside the partition", id, got)
+		}
+	}
+
+	// Heal: the minority catches up and agrees on the exact order.
+	c.Net.Heal()
+	for _, id := range minority {
+		col.waitCount(t, id, 10, 20*time.Second)
+	}
+	ref := payloads(col.get("p0"))
+	for _, id := range c.IDs()[1:] {
+		got := payloads(col.get(id))
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("order at %s differs at %d: %q vs %q", id, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestMinoritySenderDeliveredAfterHeal: a message broadcast from inside the
+// minority partition must not be lost — it gets ordered and delivered
+// everywhere after the partition heals (reliable broadcast keeps relaying).
+func TestMinoritySenderDeliveredAfterHeal(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3, gcs.WithDeliver(col.deliver))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	c.Net.Partition([]gcs.ID{"p0", "p1"}, []gcs.ID{"p2"})
+	if err := c.Nodes[2].Abcast(appMsg{S: "from-minority"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	c.Net.Heal()
+	for _, id := range c.IDs() {
+		col.waitCount(t, id, 1, 20*time.Second)
+	}
+	for _, id := range c.IDs() {
+		if got := payloads(col.get(id)); got[0] != "from-minority" {
+			t.Fatalf("%s delivered %v", id, got)
+		}
+	}
+}
+
+// TestFlushLimitBoundsMemory forces the generic broadcast auto-flush: with
+// a tiny flush limit, a long run of fast messages must trigger internal
+// garbage-collection boundaries without disturbing the application
+// (deliveries still arrive, no flush message ever surfaces).
+func TestFlushLimitBoundsMemory(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3,
+		gcs.WithDeliver(col.deliver),
+		gcs.WithConfig(func(cfg *gcs.Config) { cfg.FlushLimit = 16 }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const total = 80
+	for i := 0; i < total; i++ {
+		if err := c.Nodes[i%3].Rbcast(appMsg{S: fmt.Sprintf("r%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range c.IDs() {
+		col.waitCount(t, id, total, 20*time.Second)
+	}
+	// The GC boundary ran at least once (its consensus round may lag the
+	// last fast delivery slightly).
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Nodes[0].BroadcastStats().Boundaries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flush limit 16 with %d messages ran no GC boundary", total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...and was invisible to the application.
+	for _, id := range c.IDs() {
+		for _, d := range col.get(id) {
+			if _, ok := d.Body.(appMsg); !ok {
+				t.Fatalf("non-application delivery leaked: %+v", d)
+			}
+		}
+	}
+}
+
+// TestLossyAndSlowCluster is a soak: 15% loss, jittery latency, mixed
+// classes from all nodes; everything must still deliver with conflicting
+// pairs identically ordered.
+func TestLossyAndSlowCluster(t *testing.T) {
+	col := newCollector()
+	c, err := gcs.NewCluster(3,
+		gcs.WithDeliver(col.deliver),
+		gcs.WithNetOptions(gcs.WithDelay(0, 4*time.Millisecond), gcs.WithLoss(0.15), gcs.WithSeed(77)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+
+	const perNode = 10
+	for i := 0; i < perNode; i++ {
+		for n, nd := range c.Nodes {
+			var err error
+			if i%3 == 2 {
+				err = nd.Abcast(appMsg{S: fmt.Sprintf("a-%d-%d", n, i)})
+			} else {
+				err = nd.Rbcast(appMsg{S: fmt.Sprintf("r-%d-%d", n, i)})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	total := perNode * 3
+	for _, id := range c.IDs() {
+		col.waitCount(t, id, total, 60*time.Second)
+	}
+	// Ordered (abcast-class) messages must appear in the same relative
+	// order everywhere.
+	ordered := func(id gcs.ID) []string {
+		var out []string
+		for _, d := range col.get(id) {
+			if d.Class == gcs.ClassAbcast {
+				out = append(out, d.Body.(appMsg).S)
+			}
+		}
+		return out
+	}
+	ref := ordered("p0")
+	for _, id := range c.IDs()[1:] {
+		got := ordered(id)
+		if len(got) != len(ref) {
+			t.Fatalf("%s ordered count %d vs %d", id, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("%s ordered stream differs at %d: %q vs %q", id, i, got[i], ref[i])
+			}
+		}
+	}
+}

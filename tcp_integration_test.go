@@ -1,0 +1,108 @@
+package gcs_test
+
+// Full-stack integration over real TCP: three nodes on loopback sockets
+// reach total order, exactly as cmd/gcsnode deploys them.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	gcs "repro"
+)
+
+func TestFullStackOverTCP(t *testing.T) {
+	ids := []gcs.ID{"a", "b", "c"}
+
+	// Bind listeners first so every peer address is known up front.
+	transports := make(map[gcs.ID]gcs.Transport, len(ids))
+	peers := make(map[gcs.ID]string, len(ids))
+	for _, id := range ids {
+		tr, err := gcs.NewTCPTransport(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[id] = tr
+		type addresser interface{ Addr() string }
+		peers[id] = tr.(addresser).Addr()
+	}
+	// The transports above were built without a peer map; rebuild them now
+	// that all addresses exist.
+	for _, tr := range transports {
+		tr.Close()
+	}
+	for id, addr := range peers {
+		tr, err := gcs.NewTCPTransport(id, addr, peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transports[id] = tr
+	}
+
+	var (
+		mu    sync.Mutex
+		order = make(map[gcs.ID][]string)
+	)
+	var nodes []*gcs.Node
+	for _, id := range ids {
+		self := id
+		node, err := gcs.NewNode(transports[id], gcs.Config{
+			Self:             id,
+			Universe:         ids,
+			RTO:              30 * time.Millisecond,
+			HeartbeatEvery:   10 * time.Millisecond,
+			SuspicionTimeout: 150 * time.Millisecond,
+		}, func(d gcs.Delivery) {
+			if m, ok := d.Body.(appMsg); ok {
+				mu.Lock()
+				order[self] = append(order[self], m.S)
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	}()
+
+	const total = 12
+	for i := 0; i < total; i++ {
+		if err := nodes[i%3].Abcast(appMsg{S: fmt.Sprintf("tcp-%d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		mu.Lock()
+		done := len(order["a"]) >= total && len(order["b"]) >= total && len(order["c"]) >= total
+		mu.Unlock()
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			mu.Lock()
+			defer mu.Unlock()
+			t.Fatalf("TCP cluster delivered %d/%d/%d of %d",
+				len(order["a"]), len(order["b"]), len(order["c"]), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < total; i++ {
+		if order["a"][i] != order["b"][i] || order["a"][i] != order["c"][i] {
+			t.Fatalf("total order differs over TCP at %d: %q %q %q",
+				i, order["a"][i], order["b"][i], order["c"][i])
+		}
+	}
+}
