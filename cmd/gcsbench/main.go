@@ -10,6 +10,9 @@
 //	gcsbench viewchange      E11: Section 4.4, throughput across a join with
 //	                         one slow member: blocking flush vs boundaries
 //	gcsbench fig8            E5: Figure 8 outcome distribution and failover
+//	gcsbench service         E12: service gateway, client-observed
+//	                         throughput/latency vs concurrent sessions
+//	                         (also emits one JSON record per row)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -44,6 +47,8 @@ func run(cmd string) error {
 		return experimentViewChange()
 	case "fig8":
 		return experimentFig8()
+	case "service":
+		return experimentService()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -51,6 +56,7 @@ func run(cmd string) error {
 			experimentResponsiveness,
 			experimentViewChange,
 			experimentFig8,
+			experimentService,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -59,6 +65,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|all)", cmd)
 	}
 }

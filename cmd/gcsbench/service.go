@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ---- E12: service gateway ------------------------------------------------
+//
+// Client-observed throughput and latency of the networked service layer as
+// the number of concurrent sessions grows. Every session is a closed loop
+// (one outstanding write at a time), so throughput growth with sessions
+// shows the gateway/replication pipeline at work and the latency column the
+// queueing cost. Emits one JSON record per row alongside the table.
+
+// svcRecord is the JSON shape of one measurement row.
+type svcRecord struct {
+	Experiment string  `json:"experiment"`
+	Sessions   int     `json:"sessions"`
+	DurationS  float64 `json:"duration_s"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_s"`
+	MeanUS     float64 `json:"mean_us"`
+	P99US      float64 `json:"p99_us"`
+}
+
+// benchSM is a trivially cheap passive state machine.
+type benchSM struct{ applied atomic.Uint64 }
+
+func (b *benchSM) Execute(op []byte) ([]byte, []byte) { return op, op }
+func (b *benchSM) ApplyUpdate([]byte)                 { b.applied.Add(1) }
+func (b *benchSM) read(op []byte) []byte              { return op }
+
+func experimentService() error {
+	fmt.Println("== E12 — service gateway: client throughput vs concurrent sessions ==")
+	fmt.Println("   closed-loop networked clients over memnet streams; writes only")
+	fmt.Printf("%-10s %10s %12s %10s %10s\n", "sessions", "ops", "ops/s", "mean", "p99")
+
+	const runFor = time.Second
+	for _, sessions := range []int{1, 4, 16, 64} {
+		rec, err := runService(sessions, runFor)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10d %10d %12.0f %10v %10v\n",
+			rec.Sessions, rec.Ops, rec.OpsPerSec,
+			time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+			time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond))
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(line))
+	}
+	return nil
+}
+
+func runService(sessions int, runFor time.Duration) (svcRecord, error) {
+	network := newNet(int64(500 + sessions))
+	members := ids(3, "s")
+	addrs := make(map[proc.ID]string)
+	for _, id := range members {
+		addrs[id] = string(id)
+	}
+
+	var (
+		nodes []*core.Node
+		reps  []*replication.Passive
+		sms   []*benchSM
+		gws   []*service.Gateway
+	)
+	for _, id := range members {
+		sm := &benchSM{}
+		sms = append(sms, sm)
+		rep := replication.NewPassive(sm, members)
+		nd, err := core.NewNode(network.Endpoint(id),
+			core.Config{Self: id, Universe: members, Relation: replication.PassiveRelation()},
+			rep.DeliverFunc())
+		if err != nil {
+			return svcRecord{}, err
+		}
+		rep.Bind(nd)
+		nodes = append(nodes, nd)
+		reps = append(reps, rep)
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	for i, id := range members {
+		gw := service.NewGateway(service.GatewayConfig{
+			Self:    id,
+			Replica: reps[i],
+			Read:    sms[i].read,
+			Addrs:   addrs,
+		})
+		l, err := network.ListenStream(id)
+		if err != nil {
+			return svcRecord{}, err
+		}
+		gw.Serve(l)
+		gws = append(gws, gw)
+	}
+	defer func() {
+		for _, gw := range gws {
+			gw.Close()
+		}
+		stopAll(nodes, network)
+	}()
+	warm(network)
+
+	dial := func(addr string) (transport.StreamConn, error) {
+		return network.DialStream(proc.ID(addr))
+	}
+	addrList := []string{"s0", "s1", "s2"}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		hist    = sim.NewHistogram()
+		ops     atomic.Uint64
+		stop    = make(chan struct{})
+		downErr atomic.Value
+	)
+	clients := make([]*service.Client, sessions)
+	for i := range clients {
+		cl, err := service.NewClient(service.ClientConfig{
+			Addrs: addrList,
+			Dial:  dial,
+		})
+		if err != nil {
+			return svcRecord{}, err
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *service.Client) {
+			defer wg.Done()
+			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := cl.Call(op); err != nil {
+					downErr.Store(err)
+					return
+				}
+				d := time.Since(t0)
+				ops.Add(1)
+				mu.Lock()
+				hist.Add(d)
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := downErr.Load().(error); ok && err != nil {
+		return svcRecord{}, err
+	}
+
+	return svcRecord{
+		Experiment: "service",
+		Sessions:   sessions,
+		DurationS:  elapsed.Seconds(),
+		Ops:        ops.Load(),
+		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
+		MeanUS:     float64(hist.Mean()) / float64(time.Microsecond),
+		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+	}, nil
+}

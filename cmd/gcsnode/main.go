@@ -2,15 +2,26 @@
 // stack the examples run in-process, deployed as separate OS processes.
 //
 // Every member is given the full peer map; each process runs the full
-// Figure 9 stack and broadcasts a numbered message once per second while
-// printing everything it delivers, so total order is visible across
-// terminals.
+// Figure 9 stack. By default it broadcasts a numbered message once per
+// second while printing everything it delivers, so total order is visible
+// across terminals.
 //
 // Example (three shells):
 //
 //	gcsnode -self a -listen 127.0.0.1:7001 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
 //	gcsnode -self b -listen 127.0.0.1:7002 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
 //	gcsnode -self c -listen 127.0.0.1:7003 -peers a=127.0.0.1:7001,b=127.0.0.1:7002,c=127.0.0.1:7003
+//
+// With -service-listen (and -service-peers naming every member's service
+// address), the node instead runs a passively replicated key-value store
+// and exposes it to networked clients through the service gateway:
+//
+//	gcsnode -self a -listen 127.0.0.1:7001 -peers ... \
+//	        -service-listen 127.0.0.1:8001 \
+//	        -service-peers a=127.0.0.1:8001,b=127.0.0.1:8002,c=127.0.0.1:8003
+//
+// Clients (see examples/kvstore for the client side) send "put <k> <v>",
+// "del <k>" writes and "get <k>" reads.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"time"
 
 	gcs "repro"
+	"repro/internal/kvdemo"
 )
 
 // note is the demo message type.
@@ -35,20 +47,22 @@ type note struct {
 
 func main() {
 	var (
-		self      = flag.String("self", "", "this process's ID")
-		listen    = flag.String("listen", "", "listen address host:port")
-		peersSpec = flag.String("peers", "", "comma-separated id=host:port for every member (including self)")
-		sendEvery = flag.Duration("send-every", time.Second, "interval between demo broadcasts (0 = silent)")
-		useAbcast = flag.Bool("abcast", true, "broadcast with total order (false = rbcast)")
+		self         = flag.String("self", "", "this process's ID")
+		listen       = flag.String("listen", "", "listen address host:port")
+		peersSpec    = flag.String("peers", "", "comma-separated id=host:port for every member (including self)")
+		sendEvery    = flag.Duration("send-every", time.Second, "interval between demo broadcasts (0 = silent)")
+		useAbcast    = flag.Bool("abcast", true, "broadcast with total order (false = rbcast)")
+		svcListen    = flag.String("service-listen", "", "expose the service gateway on this address (enables the replicated KV store)")
+		svcPeersSpec = flag.String("service-peers", "", "comma-separated id=host:port of every member's service gateway (for redirect hints)")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -65,12 +79,12 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	}
 	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
 
-	gcs.RegisterType(note{})
-	tr, err := gcs.NewTCPTransport(gcs.ID(self), listen, peers)
-	if err != nil {
-		return err
-	}
-	node, err := gcs.NewNode(tr, gcs.Config{
+	serviceMode := svcListen != ""
+	var (
+		store   *kvdemo.Store
+		replica *gcs.PassiveReplica
+	)
+	cfg := gcs.Config{
 		Self:     gcs.ID(self),
 		Universe: universe,
 		// TCP between real processes: slightly relaxed timing defaults.
@@ -79,27 +93,74 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		SuspicionTimeout: 200 * time.Millisecond,
 		ExclusionTimeout: 2 * time.Second,
 		StartMonitor:     true,
-	}, func(d gcs.Delivery) {
-		if n, ok := d.Body.(note); ok {
-			fmt.Printf("[deliver %-6s] %s #%d: %s\n", d.Class, n.From, n.Seq, n.Text)
+	}
+	var deliver gcs.DeliverFunc
+	if serviceMode {
+		store = kvdemo.New()
+		replica = gcs.NewPassiveReplica(store, universe)
+		cfg.Relation = gcs.PassiveRelation()
+		deliver = replica.DeliverFunc()
+	} else {
+		gcs.RegisterType(note{})
+		deliver = func(d gcs.Delivery) {
+			if n, ok := d.Body.(note); ok {
+				fmt.Printf("[deliver %-6s] %s #%d: %s\n", d.Class, n.From, n.Seq, n.Text)
+			}
 		}
-	})
+	}
+
+	tr, err := gcs.NewTCPTransport(gcs.ID(self), listen, peers)
+	if err != nil {
+		return err
+	}
+	node, err := gcs.NewNode(tr, cfg, deliver)
 	if err != nil {
 		return err
 	}
 	node.OnView(func(v gcs.View) {
 		fmt.Printf("[view] %v\n", v)
 	})
+	if serviceMode {
+		// Bind before Start: deliveries may arrive as soon as the stack runs.
+		replica.Bind(node)
+	}
 	node.Start()
 	defer node.Stop()
-	fmt.Printf("gcsnode %s up; universe %v\n", self, universe)
+
+	if serviceMode {
+		replica.StartFailover(500 * time.Millisecond)
+		defer replica.StopFailover()
+
+		svcAddrs := make(map[gcs.ID]string)
+		if svcPeersSpec != "" {
+			svcPeers, err := parsePeers(svcPeersSpec)
+			if err != nil {
+				return fmt.Errorf("service peers: %w", err)
+			}
+			svcAddrs = svcPeers
+		}
+		l, err := gcs.ListenServiceTCP(svcListen)
+		if err != nil {
+			return err
+		}
+		gw := gcs.Serve(gcs.ServiceGatewayConfig{
+			Self:    gcs.ID(self),
+			Replica: replica,
+			Read:    store.Read,
+			Addrs:   svcAddrs,
+		}, l)
+		defer gw.Close()
+		fmt.Printf("gcsnode %s up; universe %v; service gateway on %s\n", self, universe, l.Addr())
+	} else {
+		fmt.Printf("gcsnode %s up; universe %v\n", self, universe)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 
 	var seq uint64
 	var tick <-chan time.Time
-	if sendEvery > 0 {
+	if !serviceMode && sendEvery > 0 {
 		ticker := time.NewTicker(sendEvery)
 		defer ticker.Stop()
 		tick = ticker.C

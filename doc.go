@@ -23,6 +23,19 @@
 //     separate monitoring component uses a long timeout, corroboration
 //     thresholds, and output-triggered suspicions before excluding anyone.
 //
+// # The service gateway
+//
+// Above the stack, every node can embed a service gateway (Serve) that
+// opens the closed group to NETWORKED clients: sessions arrive over TCP
+// (ListenServiceTCP) or over the simulated network's streams
+// (Network.ListenStream) and carry pipelined request/response traffic.
+// Writes are routed through the passive-replication primary with
+// exactly-once semantics — retries after timeouts, reconnects, or primary
+// failover are deduplicated by a replicated (session, seq) table — while
+// reads are served from the contacted node's local state. The matching
+// networked client (Dial) discovers the primary, follows NOT_PRIMARY
+// redirects and demotion pushes, and retries with backoff across crashes.
+//
 // # Quick start
 //
 //	cluster, err := gcs.NewCluster(3)

@@ -1,150 +1,157 @@
-// KV store: active replication (the state machine approach, Section 3.2.2).
+// KV store served to NETWORKED clients through the service gateway.
 //
-// Three replicas run a key-value store; every command is atomically
-// broadcast and applied by all replicas in the same order, so any replica
-// answers reads identically once the write has been delivered. Submit
-// blocks until the local replica has applied the command, which gives the
-// writer read-your-writes at its own replica.
+// Three replicas run a passively replicated key-value store (Section 3.2.3 /
+// Figure 8) over real TCP: the group members talk to each other over a TCP
+// mesh, every node embeds a service gateway on its own TCP port, and the
+// client — which is NOT a member of the group — dials the gateways over
+// loopback TCP exactly as a remote client would.
+//
+// The demo writes through the client, reads back, then hard-kills the
+// primary (group transport and gateway both): the client's session survives
+// the failover, retried writes are deduplicated by the replicated session
+// table, and every acknowledged operation is applied exactly once.
 //
 // Run with: go run ./examples/kvstore
 package main
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"log"
-	"sync"
+	"net"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/proc"
-	"repro/internal/replication"
-	"repro/internal/transport"
+	gcs "repro"
+	"repro/internal/kvdemo"
 )
 
-// kvCmd is the replicated command.
-type kvCmd struct {
-	Op    string // "put" or "del"
-	Key   string
-	Value string
-}
-
-// kvStore is a deterministic state machine.
-type kvStore struct {
-	mu   sync.Mutex
-	data map[string]string
-}
-
-func newKVStore() *kvStore {
-	return &kvStore{data: make(map[string]string)}
-}
-
-func (s *kvStore) Apply(cmd []byte) []byte {
-	var c kvCmd
-	if err := gob.NewDecoder(bytes.NewReader(cmd)).Decode(&c); err != nil {
-		return []byte("err:" + err.Error())
+// reservePorts grabs n free loopback TCP addresses (listen then close; the
+// tiny race is acceptable for a demo).
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = l.Addr().String()
+		_ = l.Close()
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch c.Op {
-	case "put":
-		s.data[c.Key] = c.Value
-		return []byte("ok")
-	case "del":
-		delete(s.data, c.Key)
-		return []byte("ok")
-	default:
-		return []byte("err:unknown op")
-	}
-}
-
-func (s *kvStore) Get(key string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.data[key]
-	return v, ok
-}
-
-func encode(c kvCmd) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
-		panic(err)
-	}
-	return buf.Bytes()
+	return addrs, nil
 }
 
 func main() {
-	network := transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond))
-	members := proc.IDs("kv1", "kv2", "kv3")
-
-	stores := make([]*kvStore, len(members))
-	replicas := make([]*replication.Active, len(members))
-	nodes := make([]*core.Node, len(members))
+	members := []gcs.ID{"kv1", "kv2", "kv3"}
+	groupAddrs, err := reservePorts(len(members))
+	if err != nil {
+		log.Fatal(err)
+	}
+	peers := make(map[gcs.ID]string)
 	for i, id := range members {
-		stores[i] = newKVStore()
-		replicas[i] = replication.NewActive(stores[i])
-		node, err := core.NewNode(network.Endpoint(id), core.Config{
+		peers[id] = groupAddrs[i]
+	}
+
+	stores := make([]*kvdemo.Store, len(members))
+	replicas := make([]*gcs.PassiveReplica, len(members))
+	nodes := make([]*gcs.Node, len(members))
+	gateways := make([]*gcs.ServiceGateway, len(members))
+	svcAddrs := make(map[gcs.ID]string)
+	listeners := make([]gcs.StreamListener, len(members))
+
+	for i, id := range members {
+		stores[i] = kvdemo.New()
+		replicas[i] = gcs.NewPassiveReplica(stores[i], members)
+		tr, err := gcs.NewTCPTransport(id, peers[id], peers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		node, err := gcs.NewNode(tr, gcs.Config{
 			Self:     id,
 			Universe: members,
+			Relation: gcs.PassiveRelation(),
+			// TCP between in-process nodes: mildly relaxed timing.
+			RTO:              50 * time.Millisecond,
+			HeartbeatEvery:   20 * time.Millisecond,
+			SuspicionTimeout: 200 * time.Millisecond,
+			ExclusionTimeout: time.Hour, // demo: no exclusions
 		}, replicas[i].DeliverFunc())
 		if err != nil {
 			log.Fatal(err)
 		}
-		nodes[i] = node
 		replicas[i].Bind(node)
+		nodes[i] = node
+
+		l, err := gcs.ListenServiceTCP("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		listeners[i] = l
+		svcAddrs[id] = l.Addr()
 	}
 	for _, n := range nodes {
 		n.Start()
 	}
+	for i, id := range members {
+		gateways[i] = gcs.Serve(gcs.ServiceGatewayConfig{
+			Self:    id,
+			Replica: replicas[i],
+			Read:    stores[i].Read,
+			Addrs:   svcAddrs,
+		}, listeners[i])
+		replicas[i].StartFailover(300 * time.Millisecond)
+	}
 	defer func() {
-		for _, n := range nodes {
-			n.Stop()
+		for i := range members {
+			replicas[i].StopFailover()
+			gateways[i].Close()
+			nodes[i].Stop()
 		}
-		network.Shutdown()
 	}()
 
-	// Writes through different replicas; each Submit returns once applied
-	// locally.
-	if _, err := replicas[0].Submit(encode(kvCmd{Op: "put", Key: "lang", Value: "go"})); err != nil {
+	// A networked client, outside the group, over loopback TCP.
+	client, err := gcs.Dial(gcs.ServiceClientConfig{
+		Addrs: []string{svcAddrs["kv1"], svcAddrs["kv2"], svcAddrs["kv3"]},
+		Dial:  gcs.DialServiceTCP,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := replicas[1].Submit(encode(kvCmd{Op: "put", Key: "paper", Value: "middleware03"})); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := replicas[2].Submit(encode(kvCmd{Op: "del", Key: "nothing"})); err != nil {
-		log.Fatal(err)
+	defer client.Close()
+
+	must := func(op string) string {
+		res, err := client.Call([]byte(op))
+		if err != nil {
+			log.Fatalf("%s: %v", op, err)
+		}
+		return string(res)
 	}
 
-	// Wait for full convergence, then read from every replica.
+	fmt.Printf("put lang go      -> %s\n", must("put lang go"))
+	fmt.Printf("put paper mw03   -> %s\n", must("put paper middleware03"))
+	fmt.Printf("del nothing      -> %s\n", must("del nothing"))
+	if v, err := client.Read([]byte("get lang")); err == nil {
+		fmt.Printf("get lang         -> %q (served by the gateway, no broadcast)\n", v)
+	}
+
+	// Hard-kill the primary's process: group transport AND gateway die.
+	fmt.Println("-- killing primary kv1 --")
+	gateways[0].Close()
+	nodes[0].Stop()
+
+	fmt.Printf("put fault tolerated -> %s (same session, new primary)\n", must("put fault tolerated"))
+	if v, err := client.Read([]byte("get fault")); err == nil {
+		fmt.Printf("get fault        -> %q via %s\n", v, client.Primary())
+	}
+
+	// Survivors converge on every write exactly once.
 	deadline := time.Now().Add(15 * time.Second)
-	for {
-		converged := true
-		for _, r := range replicas {
-			if r.Applied() != 3 {
-				converged = false
-			}
-		}
-		if converged {
-			break
-		}
+	for stores[2].Applied() != 4 {
 		if time.Now().After(deadline) {
-			log.Fatal("replicas did not converge")
+			log.Fatalf("backup kv3 applied %d of 4 writes", stores[2].Applied())
 		}
-		time.Sleep(5 * time.Millisecond)
+		time.Sleep(10 * time.Millisecond)
 	}
-	for i, s := range stores {
-		lang, _ := s.Get("lang")
-		paper, _ := s.Get("paper")
-		fmt.Printf("replica kv%d: lang=%q paper=%q\n", i+1, lang, paper)
+	for _, id := range []int{1, 2} {
+		fmt.Printf("replica kv%d: lang=%q fault=%q applied=%d\n",
+			id+1, stores[id].Get("lang"), stores[id].Get("fault"), stores[id].Applied())
 	}
-
-	// One replica crashes; the survivors keep accepting writes.
-	network.Crash("kv3")
-	if _, err := replicas[0].Submit(encode(kvCmd{Op: "put", Key: "fault", Value: "tolerated"})); err != nil {
-		log.Fatal(err)
-	}
-	v, _ := stores[0].Get("fault")
-	fmt.Printf("after crashing kv3: fault=%q (no membership change needed: %v)\n",
-		v, nodes[0].View())
 }

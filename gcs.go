@@ -10,6 +10,8 @@ import (
 	"repro/internal/monitoring"
 	"repro/internal/msg"
 	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/service"
 	"repro/internal/transport"
 )
 
@@ -44,6 +46,26 @@ type (
 	BroadcastStats = gbcast.Stats
 	// Snapshotter provides state transfer for joiners.
 	Snapshotter = membership.Snapshotter
+
+	// PassiveReplica is one replica of a passively replicated service
+	// (Section 3.2.3 / Figure 8).
+	PassiveReplica = replication.Passive
+	// PassiveStateMachine is the application behind passive replication.
+	PassiveStateMachine = replication.PassiveStateMachine
+	// ServiceGateway accepts networked client sessions at one node.
+	ServiceGateway = service.Gateway
+	// ServiceGatewayConfig parameterises a gateway.
+	ServiceGatewayConfig = service.GatewayConfig
+	// ServiceClient is the networked client of the replicated service.
+	ServiceClient = service.Client
+	// ServiceClientConfig parameterises a client.
+	ServiceClientConfig = service.ClientConfig
+	// ServiceDialer opens stream connections to gateway addresses.
+	ServiceDialer = service.Dialer
+	// StreamListener accepts client sessions (TCP or memnet).
+	StreamListener = transport.StreamListener
+	// StreamConn is one framed client connection.
+	StreamConn = transport.StreamConn
 )
 
 // Default class names of the standard relation (Section 3.3 of the paper).
@@ -97,6 +119,48 @@ func NewNode(tr Transport, cfg Config, deliver DeliverFunc) (*Node, error) {
 // deployments; peers maps every process ID to its listen address.
 func NewTCPTransport(self ID, listenAddr string, peers map[ID]string) (Transport, error) {
 	return transport.NewTCP(self, listenAddr, peers)
+}
+
+// NewPassiveReplica creates a replica of a passively replicated service;
+// replicas is the initial replica list (identical everywhere), its head the
+// initial primary. Wire the replica's DeliverFunc into NewNode (with the
+// PassiveRelation) and Bind it to the started node.
+func NewPassiveReplica(sm PassiveStateMachine, replicas []ID) *PassiveReplica {
+	return replication.NewPassive(sm, replicas)
+}
+
+// PassiveRelation returns the Section 3.2.3 conflict table used by passive
+// replication (updates fast, primary changes ordered).
+func PassiveRelation() *Relation {
+	return replication.PassiveRelation()
+}
+
+// Serve embeds a service gateway in a node: it accepts networked client
+// sessions from l (see ListenServiceTCP and Network.ListenStream) and routes
+// their writes through cfg.Replica with exactly-once semantics. Close the
+// returned gateway to stop serving; it owns l.
+func Serve(cfg ServiceGatewayConfig, l StreamListener) *ServiceGateway {
+	gw := service.NewGateway(cfg)
+	gw.Serve(l)
+	return gw
+}
+
+// Dial creates a networked client for the service gateways at
+// cfg.Addrs. The client discovers the primary, pipelines requests, retries
+// across failover, and guarantees acknowledged writes executed exactly once.
+func Dial(cfg ServiceClientConfig) (*ServiceClient, error) {
+	return service.NewClient(cfg)
+}
+
+// ListenServiceTCP opens a TCP listener for client sessions (":0" picks a
+// free port, reported by Addr).
+func ListenServiceTCP(addr string) (StreamListener, error) {
+	return transport.ListenStreamTCP(addr)
+}
+
+// DialServiceTCP is the ServiceDialer for TCP deployments.
+func DialServiceTCP(addr string) (StreamConn, error) {
+	return transport.DialStreamTCP(addr)
 }
 
 // Cluster is an in-process group of nodes over a simulated network — the

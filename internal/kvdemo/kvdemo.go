@@ -1,0 +1,89 @@
+// Package kvdemo is the small replicated key-value state machine shared by
+// cmd/gcsnode's service mode and examples/kvstore — one implementation of
+// the wire protocol so the server and the demos cannot drift apart.
+//
+// Writes are the text operations "put <k> <v>" and "del <k>"; reads are
+// "get <k>". The update propagated to backups is the operation itself
+// (deterministic, so identical apply order from the broadcast layer yields
+// identical state).
+package kvdemo
+
+import (
+	"strings"
+	"sync"
+)
+
+// Store implements replication.PassiveStateMachine plus a local read.
+type Store struct {
+	mu      sync.Mutex
+	data    map[string]string
+	applied int
+}
+
+// New creates an empty store.
+func New() *Store { return &Store{data: make(map[string]string)} }
+
+// Execute validates a write without mutating state; the returned update is
+// the operation itself (or nil with an error result for a malformed op).
+func (s *Store) Execute(op []byte) ([]byte, []byte) {
+	fields := strings.Fields(string(op))
+	if len(fields) == 0 {
+		return []byte("err: empty op"), nil
+	}
+	switch fields[0] {
+	case "put":
+		if len(fields) != 3 {
+			return []byte("err: usage put <k> <v>"), nil
+		}
+		return []byte("ok"), op
+	case "del":
+		if len(fields) != 2 {
+			return []byte("err: usage del <k>"), nil
+		}
+		return []byte("ok"), op
+	default:
+		return []byte("err: unknown op " + fields[0]), nil
+	}
+}
+
+// ApplyUpdate mutates the store; called at every replica in delivery order.
+func (s *Store) ApplyUpdate(update []byte) {
+	if update == nil {
+		return
+	}
+	fields := strings.Fields(string(update))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch fields[0] {
+	case "put":
+		s.data[fields[1]] = fields[2]
+	case "del":
+		delete(s.data, fields[1])
+	}
+	s.applied++
+}
+
+// Read serves "get <k>" from local state (the gateway's read handler).
+func (s *Store) Read(op []byte) []byte {
+	fields := strings.Fields(string(op))
+	if len(fields) != 2 || fields[0] != "get" {
+		return []byte("err: usage get <k>")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []byte(s.data[fields[1]])
+}
+
+// Get returns the value of k ("" if absent).
+func (s *Store) Get(k string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.data[k]
+}
+
+// Applied returns how many updates this replica has applied.
+func (s *Store) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}

@@ -11,6 +11,8 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"reflect"
+	"sync"
 )
 
 // envelope is the concrete top-level type handed to gob; the payload itself
@@ -19,10 +21,26 @@ type envelope struct {
 	V any
 }
 
+var (
+	registryMu sync.Mutex
+	registry   = make(map[reflect.Type]bool)
+)
+
 // Register makes a concrete message type known to the codec. It must be
 // called (typically from the defining package's registration hook) before a
 // value of that type is encoded or decoded.
+//
+// Register is idempotent: registering the same concrete type any number of
+// times — e.g. from several init paths of a library user, or from tests that
+// re-run registration helpers — is a no-op after the first call.
 func Register(v any) {
+	t := reflect.TypeOf(v)
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if registry[t] {
+		return
+	}
+	registry[t] = true
 	gob.Register(v)
 }
 

@@ -58,6 +58,26 @@ func TestNestedAny(t *testing.T) {
 	}
 }
 
+// Register must be idempotent: multiple init paths (library user plus a
+// package's own hook) may register the same concrete type.
+func TestRegisterIdempotent(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		Register(codecProbe{})
+		Register(nestedProbe{})
+	}
+	data, err := Encode(codecProbe{A: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(codecProbe); got.A != 9 {
+		t.Fatalf("round trip after re-registration: %+v", got)
+	}
+}
+
 func TestDecodeGarbage(t *testing.T) {
 	if _, err := Decode([]byte("not gob at all")); err == nil {
 		t.Fatal("expected error decoding garbage")

@@ -69,6 +69,13 @@ type (
 		ReqID  uint64
 		Update []byte
 		Result []byte
+		// Session/Seq identify the client operation for exactly-once
+		// semantics across failover (empty Session = unsessioned request).
+		// Ack piggybacks the client's highest acknowledged sequence so every
+		// replica can prune its session table deterministically.
+		Session string
+		Seq     uint64
+		Ack     uint64
 	}
 	pChange struct {
 		Old proc.ID
@@ -93,6 +100,10 @@ var (
 	// the quorum. The paper's client reacts by learning the new primary
 	// and reissuing the request (Section 3.2.3).
 	ErrTimeout = errors.New("replication: request timed out")
+	// ErrPruned is returned by RequestSession for a sequence number the
+	// client has already acknowledged: the result was pruned from the
+	// session table and the retry indicates a client bug.
+	ErrPruned = errors.New("replication: request already acknowledged and pruned")
 )
 
 // Passive is one replica of a passively-replicated service.
@@ -109,10 +120,41 @@ type Passive struct {
 	applied  uint64
 	ignored  uint64
 	changes  uint64
+	dups     uint64 // session duplicates suppressed at apply time
+
+	// sessions is REPLICATED state: it is mutated only by update delivery,
+	// so (up to entries pruned by piggybacked client acks) every replica
+	// holds the same table and any new primary can deduplicate retries.
+	sessions map[string]*sessionRecord
+	// inflight joins concurrent RequestSession calls for the same
+	// (session, seq) at this primary so an operation is never broadcast (and
+	// hence executed) twice.
+	inflight map[sessKey]*sessWaiter
+
+	onPrimaryChange func(primary proc.ID, epoch uint64)
 
 	failover     *fd.Subscription
 	stopFailover chan struct{}
 	failoverDone sync.WaitGroup
+}
+
+// sessionRecord is one client session's slice of the replicated dedup table.
+type sessionRecord struct {
+	results map[uint64][]byte // seq -> result, for unacknowledged seqs
+	pruned  uint64            // seqs <= pruned were acknowledged by the client
+}
+
+type sessKey struct {
+	session string
+	seq     uint64
+}
+
+// sessWaiter lets a retried request join the in-flight original instead of
+// re-executing it.
+type sessWaiter struct {
+	done   chan struct{}
+	result []byte
+	err    error
 }
 
 // NewPassive creates a replica. replicas is the initial replica list (the
@@ -122,6 +164,8 @@ func NewPassive(sm PassiveStateMachine, replicas []proc.ID) *Passive {
 		sm:       sm,
 		replicas: proc.NewView(replicas...),
 		waiters:  make(map[uint64]chan pUpdate),
+		sessions: make(map[string]*sessionRecord),
+		inflight: make(map[sessKey]*sessWaiter),
 	}
 }
 
@@ -212,6 +256,26 @@ func (p *Passive) Counters() (applied, ignored, changes uint64) {
 	return p.applied, p.ignored, p.changes
 }
 
+// Duplicates returns the number of session updates suppressed at apply time
+// because their (session, seq) had already been applied — the exactly-once
+// accounting.
+func (p *Passive) Duplicates() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dups
+}
+
+// OnPrimaryChange registers a hook invoked after every delivered primary
+// change with the new primary and epoch. It runs on the stack's delivery
+// goroutine and must not block; the service gateway uses it to push
+// NOT_PRIMARY redirects to connected clients (handing the work to its own
+// goroutine).
+func (p *Passive) OnPrimaryChange(fn func(primary proc.ID, epoch uint64)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onPrimaryChange = fn
+}
+
 // RequestPrimaryChange g-broadcasts primary-change(old) (Figure 8).
 func (p *Passive) RequestPrimaryChange(old proc.ID) error {
 	if err := p.node.Gbcast(ClassPrimaryChange, pChange{Old: old}); err != nil {
@@ -278,6 +342,123 @@ func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
 	}
 }
 
+// RequestSession is Request with exactly-once semantics across failover.
+// The client names its operation with a (session, seq) pair; every replica
+// records delivered results in a replicated session table, so a retry of an
+// already-executed operation — at this primary or at a new primary after a
+// failover — returns the original result instead of executing again.
+// ack is the client's highest contiguously acknowledged sequence; it is
+// piggybacked on the update so all replicas prune their tables identically.
+//
+// Concurrent calls for the same (session, seq) join the in-flight original:
+// the operation is broadcast (and executed) at most once per epoch, and
+// apply-time deduplication suppresses cross-epoch duplicates.
+func (p *Passive) RequestSession(session string, seq, ack uint64, op []byte, timeout time.Duration) ([]byte, error) {
+	if session == "" {
+		return nil, fmt.Errorf("replication: RequestSession with empty session")
+	}
+	key := sessKey{session: session, seq: seq}
+	p.mu.Lock()
+	if p.replicas.Primary() != p.self {
+		primary := p.replicas.Primary()
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, primary)
+	}
+	if rec, ok := p.sessions[session]; ok {
+		if res, ok := rec.results[seq]; ok {
+			// Already executed. If its local apply is still in flight (the
+			// result is recorded before ApplyUpdate runs), wait for it so a
+			// cached result is never observable before the state change.
+			w := p.inflight[key]
+			p.mu.Unlock()
+			if w != nil {
+				return w.wait(timeout)
+			}
+			return append([]byte(nil), res...), nil
+		}
+		if seq <= rec.pruned {
+			p.mu.Unlock()
+			return nil, ErrPruned
+		}
+	}
+	if w, ok := p.inflight[key]; ok {
+		p.mu.Unlock()
+		return w.wait(timeout)
+	}
+	w := &sessWaiter{done: make(chan struct{})}
+	p.inflight[key] = w
+	epoch := p.epoch
+	p.nextReq++
+	req := p.nextReq
+	ch := make(chan pUpdate, 1)
+	p.waiters[req] = ch
+	p.mu.Unlock()
+
+	// Drive the operation to resolution on its own goroutine: even if this
+	// caller's timeout expires, the in-flight entry must survive until the
+	// update is delivered or the primary is demoted, or a retry could
+	// re-execute the operation.
+	go p.driveSession(key, w, req, ch, epoch, op, ack)
+	return w.wait(timeout)
+}
+
+func (p *Passive) driveSession(key sessKey, w *sessWaiter, req uint64, ch chan pUpdate, epoch uint64, op []byte, ack uint64) {
+	result, update := p.sm.Execute(op)
+	u := pUpdate{
+		Epoch: epoch, Client: p.self, ReqID: req,
+		Update: update, Result: result,
+		Session: key.session, Seq: key.seq, Ack: ack,
+	}
+	if err := p.node.Gbcast(ClassUpdate, u); err != nil {
+		p.mu.Lock()
+		delete(p.waiters, req)
+		p.mu.Unlock()
+		p.resolve(key, w, nil, fmt.Errorf("replication: update: %w", err))
+		return
+	}
+	delivered := <-ch
+	if delivered.Epoch == staleEpoch {
+		p.resolve(key, w, nil, ErrDemoted)
+		return
+	}
+	p.resolve(key, w, delivered.Result, nil)
+}
+
+func (p *Passive) resolve(key sessKey, w *sessWaiter, result []byte, err error) {
+	p.mu.Lock()
+	delete(p.inflight, key)
+	p.mu.Unlock()
+	w.result, w.err = result, err
+	close(w.done)
+}
+
+func (w *sessWaiter) wait(timeout time.Duration) ([]byte, error) {
+	var expire <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case <-w.done:
+		if w.err != nil {
+			return nil, w.err
+		}
+		return append([]byte(nil), w.result...), nil
+	case <-expire:
+		return nil, ErrTimeout
+	}
+}
+
+func (p *Passive) sessionLocked(session string) *sessionRecord {
+	rec, ok := p.sessions[session]
+	if !ok {
+		rec = &sessionRecord{results: make(map[uint64][]byte)}
+		p.sessions[session] = rec
+	}
+	return rec
+}
+
 // staleEpoch marks an update that was ignored because a primary change was
 // delivered first (Figure 8 case 2).
 const staleEpoch = ^uint64(0)
@@ -285,7 +466,48 @@ const staleEpoch = ^uint64(0)
 func (p *Passive) onUpdate(u pUpdate) {
 	p.mu.Lock()
 	stale := u.Epoch != p.epoch
-	if stale {
+	dup := false
+	var applyGate *sessWaiter // set when this delivery must run ApplyUpdate
+	key := sessKey{session: u.Session, seq: u.Seq}
+	if !stale && u.Session != "" {
+		// Sessioned update: apply-time exactly-once. The dedup decision and
+		// the table record happen atomically with RequestSession's dedup
+		// check; the apply itself runs outside the lock (the state machine
+		// must never be entered with p.mu held), gated through an inflight
+		// waiter so a cached result is never returned before its state
+		// change has been applied at this replica.
+		rec := p.sessionLocked(u.Session)
+		switch {
+		case u.Seq <= rec.pruned:
+			dup = true
+		default:
+			if cached, ok := rec.results[u.Seq]; ok {
+				dup = true
+				u.Result = cached // the waiter gets the original result
+			}
+		}
+		if dup {
+			p.dups++
+		} else {
+			p.applied++
+			rec.results[u.Seq] = u.Result
+			if u.Ack > rec.pruned {
+				rec.pruned = u.Ack
+				for s := range rec.results {
+					if s <= rec.pruned {
+						delete(rec.results, s)
+					}
+				}
+			}
+			// At the originator the inflight waiter already exists and is
+			// owned by driveSession (resolved after our wake below, which
+			// follows the apply); elsewhere, gate retries until applied.
+			if _, ok := p.inflight[key]; !ok {
+				applyGate = &sessWaiter{done: make(chan struct{})}
+				p.inflight[key] = applyGate
+			}
+		}
+	} else if stale {
 		p.ignored++
 	} else {
 		p.applied++
@@ -297,8 +519,11 @@ func (p *Passive) onUpdate(u pUpdate) {
 	}
 	p.mu.Unlock()
 
-	if !stale {
+	if !stale && (u.Session == "" || !dup) {
 		p.sm.ApplyUpdate(u.Update)
+	}
+	if applyGate != nil {
+		p.resolve(key, applyGate, u.Result, nil)
 	}
 	if ch != nil {
 		if stale {
@@ -310,11 +535,20 @@ func (p *Passive) onUpdate(u pUpdate) {
 
 func (p *Passive) onChange(c pChange) {
 	p.mu.Lock()
+	var hook func(primary proc.ID, epoch uint64)
+	var primary proc.ID
+	var epoch uint64
 	next := p.replicas.RotatePast(c.Old)
 	if next.Seq != p.replicas.Seq {
 		p.replicas = next
 		p.epoch++
 		p.changes++
+		hook = p.onPrimaryChange
+		primary = next.Primary()
+		epoch = p.epoch
 	}
 	p.mu.Unlock()
+	if hook != nil {
+		hook(primary, epoch)
+	}
 }

@@ -298,6 +298,161 @@ func TestPassiveFailover(t *testing.T) {
 	}
 }
 
+// ---- sessioned requests (service gateway substrate) -----------------------
+
+// countingSM returns a distinct result per execution and records every
+// applied update, so re-execution and double-application are observable.
+type countingSM struct {
+	mu      sync.Mutex
+	execs   int
+	applies []string
+}
+
+func (c *countingSM) Execute(op []byte) ([]byte, []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.execs++
+	return []byte(fmt.Sprintf("res-%d", c.execs)), op
+}
+
+func (c *countingSM) ApplyUpdate(update []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.applies = append(c.applies, string(update))
+}
+
+func (c *countingSM) snapshot() (int, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.execs, append([]string(nil), c.applies...)
+}
+
+func buildCountingPassive(t *testing.T, n int) ([]*Passive, []*countingSM, *transport.Network) {
+	t.Helper()
+	sms := make([]*countingSM, n)
+	reps := make([]*Passive, n)
+	ids := make([]proc.ID, n)
+	for i := range ids {
+		ids[i] = proc.ID(fmt.Sprintf("s%d", i+1))
+	}
+	mk := func(i int, _ proc.ID) core.DeliverFunc {
+		sms[i] = &countingSM{}
+		reps[i] = NewPassive(sms[i], ids)
+		return reps[i].DeliverFunc()
+	}
+	network, nodes := buildNodes(t, n, PassiveRelation(), mk, nil)
+	for i, r := range reps {
+		r.Bind(nodes[i])
+	}
+	return reps, sms, network
+}
+
+func TestRequestSessionExactlyOnce(t *testing.T) {
+	reps, sms, _ := buildCountingPassive(t, 3)
+	const timeout = 10 * time.Second
+
+	res1, err := reps[0].RequestSession("c1", 1, 0, []byte("op1"), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A retry of the same (session, seq) must return the original result
+	// without executing again.
+	res1b, err := reps[0].RequestSession("c1", 1, 0, []byte("op1"), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res1) != string(res1b) {
+		t.Fatalf("retry returned %q, original %q", res1b, res1)
+	}
+	if execs, applies := sms[0].snapshot(); execs != 1 || len(applies) != 1 {
+		t.Fatalf("retry re-executed: execs=%d applies=%v", execs, applies)
+	}
+
+	// Concurrent duplicates join the in-flight original.
+	var wg sync.WaitGroup
+	results := make([]string, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := reps[0].RequestSession("c1", 2, 1, []byte("op2"), timeout)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = string(res)
+		}(i)
+	}
+	wg.Wait()
+	if results[0] != results[1] {
+		t.Fatalf("concurrent duplicates diverged: %q vs %q", results[0], results[1])
+	}
+	if execs, _ := sms[0].snapshot(); execs != 2 {
+		t.Fatalf("concurrent duplicate executed twice: execs=%d", execs)
+	}
+
+	// seq 2 piggybacked ack=1, so seq 1 is pruned everywhere: a retry of an
+	// acknowledged request is a client bug.
+	if _, err := reps[0].RequestSession("c1", 1, 0, []byte("op1"), timeout); !errors.Is(err, ErrPruned) {
+		t.Fatalf("retry of acked seq: %v", err)
+	}
+}
+
+// TestRequestSessionFailoverDedup: the session table is replicated, so a new
+// primary recognises a retry of an operation the old primary already got
+// applied, returns the original result, and does not apply it twice.
+func TestRequestSessionFailoverDedup(t *testing.T) {
+	reps, sms, network := buildCountingPassive(t, 3)
+	for _, r := range reps {
+		r.StartFailover(60 * time.Millisecond)
+		defer r.StopFailover()
+	}
+	const timeout = 10 * time.Second
+
+	res, err := reps[0].RequestSession("c9", 1, 0, []byte("write"), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the update to reach every replica before the crash.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, applies := sms[2].snapshot()
+		if len(applies) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("update not replicated")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	network.Crash("s1")
+	deadline = time.Now().Add(10 * time.Second)
+	for reps[1].Primary() != "s2" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no failover: primary still %s", reps[1].Primary())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The client (believing its ack was lost) retries at the new primary.
+	res2, err := reps[1].RequestSession("c9", 1, 0, []byte("write"), timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2) != string(res) {
+		t.Fatalf("new primary returned %q, original %q", res2, res)
+	}
+	if execs, applies := sms[1].snapshot(); execs != 0 || len(applies) != 1 {
+		t.Fatalf("new primary re-executed: execs=%d applies=%v", execs, applies)
+	}
+	if dups := reps[1].Duplicates(); dups != 0 {
+		// The retry was answered from the table without a second broadcast,
+		// so no apply-time duplicate was even needed.
+		t.Fatalf("unexpected apply-time duplicates: %d", dups)
+	}
+}
+
 // ---- bank (Section 4.2) --------------------------------------------------
 
 func buildBank(t *testing.T, n int, rel *gbcast.Relation) []*Bank {

@@ -1,0 +1,489 @@
+package service
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Dialer opens a stream connection to a gateway service address. Deployments
+// use transport.DialStreamTCP; deterministic tests dial memnet streams.
+type Dialer func(addr string) (transport.StreamConn, error)
+
+// ClientConfig parameterises a Client.
+type ClientConfig struct {
+	// Addrs are the gateway service addresses of the group, in any order.
+	Addrs []string
+	// Dial opens a connection to one address.
+	Dial Dialer
+	// Session identifies this client's session; generated when empty.
+	// Reusing a session ID across client restarts resumes its dedup state.
+	Session string
+	// MaxInflight bounds pipelined operations awaiting responses
+	// (default 32). Excess calls block until a slot frees.
+	MaxInflight int
+	// OpTimeout bounds one operation end to end, across all retries
+	// (default 30s).
+	OpTimeout time.Duration
+	// RetryBackoff is the base delay between reconnect attempts; each full
+	// sweep of Addrs doubles it up to 32x (default 10ms).
+	RetryBackoff time.Duration
+}
+
+// ErrClosed is returned by operations on a closed client.
+var ErrClosed = errors.New("service: client closed")
+
+// call is one pending operation.
+type call struct {
+	seq    uint64
+	op     []byte
+	read   bool
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+func (c *call) finish(result []byte, err error) {
+	c.result, c.err = result, err
+	close(c.done)
+}
+
+// Client is the networked Figure 8 client: it pipelines operations to the
+// gateway it believes fronts the primary, follows NOT_PRIMARY redirects and
+// demotion pushes, and on timeouts or broken connections reconnects
+// (discovering the new primary) and retransmits every unanswered operation
+// under its original (session, seq) name, so the replicated session table
+// makes the retry exactly-once.
+type Client struct {
+	cfg     ClientConfig
+	session string
+
+	mu         sync.Mutex
+	conn       transport.StreamConn
+	connAddr   string // address of the current connection
+	gen        int    // increments on every (re)connection
+	connecting bool   // a reconnect goroutine is running
+	hint       string
+	rr         int // round-robin cursor into cfg.Addrs
+	nextSeq    uint64
+	acked      uint64          // highest contiguously acknowledged seq
+	ackedSet   map[uint64]bool // acknowledged seqs above acked
+	pending    map[uint64]*call
+	closed     bool
+
+	window chan struct{} // pipelining semaphore
+	done   chan struct{}
+}
+
+// NewClient creates a client for the gateways at cfg.Addrs. The first
+// connection is established lazily, so a client may be created while the
+// whole group is down.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("service: no gateway addresses")
+	}
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("service: no dialer")
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 32
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 30 * time.Second
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	session := cfg.Session
+	if session == "" {
+		var buf [8]byte
+		if _, err := rand.Read(buf[:]); err != nil {
+			return nil, fmt.Errorf("service: session id: %w", err)
+		}
+		session = hex.EncodeToString(buf[:])
+	}
+	return &Client{
+		cfg:      cfg,
+		session:  session,
+		ackedSet: make(map[uint64]bool),
+		pending:  make(map[uint64]*call),
+		window:   make(chan struct{}, cfg.MaxInflight),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Session returns the client's session ID.
+func (c *Client) Session() string { return c.session }
+
+// Primary returns the client's current belief about the primary's address.
+func (c *Client) Primary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hint
+}
+
+// Close aborts all pending operations and releases the connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.done)
+	conn := c.conn
+	c.conn = nil
+	calls := make([]*call, 0, len(c.pending))
+	for _, cl := range c.pending {
+		calls = append(calls, cl)
+	}
+	c.pending = make(map[uint64]*call)
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	for _, cl := range calls {
+		cl.finish(nil, ErrClosed)
+	}
+}
+
+// Call executes a write through the replicated service and returns its
+// result. Calls may be issued concurrently; up to MaxInflight are pipelined.
+// An acknowledged call executed exactly once, even across primary failover.
+func (c *Client) Call(op []byte) ([]byte, error) {
+	return c.do(op, false)
+}
+
+// Read executes a read-only operation against the connected gateway's local
+// state (no replication; reads at a backup may trail the primary).
+func (c *Client) Read(op []byte) ([]byte, error) {
+	return c.do(op, true)
+}
+
+func (c *Client) do(op []byte, read bool) ([]byte, error) {
+	select {
+	case c.window <- struct{}{}:
+		defer func() { <-c.window }()
+	case <-c.done:
+		return nil, ErrClosed
+	}
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextSeq++
+	cl := &call{
+		seq:  c.nextSeq,
+		op:   append([]byte(nil), op...),
+		read: read,
+		done: make(chan struct{}),
+	}
+	c.pending[cl.seq] = cl
+	conn, ok := c.connLocked()
+	ack := c.acked
+	gen := c.gen
+	c.mu.Unlock()
+
+	if ok {
+		c.transmit(conn, gen, cl, ack)
+	}
+
+	timer := time.NewTimer(c.cfg.OpTimeout)
+	defer timer.Stop()
+	select {
+	case <-cl.done:
+		return cl.result, cl.err
+	case <-timer.C:
+		c.abandon(cl.seq)
+		return nil, fmt.Errorf("service: %s op %d timed out after %v",
+			map[bool]string{false: "write", true: "read"}[read], cl.seq, c.cfg.OpTimeout)
+	case <-c.done:
+		return nil, ErrClosed
+	}
+}
+
+// abandon drops a timed-out operation and marks its seq acknowledged: the
+// client will never retry it, so replicas may prune it. The operation may or
+// may not have executed — the caller was told it timed out.
+func (c *Client) abandon(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.ackedSet[seq] = true
+	for c.ackedSet[c.acked+1] {
+		delete(c.ackedSet, c.acked+1)
+		c.acked++
+	}
+	c.mu.Unlock()
+}
+
+// connLocked returns the live connection if there is one; otherwise it
+// ensures a reconnect goroutine is running (which will transmit every
+// pending operation once connected) and returns ok=false.
+func (c *Client) connLocked() (transport.StreamConn, bool) {
+	if c.conn != nil {
+		return c.conn, true
+	}
+	if !c.connecting && !c.closed {
+		c.connecting = true
+		go c.reconnect()
+	}
+	return nil, false
+}
+
+// transmit sends one operation on conn; a send failure triggers recovery
+// (the op stays pending and is retransmitted on the next connection).
+func (c *Client) transmit(conn transport.StreamConn, gen int, cl *call, ack uint64) {
+	frame, err := encodeFrame(reqFrame{Seq: cl.seq, Ack: ack, Op: cl.op, Read: cl.read})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, cl.seq)
+		c.mu.Unlock()
+		cl.finish(nil, err)
+		return
+	}
+	if conn.Send(frame) != nil {
+		c.connBroken(gen)
+	}
+}
+
+// connBroken invalidates generation gen's connection and starts recovery.
+func (c *Client) connBroken(gen int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen || c.closed {
+		return // a newer connection already exists
+	}
+	c.gen++
+	if c.conn != nil {
+		conn := c.conn
+		c.conn = nil
+		go conn.Close()
+	}
+	if !c.connecting {
+		c.connecting = true
+		go c.reconnect()
+	}
+}
+
+// reconnect dials gateways until a session is established, then retransmits
+// every pending operation in seq order. It follows primary hints: after the
+// handshake it prefers the gateway fronting the primary (bounded hops, so a
+// stale hint cannot cause ping-pong), but settles anywhere to serve reads
+// and learn fresher hints.
+func (c *Client) reconnect() {
+	backoff := c.cfg.RetryBackoff
+	for sweep := 0; ; sweep++ {
+		select {
+		case <-c.done:
+			c.mu.Lock()
+			c.connecting = false
+			c.mu.Unlock()
+			return
+		default:
+		}
+
+		conn, addr, ok := c.attemptConnect()
+		if !ok {
+			select {
+			case <-time.After(backoff):
+			case <-c.done:
+			}
+			if backoff < 32*c.cfg.RetryBackoff {
+				backoff *= 2
+			}
+			continue
+		}
+
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		c.gen++
+		gen := c.gen
+		c.conn = conn
+		c.connAddr = addr
+		c.connecting = false
+		resend := make([]*call, 0, len(c.pending))
+		for _, cl := range c.pending {
+			resend = append(resend, cl)
+		}
+		ack := c.acked
+		c.mu.Unlock()
+
+		go c.recvLoop(conn, gen)
+		sort.Slice(resend, func(i, j int) bool { return resend[i].seq < resend[j].seq })
+		for _, cl := range resend {
+			c.transmit(conn, gen, cl, ack)
+		}
+		return
+	}
+}
+
+// attemptConnect tries one sweep: the primary hint first, then every
+// configured address round-robin. After each handshake it follows the
+// gateway's primary hint for at most two hops (so a stale hint cannot cause
+// ping-pong), settling anywhere that answers if the hops run out.
+func (c *Client) attemptConnect() (transport.StreamConn, string, bool) {
+	c.mu.Lock()
+	hint := c.hint
+	start := c.rr
+	c.rr = (c.rr + 1) % len(c.cfg.Addrs)
+	c.mu.Unlock()
+
+	tried := make(map[string]bool)
+	candidates := make([]string, 0, len(c.cfg.Addrs)+1)
+	if hint != "" {
+		candidates = append(candidates, hint)
+	}
+	for i := 0; i < len(c.cfg.Addrs); i++ {
+		candidates = append(candidates, c.cfg.Addrs[(start+i)%len(c.cfg.Addrs)])
+	}
+	for _, addr := range candidates {
+		for hop := 0; hop < 3; hop++ {
+			if addr == "" || tried[addr] {
+				break
+			}
+			tried[addr] = true
+			conn, welcome, err := c.handshake(addr)
+			if err != nil {
+				break // next candidate
+			}
+			c.mu.Lock()
+			if welcome.Primary != "" {
+				c.hint = welcome.Primary
+			}
+			c.mu.Unlock()
+			if welcome.IsPrimary || welcome.Primary == "" || welcome.Primary == addr ||
+				tried[welcome.Primary] || hop >= 2 {
+				return conn, addr, true
+			}
+			// This gateway fronts a backup: chase its hint.
+			_ = conn.Close()
+			addr = welcome.Primary
+		}
+	}
+	return nil, "", false
+}
+
+// handshake dials addr and completes the hello/welcome exchange.
+func (c *Client) handshake(addr string) (transport.StreamConn, welcomeFrame, error) {
+	conn, err := c.cfg.Dial(addr)
+	if err != nil {
+		return nil, welcomeFrame{}, err
+	}
+	hello, err := encodeFrame(helloFrame{Session: c.session})
+	if err != nil {
+		_ = conn.Close()
+		return nil, welcomeFrame{}, err
+	}
+	if err := conn.Send(hello); err != nil {
+		_ = conn.Close()
+		return nil, welcomeFrame{}, err
+	}
+	data, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return nil, welcomeFrame{}, err
+	}
+	v, err := decodeFrame(data)
+	if err != nil {
+		_ = conn.Close()
+		return nil, welcomeFrame{}, err
+	}
+	welcome, ok := v.(welcomeFrame)
+	if !ok {
+		_ = conn.Close()
+		return nil, welcomeFrame{}, fmt.Errorf("service: unexpected handshake frame %T", v)
+	}
+	return conn, welcome, nil
+}
+
+// recvLoop dispatches responses for one connection generation.
+func (c *Client) recvLoop(conn transport.StreamConn, gen int) {
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			c.connBroken(gen)
+			return
+		}
+		v, err := decodeFrame(data)
+		if err != nil {
+			c.connBroken(gen)
+			return
+		}
+		switch f := v.(type) {
+		case resFrame:
+			c.handleResponse(gen, f)
+		case pushFrame:
+			// Demotion push: reconnect toward the new primary; pending
+			// operations are retransmitted there.
+			c.mu.Lock()
+			if f.Primary != "" {
+				c.hint = f.Primary
+			}
+			c.mu.Unlock()
+			c.connBroken(gen)
+			return
+		}
+	}
+}
+
+func (c *Client) handleResponse(gen int, f resFrame) {
+	switch f.Err {
+	case "":
+		c.complete(f.Seq, f.Result, nil, gen)
+	case errNotPrimary:
+		// The op stays pending; reconnect to the hinted primary and let the
+		// resend deliver it there.
+		c.mu.Lock()
+		if f.Redirect != "" {
+			c.hint = f.Redirect
+		}
+		stillPending := c.pending[f.Seq] != nil
+		c.mu.Unlock()
+		if stillPending {
+			c.connBroken(gen)
+		}
+	case errTimeout:
+		// The gateway could not get the write delivered in time (e.g. its
+		// replica is cut off). Reconnect — possibly to another gateway — and
+		// retry under the same seq.
+		c.connBroken(gen)
+	default:
+		// Terminal server-side error (PRUNED, NO_READS, application error).
+		c.complete(f.Seq, nil, fmt.Errorf("service: server error: %s", f.Err), gen)
+	}
+}
+
+// complete resolves a pending call and advances the contiguous ack frontier.
+// A successful write proves the gateway that answered fronts the primary, so
+// its address becomes the primary hint.
+func (c *Client) complete(seq uint64, result []byte, err error, gen int) {
+	c.mu.Lock()
+	cl, ok := c.pending[seq]
+	if ok {
+		delete(c.pending, seq)
+		c.ackedSet[seq] = true
+		for c.ackedSet[c.acked+1] {
+			delete(c.ackedSet, c.acked+1)
+			c.acked++
+		}
+		if err == nil && !cl.read && gen == c.gen && c.connAddr != "" {
+			c.hint = c.connAddr
+		}
+	}
+	c.mu.Unlock()
+	if ok {
+		cl.finish(result, err)
+	}
+}

@@ -1,0 +1,149 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServiceFailoverExactlyOnce is the end-to-end failover guarantee over
+// the simulated network: a client streams pipelined writes at a 3-node
+// group, the primary is crashed mid-stream, and the client fails over to
+// the new primary. Afterwards:
+//
+//   - every ACKNOWLEDGED write is applied exactly once at every surviving
+//     replica (no duplicate from the retry path, no lost ack);
+//   - every unacknowledged write was retried until it too applied exactly
+//     once (the test keeps calling until all ops succeed);
+//   - no op is applied twice anywhere.
+func TestServiceFailoverExactlyOnce(t *testing.T) {
+	c := buildService(t, 3, nil)
+	c.startFailover(t, 60*time.Millisecond)
+	client := c.newClient(t, func(cfg *ClientConfig) {
+		cfg.MaxInflight = 8
+		cfg.OpTimeout = 60 * time.Second
+	})
+
+	const (
+		workers    = 4
+		opsPerWkr  = 25
+		crashAfter = 10 // acked ops before the crash
+	)
+
+	var (
+		mu    sync.Mutex
+		acked = make(map[string]bool) // ops whose Call returned nil error
+	)
+	var ackedEarly sync.WaitGroup
+	ackedEarly.Add(crashAfter)
+	var early int
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerWkr; i++ {
+				op := fmt.Sprintf("w%d-op%d", w, i)
+				res, err := client.Call([]byte(op))
+				if err != nil {
+					t.Errorf("op %s: %v", op, err)
+					return
+				}
+				if string(res) != "ok:"+op {
+					t.Errorf("op %s: result %q", op, res)
+					return
+				}
+				mu.Lock()
+				acked[op] = true
+				if early < crashAfter {
+					early++
+					ackedEarly.Done()
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Crash the primary once a batch of writes has been acknowledged, while
+	// plenty are still in flight.
+	ackedEarly.Wait()
+	c.network.Crash("s1")
+	wg.Wait()
+
+	total := workers * opsPerWkr
+	mu.Lock()
+	ackCount := len(acked)
+	mu.Unlock()
+	if ackCount != total {
+		t.Fatalf("only %d of %d ops acknowledged", ackCount, total)
+	}
+
+	// Survivors converge: every op applied exactly once at s2 and s3.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, i := range []int{1, 2} {
+			if c.sms[i].applied() < total {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("survivors did not converge: s2=%d s3=%d want %d",
+				c.sms[1].applied(), c.sms[2].applied(), total)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, i := range []int{1, 2} {
+		if dups := c.sms[i].duplicatedOps(); len(dups) > 0 {
+			t.Fatalf("replica s%d applied ops more than once: %v", i+1, dups)
+		}
+		for op := range acked {
+			if n := c.sms[i].count(op); n != 1 {
+				t.Fatalf("acknowledged op %s applied %d times at s%d", op, n, i+1)
+			}
+		}
+	}
+	if got := client.Primary(); got == "s1" || got == "" {
+		t.Fatalf("client still believes primary is %q", got)
+	}
+}
+
+// TestServiceFailoverRetriesDuringOutage checks the client keeps retrying
+// through the election window: a write issued immediately after the crash
+// (before any backup has been elected) must eventually succeed at the new
+// primary without executing twice.
+func TestServiceFailoverRetriesDuringOutage(t *testing.T) {
+	c := buildService(t, 3, nil)
+	c.startFailover(t, 60*time.Millisecond)
+	client := c.newClient(t, func(cfg *ClientConfig) { cfg.OpTimeout = 60 * time.Second })
+
+	if _, err := client.Call([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	c.network.Crash("s1")
+	// Issued during the outage: no primary exists until failover completes.
+	res, err := client.Call([]byte("during-outage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "ok:during-outage" {
+		t.Fatalf("result %q", res)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for c.sms[2].count("during-outage") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("op applied %d times at s3", c.sms[2].count("during-outage"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, i := range []int{1, 2} {
+		if dups := c.sms[i].duplicatedOps(); len(dups) > 0 {
+			t.Fatalf("replica s%d duplicated: %v", i+1, dups)
+		}
+	}
+}

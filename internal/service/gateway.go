@@ -1,0 +1,376 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/transport"
+)
+
+// GatewayConfig parameterises a Gateway.
+type GatewayConfig struct {
+	// Self is the identity of the node this gateway is embedded in.
+	Self proc.ID
+	// Replica is the node's passive-replication replica; writes go through
+	// its RequestSession for exactly-once semantics.
+	Replica *replication.Passive
+	// Read serves read-only operations from local state (nil rejects reads).
+	Read func(op []byte) []byte
+	// Addrs maps every replica ID to its gateway's service address, used for
+	// NOT_PRIMARY redirect hints. Missing entries yield empty hints.
+	Addrs map[proc.ID]string
+	// MaxInflight bounds each session's unanswered writes; beyond it the
+	// gateway stops reading from the session's connection (default 64).
+	MaxInflight int
+	// RequestTimeout bounds the wait for one write's replicated delivery
+	// before answering TIMEOUT so the client can retry (default 5s).
+	RequestTimeout time.Duration
+}
+
+// GatewayStats is a snapshot of gateway accounting.
+type GatewayStats struct {
+	Sessions      int    // sessions ever opened
+	Writes        uint64 // write operations answered
+	Reads         uint64 // read operations answered
+	Redirects     uint64 // NOT_PRIMARY answers and demotion pushes
+	MaxInflight   int64  // highest per-session in-flight count observed
+	ActiveStreams int64  // currently attached connections
+}
+
+// Gateway accepts networked client sessions at one node of the group and
+// routes their operations into the replicated service.
+type Gateway struct {
+	cfg GatewayConfig
+
+	mu        sync.Mutex
+	sessions  map[string]*gwSession
+	conns     map[transport.StreamConn]bool
+	listeners []transport.StreamListener
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	writes      atomic.Uint64
+	reads       atomic.Uint64
+	redirects   atomic.Uint64
+	maxInflight atomic.Int64
+	active      atomic.Int64
+}
+
+// gwSession is one client session's server-side state. Unanswered writes
+// are bounded at MaxInflight: up to MaxInflight-1 queued plus one being
+// processed by the worker; beyond that the connection's read loop blocks.
+type gwSession struct {
+	id    string
+	queue chan reqFrame // pending writes; capacity = MaxInflight-1
+
+	mu   sync.Mutex
+	conn transport.StreamConn // current attachment (nil between connections)
+}
+
+// send writes a frame to the session's current connection, if any. Errors
+// are ignored: a broken connection is detected by its read loop, and the
+// client recovers any lost response by retrying.
+func (s *gwSession) send(v any) {
+	frame, err := encodeFrame(v)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Send(frame)
+	}
+}
+
+// attach makes conn the session's current connection, detaching (and
+// closing) any previous one: the newest connection wins, as the client only
+// dials anew after abandoning the old connection.
+func (s *gwSession) attach(conn transport.StreamConn) {
+	s.mu.Lock()
+	old := s.conn
+	s.conn = conn
+	s.mu.Unlock()
+	if old != nil && old != conn {
+		_ = old.Close()
+	}
+}
+
+// detach clears the session's connection if it is still conn.
+func (s *gwSession) detach(conn transport.StreamConn) {
+	s.mu.Lock()
+	if s.conn == conn {
+		s.conn = nil
+	}
+	s.mu.Unlock()
+}
+
+// NewGateway creates a gateway over the node's replica. Call Serve to start
+// accepting sessions; the gateway also subscribes to primary changes so it
+// can push NOT_PRIMARY redirects on demotion.
+func NewGateway(cfg GatewayConfig) *Gateway {
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	g := &Gateway{
+		cfg:      cfg,
+		sessions: make(map[string]*gwSession),
+		conns:    make(map[transport.StreamConn]bool),
+		done:     make(chan struct{}),
+	}
+	cfg.Replica.OnPrimaryChange(func(primary proc.ID, _ uint64) {
+		// Delivery goroutine: hand the pushes to a gateway goroutine.
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		if primary == cfg.Self {
+			return
+		}
+		hint := cfg.Addrs[primary]
+		go g.pushDemotion(hint)
+	})
+	return g
+}
+
+// Serve accepts sessions from l until the gateway or listener is closed.
+// It starts goroutines and returns immediately. The gateway takes ownership
+// of l: Close closes it.
+func (g *Gateway) Serve(l transport.StreamListener) {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		_ = l.Close()
+		return
+	}
+	g.listeners = append(g.listeners, l)
+	g.mu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			g.mu.Lock()
+			if g.closed {
+				g.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			g.conns[conn] = true
+			g.mu.Unlock()
+			g.wg.Add(1)
+			go g.handleConn(conn)
+		}
+	}()
+}
+
+// Close stops the gateway: listeners passed to Serve are closed, all
+// connections break, session workers halt, and the replica's primary-change
+// hook is released (so a closed gateway is no longer reachable from the
+// replica; do not share one replica between gateways).
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.cfg.Replica.OnPrimaryChange(nil)
+	close(g.done)
+	conns := make([]transport.StreamConn, 0, len(g.conns))
+	for c := range g.conns {
+		conns = append(conns, c)
+	}
+	listeners := g.listeners
+	g.mu.Unlock()
+	for _, l := range listeners {
+		_ = l.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	g.wg.Wait()
+}
+
+// Stats returns a snapshot of the gateway's counters.
+func (g *Gateway) Stats() GatewayStats {
+	g.mu.Lock()
+	sessions := len(g.sessions)
+	g.mu.Unlock()
+	return GatewayStats{
+		Sessions:      sessions,
+		Writes:        g.writes.Load(),
+		Reads:         g.reads.Load(),
+		Redirects:     g.redirects.Load(),
+		MaxInflight:   g.maxInflight.Load(),
+		ActiveStreams: g.active.Load(),
+	}
+}
+
+// hint returns the service address of the current primary, or "".
+func (g *Gateway) hint() string {
+	return g.cfg.Addrs[g.cfg.Replica.Primary()]
+}
+
+// pushDemotion sends a NOT_PRIMARY push to every attached session.
+func (g *Gateway) pushDemotion(hint string) {
+	g.mu.Lock()
+	sessions := make([]*gwSession, 0, len(g.sessions))
+	for _, s := range g.sessions {
+		sessions = append(sessions, s)
+	}
+	g.mu.Unlock()
+	for _, s := range sessions {
+		g.redirects.Add(1)
+		s.send(pushFrame{Primary: hint})
+	}
+}
+
+// session returns (creating if needed) the session with the given ID,
+// starting its worker on creation.
+func (g *Gateway) session(id string) *gwSession {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if s, ok := g.sessions[id]; ok {
+		return s
+	}
+	s := &gwSession{
+		id:    id,
+		queue: make(chan reqFrame, g.cfg.MaxInflight-1),
+	}
+	g.sessions[id] = s
+	g.wg.Add(1)
+	go g.sessionWorker(s)
+	return s
+}
+
+// handleConn speaks the session protocol on one inbound connection.
+func (g *Gateway) handleConn(conn transport.StreamConn) {
+	defer g.wg.Done()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+		_ = conn.Close()
+	}()
+	g.active.Add(1)
+	defer g.active.Add(-1)
+
+	// Handshake: the first frame must be a hello.
+	data, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	v, err := decodeFrame(data)
+	if err != nil {
+		return
+	}
+	hello, ok := v.(helloFrame)
+	if !ok || hello.Session == "" {
+		return
+	}
+	s := g.session(hello.Session)
+	s.attach(conn)
+	defer s.detach(conn)
+
+	welcome, err := encodeFrame(welcomeFrame{
+		Session:     hello.Session,
+		MaxInflight: g.cfg.MaxInflight,
+		Primary:     g.hint(),
+		IsPrimary:   g.cfg.Replica.Primary() == g.cfg.Self,
+	})
+	if err != nil || conn.Send(welcome) != nil {
+		return
+	}
+
+	for {
+		data, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		v, err := decodeFrame(data)
+		if err != nil {
+			return
+		}
+		req, ok := v.(reqFrame)
+		if !ok {
+			continue
+		}
+		if req.Read {
+			g.serveRead(s, req)
+			continue
+		}
+		// Backpressure: when the session's window is full this send blocks,
+		// pausing reads from the connection until the worker catches up.
+		select {
+		case s.queue <- req:
+		case <-g.done:
+			return
+		}
+	}
+}
+
+// serveRead answers a read from local state without touching the group.
+func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
+	res := resFrame{Seq: req.Seq}
+	if g.cfg.Read == nil {
+		res.Err = errNoReads
+	} else {
+		res.Result = g.cfg.Read(req.Op)
+		g.reads.Add(1)
+	}
+	s.send(res)
+}
+
+// sessionWorker executes one session's writes serially, in arrival (= seq)
+// order, answering on whichever connection the session currently has.
+func (g *Gateway) sessionWorker(s *gwSession) {
+	defer g.wg.Done()
+	for {
+		var req reqFrame
+		select {
+		case req = <-s.queue:
+		case <-g.done:
+			return
+		}
+		// Unanswered writes at this instant: the queued ones plus this one.
+		n := int64(len(s.queue)) + 1
+		for {
+			max := g.maxInflight.Load()
+			if n <= max || g.maxInflight.CompareAndSwap(max, n) {
+				break
+			}
+		}
+		res := resFrame{Seq: req.Seq}
+		result, err := g.cfg.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
+		switch {
+		case err == nil:
+			res.Result = result
+			g.writes.Add(1)
+		case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
+			res.Err = errNotPrimary
+			res.Redirect = g.hint()
+			g.redirects.Add(1)
+		case errors.Is(err, replication.ErrTimeout):
+			res.Err = errTimeout
+		case errors.Is(err, replication.ErrPruned):
+			res.Err = errPruned
+		default:
+			res.Err = err.Error()
+		}
+		s.send(res)
+	}
+}

@@ -1,0 +1,113 @@
+// Package service is the open-group edge of the stack: a network gateway
+// that lets clients OUTSIDE the replicated group use the passively
+// replicated service inside it (the Figure 8 client/server split carried
+// over a real access network instead of in-process object references).
+//
+// Every node of the group embeds a Gateway. Clients dial any gateway over a
+// framed stream (TCP in deployments, memnet streams in deterministic tests)
+// and speak a small session protocol:
+//
+//	client                        gateway
+//	  | HELLO{session}               |
+//	  |----------------------------->|
+//	  |        WELCOME{max, primary} |
+//	  |<-----------------------------|
+//	  | REQ{seq, ack, op}            |   writes: routed into the group via
+//	  |----------------------------->|   the passive-replication primary
+//	  |              RES{seq, result}|   (g-broadcast update, Section 3.2.3)
+//	  |<-----------------------------|
+//	  | REQ{seq, op, read}           |   reads: served from local state
+//	  |----------------------------->|
+//	  |              RES{seq, result}|
+//	  |<-----------------------------|
+//	  |     PUSH{primary}  (demotion)|   NOT_PRIMARY redirect, unsolicited
+//	  |<-----------------------------|
+//
+// Exactly-once semantics: the client names every write with a (session, seq)
+// pair; the replication layer records delivered results in a replicated
+// session table (replication.RequestSession). A retry of an acknowledged
+// write — after a timeout, a reconnect, or a fail-over to a new primary —
+// returns the original result instead of executing twice, and unacknowledged
+// writes are retried until they execute exactly once. REQ.Ack carries the
+// client's highest contiguously acknowledged sequence so the table can be
+// pruned identically at every replica.
+//
+// Backpressure: each session has a bounded in-flight window at the gateway
+// (Config.MaxInflight). When the window is full the gateway stops reading
+// from the session's connection, which propagates to the client through the
+// stream, exactly like TCP flow control.
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/msg"
+)
+
+// Protocol frames. All travel msg-encoded inside stream frames.
+type (
+	// helloFrame opens (or resumes) a session.
+	helloFrame struct {
+		Session string
+	}
+	// welcomeFrame acknowledges a hello.
+	welcomeFrame struct {
+		Session     string
+		MaxInflight int
+		Primary     string // service address of the believed primary ("" unknown)
+		IsPrimary   bool   // whether THIS gateway's replica is the primary
+	}
+	// reqFrame is one client operation.
+	reqFrame struct {
+		Seq  uint64
+		Ack  uint64 // highest contiguously acknowledged response
+		Op   []byte
+		Read bool // serve from local state, no replication
+	}
+	// resFrame answers reqFrame with the same Seq.
+	resFrame struct {
+		Seq      uint64
+		Result   []byte
+		Err      string // one of the err* codes, or a free-form message
+		Redirect string // with errNotPrimary: address of the new primary
+	}
+	// pushFrame is unsolicited: the gateway's replica was demoted and
+	// clients should reconnect to the new primary.
+	pushFrame struct {
+		Primary string
+	}
+)
+
+// Error codes carried in resFrame.Err.
+const (
+	errNotPrimary = "NOT_PRIMARY"
+	errTimeout    = "TIMEOUT"
+	errPruned     = "PRUNED"
+	errNoReads    = "NO_READS"
+)
+
+func init() {
+	msg.Register(helloFrame{})
+	msg.Register(welcomeFrame{})
+	msg.Register(reqFrame{})
+	msg.Register(resFrame{})
+	msg.Register(pushFrame{})
+}
+
+// decodeFrame decodes one stream frame into a protocol frame.
+func decodeFrame(data []byte) (any, error) {
+	v, err := msg.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: bad frame: %w", err)
+	}
+	return v, nil
+}
+
+// encodeFrame encodes a protocol frame for the stream.
+func encodeFrame(v any) ([]byte, error) {
+	data, err := msg.Encode(v)
+	if err != nil {
+		return nil, fmt.Errorf("service: encode frame: %w", err)
+	}
+	return data, nil
+}

@@ -30,6 +30,8 @@ type Network struct {
 	partition  map[proc.ID]int           // partition group per process; empty = connected
 	partActive bool
 	closed     bool
+	listeners  map[proc.ID]*memStreamListener // service stream listeners
+	pipes      []*memPipe                     // open service streams
 
 	stats Stats
 }
@@ -98,11 +100,13 @@ func (n *Network) Endpoint(id proc.ID) Transport {
 
 // Crash drops all traffic from and to id until Restart. It models a process
 // crash at the network level; the process's goroutines are unaffected (a
-// crashed process in the crash-stop model simply stops being heard).
+// crashed process in the crash-stop model simply stops being heard). Every
+// service stream attached to id breaks, like TCP connections to a dead host.
 func (n *Network) Crash(id proc.ID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.crashed[id] = true
+	n.breakStreamsLocked(id, false)
 }
 
 // Restart re-enables traffic from and to a previously crashed process.
@@ -198,9 +202,17 @@ func (n *Network) Shutdown() {
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
 	}
+	n.breakStreamsLocked("", true)
+	listeners := make([]*memStreamListener, 0, len(n.listeners))
+	for _, l := range n.listeners {
+		listeners = append(listeners, l)
+	}
 	n.mu.Unlock()
 	for _, ep := range eps {
 		ep.Close()
+	}
+	for _, l := range listeners {
+		_ = l.Close()
 	}
 }
 

@@ -1,0 +1,295 @@
+package transport
+
+// Stream support: reliable, FIFO, connection-oriented framing for the
+// service gateway's client sessions. Unlike the Transport interface (the
+// unreliable u-send/u-receive substrate under the group stack), streams
+// model the *access network* between external clients and the group's edge:
+// a client dials a gateway, exchanges length-prefixed frames, and observes
+// connection breakage when the gateway crashes.
+//
+// Two implementations mirror the two transports:
+//
+//   - memnet streams (Network.ListenStream / Network.DialStream) for
+//     deterministic in-process tests: frames are reliable and FIFO, and
+//     Network.Crash(id) breaks every stream attached to id, exactly like a
+//     TCP RST from a dead host.
+//   - TCP streams (ListenStreamTCP / DialStreamTCP) for real deployments,
+//     using the same 4-byte big-endian length framing as the group's TCP
+//     transport.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/proc"
+)
+
+// StreamConn is one side of a reliable, FIFO, framed connection.
+type StreamConn interface {
+	// Send transmits one frame. It returns an error once the connection is
+	// broken (peer crash or Close).
+	Send(frame []byte) error
+	// Recv blocks for the next frame. It returns an error once the
+	// connection is broken; buffered frames are NOT drained after breakage
+	// (a crash loses in-flight data, as TCP does).
+	Recv() ([]byte, error)
+	// Close breaks the connection; both sides observe an error.
+	Close() error
+}
+
+// StreamListener accepts inbound stream connections.
+type StreamListener interface {
+	// Accept blocks for the next inbound connection.
+	Accept() (StreamConn, error)
+	// Addr returns the address clients dial to reach this listener.
+	Addr() string
+	// Close stops the listener; blocked Accepts return an error.
+	Close() error
+}
+
+// ErrStreamClosed is returned by stream operations after breakage.
+var ErrStreamClosed = errors.New("transport: stream closed")
+
+// ---- memnet streams -------------------------------------------------------
+
+const streamQueue = 256
+
+// memPipe is the shared state of one full-duplex in-memory stream.
+type memPipe struct {
+	net  *Network
+	host proc.ID // the listening endpoint this stream attaches to
+	c2s  chan []byte
+	s2c  chan []byte
+	done chan struct{}
+	once sync.Once
+}
+
+func (p *memPipe) close() {
+	p.once.Do(func() { close(p.done) })
+}
+
+// memStreamConn is one side of a memPipe.
+type memStreamConn struct {
+	pipe *memPipe
+	tx   chan<- []byte
+	rx   <-chan []byte
+}
+
+var _ StreamConn = (*memStreamConn)(nil)
+
+func (c *memStreamConn) Send(frame []byte) error {
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	select {
+	case <-c.pipe.done:
+		return ErrStreamClosed
+	default:
+	}
+	select {
+	case c.tx <- buf:
+		return nil
+	case <-c.pipe.done:
+		return ErrStreamClosed
+	}
+}
+
+func (c *memStreamConn) Recv() ([]byte, error) {
+	select {
+	case <-c.pipe.done:
+		return nil, ErrStreamClosed
+	case frame := <-c.rx:
+		return frame, nil
+	}
+}
+
+func (c *memStreamConn) Close() error {
+	c.pipe.close()
+	c.pipe.net.removePipe(c.pipe)
+	return nil
+}
+
+// memStreamListener accepts in-memory streams for one endpoint ID.
+type memStreamListener struct {
+	net    *Network
+	id     proc.ID
+	accept chan *memStreamConn
+	done   chan struct{}
+	once   sync.Once
+}
+
+var _ StreamListener = (*memStreamListener)(nil)
+
+func (l *memStreamListener) Accept() (StreamConn, error) {
+	select {
+	case <-l.done:
+		return nil, ErrStreamClosed
+	case c := <-l.accept:
+		return c, nil
+	}
+}
+
+func (l *memStreamListener) Addr() string { return string(l.id) }
+
+func (l *memStreamListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		if l.net.listeners[l.id] == l {
+			delete(l.net.listeners, l.id)
+		}
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// ListenStream registers a stream listener for id. Clients reach it with
+// DialStream(id); the listener's Addr is the ID itself. One listener per ID.
+func (n *Network) ListenStream(id proc.ID) (StreamListener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrStreamClosed
+	}
+	if n.listeners == nil {
+		n.listeners = make(map[proc.ID]*memStreamListener)
+	}
+	if _, dup := n.listeners[id]; dup {
+		return nil, fmt.Errorf("transport: stream listener for %q already exists", id)
+	}
+	l := &memStreamListener{
+		net:    n,
+		id:     id,
+		accept: make(chan *memStreamConn, streamQueue),
+		done:   make(chan struct{}),
+	}
+	n.listeners[id] = l
+	return l, nil
+}
+
+// DialStream connects to the stream listener registered for id. Dialing a
+// crashed or unlistened endpoint fails, like a refused TCP connection.
+func (n *Network) DialStream(id proc.ID) (StreamConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrStreamClosed
+	}
+	if n.crashed[id] {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial %q: endpoint crashed", id)
+	}
+	l, ok := n.listeners[id]
+	if !ok {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: dial %q: connection refused", id)
+	}
+	pipe := &memPipe{
+		net:  n,
+		host: id,
+		c2s:  make(chan []byte, streamQueue),
+		s2c:  make(chan []byte, streamQueue),
+		done: make(chan struct{}),
+	}
+	client := &memStreamConn{pipe: pipe, tx: pipe.c2s, rx: pipe.s2c}
+	server := &memStreamConn{pipe: pipe, tx: pipe.s2c, rx: pipe.c2s}
+	n.pipes = append(n.pipes, pipe)
+	n.mu.Unlock()
+
+	select {
+	case l.accept <- server:
+		return client, nil
+	case <-l.done:
+		pipe.close()
+		n.removePipe(pipe)
+		return nil, ErrStreamClosed
+	}
+}
+
+// removePipe forgets a closed stream so the Network does not accumulate
+// dead pipes (and their frame buffers) across connect/close churn.
+func (n *Network) removePipe(p *memPipe) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, q := range n.pipes {
+		if q == p {
+			n.pipes = append(n.pipes[:i], n.pipes[i+1:]...)
+			return
+		}
+	}
+}
+
+// breakStreams closes every stream attached to host id (crash injection) —
+// called with n.mu held by Crash and Shutdown.
+func (n *Network) breakStreamsLocked(id proc.ID, all bool) {
+	kept := n.pipes[:0]
+	for _, p := range n.pipes {
+		if all || p.host == id {
+			p.close()
+			continue
+		}
+		kept = append(kept, p)
+	}
+	n.pipes = kept
+}
+
+// ---- TCP streams ----------------------------------------------------------
+
+// tcpStreamConn adapts a net.Conn to the framed StreamConn contract.
+type tcpStreamConn struct {
+	c   net.Conn
+	wmu sync.Mutex
+}
+
+var _ StreamConn = (*tcpStreamConn)(nil)
+
+func (s *tcpStreamConn) Send(frame []byte) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.c, frame)
+}
+
+func (s *tcpStreamConn) Recv() ([]byte, error) {
+	return readFrame(s.c)
+}
+
+func (s *tcpStreamConn) Close() error { return s.c.Close() }
+
+// tcpStreamListener adapts a net.Listener.
+type tcpStreamListener struct {
+	ln net.Listener
+}
+
+var _ StreamListener = (*tcpStreamListener)(nil)
+
+func (l *tcpStreamListener) Accept() (StreamConn, error) {
+	c, err := l.ln.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &tcpStreamConn{c: c}, nil
+}
+
+func (l *tcpStreamListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *tcpStreamListener) Close() error { return l.ln.Close() }
+
+// ListenStreamTCP opens a TCP stream listener (the service gateway's public
+// endpoint). Use ":0" to let the kernel pick a port; Addr reports it.
+func ListenStreamTCP(addr string) (StreamListener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream listen: %w", err)
+	}
+	return &tcpStreamListener{ln: ln}, nil
+}
+
+// DialStreamTCP connects to a TCP stream listener.
+func DialStreamTCP(addr string) (StreamConn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
+	}
+	return &tcpStreamConn{c: c}, nil
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// exerciseStream runs the common contract checks over a dialed pair.
+func exerciseStream(t *testing.T, dial func() (StreamConn, error), accepted <-chan StreamConn) {
+	t.Helper()
+	client, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var server StreamConn
+	select {
+	case server = <-accepted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept timed out")
+	}
+
+	// FIFO both ways.
+	for i := byte(0); i < 10; i++ {
+		if err := client.Send([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 10; i++ {
+		frame, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) != 1 || frame[0] != i {
+			t.Fatalf("frame %d: got %v", i, frame)
+		}
+	}
+	if err := server.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := client.Recv()
+	if err != nil || string(frame) != "pong" {
+		t.Fatalf("client recv %q %v", frame, err)
+	}
+
+	// Close propagates to both sides.
+	_ = client.Close()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("server Recv succeeded after client close")
+	}
+	if err := client.Send([]byte("x")); err == nil {
+		t.Fatal("Send succeeded after close")
+	}
+}
+
+func acceptLoop(t *testing.T, l StreamListener) <-chan StreamConn {
+	t.Helper()
+	ch := make(chan StreamConn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			ch <- c
+		}
+	}()
+	return ch
+}
+
+func TestMemStreamContract(t *testing.T) {
+	network := NewNetwork()
+	defer network.Shutdown()
+	l, err := network.ListenStream("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Addr() != "gw" {
+		t.Fatalf("addr %q", l.Addr())
+	}
+	exerciseStream(t, func() (StreamConn, error) { return network.DialStream("gw") }, acceptLoop(t, l))
+}
+
+func TestTCPStreamContract(t *testing.T) {
+	l, err := ListenStreamTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	exerciseStream(t, func() (StreamConn, error) { return DialStreamTCP(l.Addr()) }, acceptLoop(t, l))
+}
+
+// A crash of the listening endpoint must break established streams and
+// refuse new dials until Restart.
+func TestMemStreamCrashBreaksConnections(t *testing.T) {
+	network := NewNetwork()
+	defer network.Shutdown()
+	l, err := network.ListenStream("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := acceptLoop(t, l)
+	client, err := network.DialStream("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+
+	network.Crash("gw")
+	if _, err := client.Recv(); err == nil {
+		t.Fatal("Recv succeeded across a crash")
+	}
+	if _, err := network.DialStream("gw"); err == nil {
+		t.Fatal("dial to crashed endpoint succeeded")
+	}
+	network.Restart("gw")
+	c2, err := network.DialStream("gw")
+	if err != nil {
+		t.Fatalf("dial after restart: %v", err)
+	}
+	_ = c2.Close()
+}
+
+func TestMemStreamDuplicateListener(t *testing.T) {
+	network := NewNetwork()
+	defer network.Shutdown()
+	l, err := network.ListenStream("gw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := network.ListenStream("gw"); err == nil {
+		t.Fatal("duplicate listener allowed")
+	}
+	_ = l.Close()
+	// After Close the ID is free again.
+	if _, err := network.ListenStream("gw"); err != nil {
+		t.Fatalf("relisten after close: %v", err)
+	}
+}
+
+func TestMemStreamDialUnlistened(t *testing.T) {
+	network := NewNetwork()
+	defer network.Shutdown()
+	if _, err := network.DialStream("nobody"); err == nil {
+		t.Fatal("dial to unlistened ID succeeded")
+	}
+}
