@@ -339,7 +339,109 @@ type noopPassive struct{}
 func (noopPassive) Execute(op []byte) ([]byte, []byte) { return op, op }
 func (noopPassive) ApplyUpdate([]byte)                 {}
 
+// Group-commit write path: the same sessioned write workload against a
+// 3-replica passive group, with and without batching. The batched variant
+// coalesces the concurrent writes of RunParallel's workers into one
+// g-broadcast per commit window.
+func runSessionWrites(b *testing.B, batch bool) {
+	b.Helper()
+	network := transport.NewNetwork(
+		transport.WithDelay(50*time.Microsecond, 200*time.Microsecond),
+		transport.WithSeed(1))
+	ids := proc.IDs("s1", "s2", "s3")
+	reps := make([]*replication.Passive, 3)
+	var nodes []*core.Node
+	for i, id := range ids {
+		reps[i] = replication.NewPassive(noopPassive{}, ids)
+		nd, err := core.NewNode(network.Endpoint(id), core.Config{
+			Self: id, Universe: ids, Relation: replication.PassiveRelation(),
+		}, reps[i].DeliverFunc())
+		if err != nil {
+			b.Fatal(err)
+		}
+		nodes = append(nodes, nd)
+	}
+	for i, r := range reps {
+		r.Bind(nodes[i])
+		if batch {
+			r.EnableBatching(replication.BatchConfig{})
+		}
+	}
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	b.Cleanup(func() {
+		for i, nd := range nodes {
+			reps[i].StopBatching()
+			nd.Stop()
+		}
+		network.Shutdown()
+	})
+
+	payload := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+	var session atomic.Uint64
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		sess := fmt.Sprintf("bench-%d", session.Add(1))
+		var seq uint64
+		for pb.Next() {
+			seq++
+			if _, err := reps[0].RequestSession(sess, seq, seq-1, payload, 30*time.Second); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// E12 microbenchmarks — per-op cost of the ordered write path, one
+// g-broadcast per op ...
+func BenchmarkSessionWriteUnbatched(b *testing.B) { runSessionWrites(b, false) }
+
+// ... versus the group-commit batcher coalescing concurrent ops.
+func BenchmarkSessionWriteBatched(b *testing.B) { runSessionWrites(b, true) }
+
 // Substrate microbenchmarks.
+
+// BenchmarkMsgCodec measures the pooled gob codec hot path that every
+// message of every layer pays — batching multiplies payload sizes, so both
+// small and batch-sized payloads are covered.
+func BenchmarkMsgCodec(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		p := sim.NewPayload(1, size)
+		pre, err := msg.Encode(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("encode/size=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := msg.Encode(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("encodeTransient/size=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, release, err := msg.EncodeTransient(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				release()
+			}
+		})
+		b.Run(fmt.Sprintf("decode/size=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := msg.Decode(pre); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkCodecRoundTrip(b *testing.B) {
 	p := sim.NewPayload(1, 256)

@@ -18,20 +18,27 @@ import (
 // ---- E12: service gateway ------------------------------------------------
 //
 // Client-observed throughput and latency of the networked service layer as
-// the number of concurrent sessions grows. Every session is a closed loop
-// (one outstanding write at a time), so throughput growth with sessions
-// shows the gateway/replication pipeline at work and the latency column the
-// queueing cost. Emits one JSON record per row alongside the table.
+// the number of concurrent sessions grows, with and without group-commit
+// batching. Every session is a closed loop (one outstanding write at a
+// time). Unbatched, every write pays its own g-broadcast round trip, which
+// saturates past a handful of sessions; batched, the primary coalesces all
+// sessions' concurrent writes into one g-broadcast per commit window, so
+// throughput keeps scaling while the single-session latency stays within
+// the (zero by default) max batch delay. Emits one JSON record per row
+// alongside the table.
 
 // svcRecord is the JSON shape of one measurement row.
 type svcRecord struct {
 	Experiment string  `json:"experiment"`
+	Batch      bool    `json:"batch"`
 	Sessions   int     `json:"sessions"`
 	DurationS  float64 `json:"duration_s"`
 	Ops        uint64  `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_s"`
 	MeanUS     float64 `json:"mean_us"`
 	P99US      float64 `json:"p99_us"`
+	Batches    uint64  `json:"batches"`   // broadcasts carrying the ops (0 unbatched)
+	MaxBatch   int     `json:"max_batch"` // largest coalesced batch (0 unbatched)
 }
 
 // benchSM is a trivially cheap passive state machine.
@@ -44,28 +51,32 @@ func (b *benchSM) read(op []byte) []byte              { return op }
 func experimentService() error {
 	fmt.Println("== E12 — service gateway: client throughput vs concurrent sessions ==")
 	fmt.Println("   closed-loop networked clients over memnet streams; writes only")
-	fmt.Printf("%-10s %10s %12s %10s %10s\n", "sessions", "ops", "ops/s", "mean", "p99")
+	fmt.Printf("%-6s %-10s %10s %12s %10s %10s %10s\n",
+		"batch", "sessions", "ops", "ops/s", "mean", "p99", "batches")
 
 	const runFor = time.Second
-	for _, sessions := range []int{1, 4, 16, 64} {
-		rec, err := runService(sessions, runFor)
-		if err != nil {
-			return err
+	for _, batch := range []bool{false, true} {
+		for _, sessions := range []int{1, 4, 16, 64} {
+			rec, err := runService(sessions, batch, runFor)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-6v %-10d %10d %12.0f %10v %10v %10d\n",
+				rec.Batch, rec.Sessions, rec.Ops, rec.OpsPerSec,
+				time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond),
+				rec.Batches)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
 		}
-		fmt.Printf("%-10d %10d %12.0f %10v %10v\n",
-			rec.Sessions, rec.Ops, rec.OpsPerSec,
-			time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
-			time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond))
-		line, err := json.Marshal(rec)
-		if err != nil {
-			return err
-		}
-		fmt.Println(string(line))
 	}
 	return nil
 }
 
-func runService(sessions int, runFor time.Duration) (svcRecord, error) {
+func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, error) {
 	network := newNet(int64(500 + sessions))
 	members := ids(3, "s")
 	addrs := make(map[proc.ID]string)
@@ -90,6 +101,9 @@ func runService(sessions int, runFor time.Duration) (svcRecord, error) {
 			return svcRecord{}, err
 		}
 		rep.Bind(nd)
+		if batch {
+			rep.EnableBatching(replication.BatchConfig{})
+		}
 		nodes = append(nodes, nd)
 		reps = append(reps, rep)
 	}
@@ -98,10 +112,11 @@ func runService(sessions int, runFor time.Duration) (svcRecord, error) {
 	}
 	for i, id := range members {
 		gw := service.NewGateway(service.GatewayConfig{
-			Self:    id,
-			Replica: reps[i],
-			Read:    sms[i].read,
-			Addrs:   addrs,
+			Self:     id,
+			Replica:  reps[i],
+			Read:     sms[i].read,
+			Addrs:    addrs,
+			Batching: batch,
 		})
 		l, err := network.ListenStream(id)
 		if err != nil {
@@ -113,6 +128,9 @@ func runService(sessions int, runFor time.Duration) (svcRecord, error) {
 	defer func() {
 		for _, gw := range gws {
 			gw.Close()
+		}
+		for _, rep := range reps {
+			rep.StopBatching()
 		}
 		stopAll(nodes, network)
 	}()
@@ -176,14 +194,18 @@ func runService(sessions int, runFor time.Duration) (svcRecord, error) {
 	if err, ok := downErr.Load().(error); ok && err != nil {
 		return svcRecord{}, err
 	}
+	bst := reps[0].BatchStats()
 
 	return svcRecord{
 		Experiment: "service",
+		Batch:      batch,
 		Sessions:   sessions,
 		DurationS:  elapsed.Seconds(),
 		Ops:        ops.Load(),
 		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
 		MeanUS:     float64(hist.Mean()) / float64(time.Microsecond),
 		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+		Batches:    bst.Batches,
+		MaxBatch:   bst.MaxBatch,
 	}, nil
 }

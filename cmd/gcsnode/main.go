@@ -54,15 +54,17 @@ func main() {
 		useAbcast    = flag.Bool("abcast", true, "broadcast with total order (false = rbcast)")
 		svcListen    = flag.String("service-listen", "", "expose the service gateway on this address (enables the replicated KV store)")
 		svcPeersSpec = flag.String("service-peers", "", "comma-separated id=host:port of every member's service gateway (for redirect hints)")
+		svcBatch     = flag.Bool("service-batch", false, "group-commit batching: coalesce concurrent session writes into one broadcast")
+		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcTTL); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcTTL time.Duration) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -130,6 +132,10 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	if serviceMode {
 		replica.StartFailover(500 * time.Millisecond)
 		defer replica.StopFailover()
+		if svcBatch {
+			replica.EnableBatching(gcs.BatchConfig{})
+			defer replica.StopBatching()
+		}
 
 		svcAddrs := make(map[gcs.ID]string)
 		if svcPeersSpec != "" {
@@ -144,10 +150,12 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			return err
 		}
 		gw := gcs.Serve(gcs.ServiceGatewayConfig{
-			Self:    gcs.ID(self),
-			Replica: replica,
-			Read:    store.Read,
-			Addrs:   svcAddrs,
+			Self:       gcs.ID(self),
+			Replica:    replica,
+			Read:       store.Read,
+			Addrs:      svcAddrs,
+			Batching:   svcBatch,
+			SessionTTL: svcTTL,
 		}, l)
 		defer gw.Close()
 		fmt.Printf("gcsnode %s up; universe %v; service gateway on %s\n", self, universe, l.Addr())

@@ -52,6 +52,12 @@ type (
 	PassiveReplica = replication.Passive
 	// PassiveStateMachine is the application behind passive replication.
 	PassiveStateMachine = replication.PassiveStateMachine
+	// BatchConfig tunes the primary's group-commit batcher
+	// (PassiveReplica.EnableBatching): concurrent writes coalesce into one
+	// g-broadcast per commit window.
+	BatchConfig = replication.BatchConfig
+	// BatchStats is the batcher's accounting.
+	BatchStats = replication.BatchStats
 	// ServiceGateway accepts networked client sessions at one node.
 	ServiceGateway = service.Gateway
 	// ServiceGatewayConfig parameterises a gateway.

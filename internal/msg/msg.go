@@ -5,6 +5,14 @@
 // guarantees that no two processes ever alias mutable state, exactly as if
 // they were on different machines, and lets the same message types travel
 // over the TCP transport unchanged.
+//
+// The encode path is pooled: every Encode borrows a scratch buffer from a
+// sync.Pool instead of growing a fresh bytes.Buffer per call, and returns
+// an exactly-sized copy the caller owns. Callers that consume a frame
+// synchronously (transports copy on Send) can avoid even that copy with
+// EncodeTransient. This matters because every message of every layer —
+// data frames, acks, heartbeats, loopback deliveries — passes through
+// here; see BenchmarkMsgCodec.
 package msg
 
 import (
@@ -44,16 +52,60 @@ func Register(v any) {
 	gob.Register(v)
 }
 
-// Encode serialises v. The dynamic type of v must be registered.
-func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(envelope{V: v}); err != nil {
+// bufPool recycles encode scratch buffers. Buffers retain their grown
+// capacity across uses, so steady-state encoding stops allocating for
+// buffer growth no matter the payload size distribution.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encodeInto serialises v into the pooled buffer and returns it; the caller
+// must return the buffer to the pool.
+func encodeInto(v any) (*bytes.Buffer, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(envelope{V: v}); err != nil {
+		bufPool.Put(buf)
 		return nil, fmt.Errorf("msg encode %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	return buf, nil
 }
 
-// Decode deserialises a value previously produced by Encode.
+// Encode serialises v. The dynamic type of v must be registered. The
+// returned slice is owned by the caller (it is safe to retain, e.g. in a
+// retransmission buffer).
+func Encode(v any) ([]byte, error) {
+	buf, err := encodeInto(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	bufPool.Put(buf)
+	return out, nil
+}
+
+// EncodeTransient serialises v into a pooled buffer and returns a view of
+// it plus a release function. The slice is valid only until release is
+// called; it must NOT be retained or sent anywhere that keeps a reference
+// past the call (all transports copy on Send, so
+//
+//	frame, release, err := msg.EncodeTransient(v)
+//	tr.Send(to, frame)
+//	release()
+//
+// is the alloc-free pattern for fire-and-forget frames such as acks,
+// heartbeat datagrams and loopback deliveries).
+func EncodeTransient(v any) ([]byte, func(), error) {
+	buf, err := encodeInto(v)
+	if err != nil {
+		return nil, nil, err
+	}
+	return buf.Bytes(), func() { bufPool.Put(buf) }, nil
+}
+
+// Decode deserialises a value previously produced by Encode. (The decode
+// path is deliberately unpooled: a gob.Decoder rebuilds its type map per
+// message and dominates the cost; pooling the small reader around it would
+// add lifecycle complexity for a sub-1% win — see BenchmarkMsgCodec.)
 func Decode(data []byte) (any, error) {
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {

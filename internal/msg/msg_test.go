@@ -1,6 +1,7 @@
 package msg
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -91,6 +92,68 @@ func TestEncodeUnregistered(t *testing.T) {
 	type unregistered struct{ X int }
 	if _, err := Encode(unregistered{X: 1}); err == nil {
 		t.Fatal("expected error for unregistered type")
+	}
+}
+
+// TestEncodeTransient checks the pooled frame is valid until released and
+// that releasing recycles the buffer without corrupting earlier copies.
+func TestEncodeTransient(t *testing.T) {
+	in := codecProbe{A: 7, B: "transient", C: []byte{9, 9}}
+	frame, release, err := EncodeTransient(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if got := out.(codecProbe); got.B != "transient" {
+		t.Fatalf("transient round trip: %+v", got)
+	}
+	// After release the buffer may be reused by the next encode; a copy
+	// taken before release must stay intact.
+	frame2, release2, err := EncodeTransient(codecProbe{A: 8, B: "next"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	if out2, err := Decode(frame2); err != nil || out2.(codecProbe).B != "next" {
+		t.Fatalf("reused buffer round trip: %v %+v", err, out2)
+	}
+}
+
+// TestPooledCodecConcurrent hammers the pooled encode/decode paths from many
+// goroutines: results must never bleed between borrowed buffers.
+func TestPooledCodecConcurrent(t *testing.T) {
+	const workers, per = 8, 200
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < per; i++ {
+				in := codecProbe{A: int64(w*1000 + i), B: "w", C: make([]byte, i%37)}
+				data, err := Encode(in)
+				if err != nil {
+					errs <- err
+					return
+				}
+				out, err := Decode(data)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got := out.(codecProbe); got.A != in.A || len(got.C) != len(in.C) {
+					errs <- fmt.Errorf("worker %d iter %d: mismatch %+v", w, i, got)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

@@ -227,11 +227,14 @@ func (e *Endpoint) SendDatagram(to proc.ID, proto string, body any) error {
 	if to == e.self {
 		return e.sendLocal(w)
 	}
-	frame, err := msg.Encode(w)
+	// Datagrams are never retransmitted, so the frame can live in a pooled
+	// buffer: the transport copies on Send and the buffer is reused.
+	frame, release, err := msg.EncodeTransient(w)
 	if err != nil {
 		return fmt.Errorf("rchannel datagram to %s: %w", to, err)
 	}
 	e.tr.Send(to, frame)
+	release()
 	return nil
 }
 
@@ -249,12 +252,14 @@ func (e *Endpoint) SendAll(dests []proc.ID, proto string, body any) error {
 
 func (e *Endpoint) sendLocal(w wire) error {
 	// Round-trip through the codec so local and remote deliveries share
-	// aliasing semantics.
-	frame, err := msg.Encode(w)
+	// aliasing semantics. The encoded frame exists only for the duration of
+	// the decode, so it stays in a pooled buffer.
+	frame, release, err := msg.EncodeTransient(w)
 	if err != nil {
 		return fmt.Errorf("rchannel loopback: %w", err)
 	}
 	decoded, err := msg.Decode(frame)
+	release()
 	if err != nil {
 		return fmt.Errorf("rchannel loopback decode: %w", err)
 	}
@@ -392,12 +397,15 @@ func (e *Endpoint) handleData(from proc.ID, w wire) {
 }
 
 func (e *Endpoint) sendAck(to proc.ID, ack uint64) {
-	frame, err := msg.Encode(wire{Kind: kindAck, Ack: ack})
+	// Acks are the highest-frequency frame on the wire and are never
+	// retained, so they use the pooled transient encode path.
+	frame, release, err := msg.EncodeTransient(wire{Kind: kindAck, Ack: ack})
 	if err != nil {
 		e.log.Warn("rchannel: encode ack", "err", err)
 		return
 	}
 	e.tr.Send(to, frame)
+	release()
 }
 
 func (e *Endpoint) dispatch(from proc.ID, proto string, body any) {

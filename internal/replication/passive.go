@@ -131,6 +131,12 @@ type Passive struct {
 	// hence executed) twice.
 	inflight map[sessKey]*sessWaiter
 
+	// batcher, when non-nil, routes the write path through group-commit
+	// batching (see batch.go); batchWaiters wakes its in-flight flush when
+	// the batch is delivered, exactly as waiters does for single updates.
+	batcher      *batcher
+	batchWaiters map[uint64]chan pUpdateBatch
+
 	onPrimaryChange func(primary proc.ID, epoch uint64)
 
 	failover     *fd.Subscription
@@ -161,11 +167,12 @@ type sessWaiter struct {
 // same at every replica); its head is the initial primary.
 func NewPassive(sm PassiveStateMachine, replicas []proc.ID) *Passive {
 	return &Passive{
-		sm:       sm,
-		replicas: proc.NewView(replicas...),
-		waiters:  make(map[uint64]chan pUpdate),
-		sessions: make(map[string]*sessionRecord),
-		inflight: make(map[sessKey]*sessWaiter),
+		sm:           sm,
+		replicas:     proc.NewView(replicas...),
+		waiters:      make(map[uint64]chan pUpdate),
+		sessions:     make(map[string]*sessionRecord),
+		inflight:     make(map[sessKey]*sessWaiter),
+		batchWaiters: make(map[uint64]chan pUpdateBatch),
 	}
 }
 
@@ -175,6 +182,8 @@ func (p *Passive) DeliverFunc() core.DeliverFunc {
 		switch m := d.Body.(type) {
 		case pUpdate:
 			p.onUpdate(m)
+		case pUpdateBatch:
+			p.onUpdateBatch(m)
 		case pChange:
 			p.onChange(m)
 		}
@@ -307,6 +316,12 @@ func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, p.replicas.Primary())
 	}
+	if b := p.batcher; b != nil {
+		w := &sessWaiter{done: make(chan struct{})}
+		p.mu.Unlock()
+		b.enqueue(&batchOp{op: op, w: w})
+		return w.wait(timeout)
+	}
 	epoch := p.epoch
 	p.nextReq++
 	req := p.nextReq
@@ -387,6 +402,14 @@ func (p *Passive) RequestSession(session string, seq, ack uint64, op []byte, tim
 	}
 	w := &sessWaiter{done: make(chan struct{})}
 	p.inflight[key] = w
+	if b := p.batcher; b != nil {
+		p.mu.Unlock()
+		// Group commit: the operation joins the next batch; the batcher
+		// resolves w (and clears the in-flight entry) when the batch is
+		// delivered or the primary is demoted.
+		b.enqueue(&batchOp{key: key, op: op, ack: ack, w: w})
+		return w.wait(timeout)
+	}
 	epoch := p.epoch
 	p.nextReq++
 	req := p.nextReq
@@ -463,6 +486,48 @@ func (p *Passive) sessionLocked(session string) *sessionRecord {
 // delivered first (Figure 8 case 2).
 const staleEpoch = ^uint64(0)
 
+// dedupSessionLocked is the apply-time exactly-once bookkeeping for ONE
+// sessioned entry, shared by the single-update (onUpdate) and batched
+// (onUpdateBatch) delivery paths; p.mu must be held. It returns dup=true
+// for an entry whose (session, seq) already applied — replacing *result
+// with the cached original so waiters observe the first execution's result
+// — and otherwise records the result, prunes acknowledged seqs, and (when
+// this replica is not the originator, i.e. no in-flight waiter exists)
+// installs and returns a gate that holds retries until the caller has
+// applied the entry's state change and resolved it.
+func (p *Passive) dedupSessionLocked(session string, seq, ack uint64, result *[]byte) (dup bool, gate *sessWaiter) {
+	rec := p.sessionLocked(session)
+	switch {
+	case seq <= rec.pruned:
+		dup = true
+	default:
+		if cached, ok := rec.results[seq]; ok {
+			dup = true
+			*result = cached
+		}
+	}
+	if dup {
+		p.dups++
+		return true, nil
+	}
+	p.applied++
+	rec.results[seq] = *result
+	if ack > rec.pruned {
+		rec.pruned = ack
+		for s := range rec.results {
+			if s <= rec.pruned {
+				delete(rec.results, s)
+			}
+		}
+	}
+	key := sessKey{session: session, seq: seq}
+	if _, ok := p.inflight[key]; !ok {
+		gate = &sessWaiter{done: make(chan struct{})}
+		p.inflight[key] = gate
+	}
+	return false, gate
+}
+
 func (p *Passive) onUpdate(u pUpdate) {
 	p.mu.Lock()
 	stale := u.Epoch != p.epoch
@@ -475,38 +540,10 @@ func (p *Passive) onUpdate(u pUpdate) {
 		// check; the apply itself runs outside the lock (the state machine
 		// must never be entered with p.mu held), gated through an inflight
 		// waiter so a cached result is never returned before its state
-		// change has been applied at this replica.
-		rec := p.sessionLocked(u.Session)
-		switch {
-		case u.Seq <= rec.pruned:
-			dup = true
-		default:
-			if cached, ok := rec.results[u.Seq]; ok {
-				dup = true
-				u.Result = cached // the waiter gets the original result
-			}
-		}
-		if dup {
-			p.dups++
-		} else {
-			p.applied++
-			rec.results[u.Seq] = u.Result
-			if u.Ack > rec.pruned {
-				rec.pruned = u.Ack
-				for s := range rec.results {
-					if s <= rec.pruned {
-						delete(rec.results, s)
-					}
-				}
-			}
-			// At the originator the inflight waiter already exists and is
-			// owned by driveSession (resolved after our wake below, which
-			// follows the apply); elsewhere, gate retries until applied.
-			if _, ok := p.inflight[key]; !ok {
-				applyGate = &sessWaiter{done: make(chan struct{})}
-				p.inflight[key] = applyGate
-			}
-		}
+		// change has been applied at this replica. (At the originator the
+		// inflight waiter already exists and is owned by driveSession,
+		// resolved after our wake below, which follows the apply.)
+		dup, applyGate = p.dedupSessionLocked(u.Session, u.Seq, u.Ack, &u.Result)
 	} else if stale {
 		p.ignored++
 	} else {

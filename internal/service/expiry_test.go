@@ -1,0 +1,73 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGatewaySessionExpiry: a disconnected, idle session is garbage-collected
+// after its lease, while the replicated dedup table keeps protecting retries
+// that arrive after the gateway-side state is gone.
+func TestGatewaySessionExpiry(t *testing.T) {
+	const ttl = 60 * time.Millisecond
+	c := buildService(t, 3, func(cfg *GatewayConfig) { cfg.SessionTTL = ttl })
+
+	first := c.newClient(t, func(cfg *ClientConfig) { cfg.Session = "leased" })
+	res, err := first.Call([]byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.gws[0].Stats().Sessions; got != 1 {
+		t.Fatalf("sessions after connect: %d", got)
+	}
+	first.Close()
+
+	// The lease runs out only after the connection is gone and the session
+	// has no in-flight work.
+	deadline := time.Now().Add(10 * time.Second)
+	for c.gws[0].Stats().Sessions != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not expired: %+v", c.gws[0].Stats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := c.gws[0].Stats().Expired; got == 0 {
+		t.Fatal("expiry not accounted")
+	}
+
+	// A client resuming the session ID gets fresh gateway state but the
+	// SAME dedup guarantee: retrying seq 1 returns the original result and
+	// the op is not applied twice.
+	second := c.newClient(t, func(cfg *ClientConfig) { cfg.Session = "leased" })
+	res2, err := second.Call([]byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res2) != string(res) {
+		t.Fatalf("resumed session got %q, original %q", res2, res)
+	}
+	time.Sleep(50 * time.Millisecond) // let any (wrong) duplicate apply
+	if n := c.sms[0].count("once"); n != 1 {
+		t.Fatalf("op applied %d times after expiry + resume", n)
+	}
+}
+
+// TestGatewaySessionLeaseHeldByConnection: an attached connection keeps the
+// lease alive indefinitely, even with no traffic.
+func TestGatewaySessionLeaseHeldByConnection(t *testing.T) {
+	const ttl = 40 * time.Millisecond
+	c := buildService(t, 3, func(cfg *GatewayConfig) { cfg.SessionTTL = ttl })
+
+	client := c.newClient(t, nil)
+	if _, err := client.Call([]byte("hold")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * ttl)
+	if got := c.gws[0].Stats().Sessions; got != 1 {
+		t.Fatalf("attached session expired: sessions=%d", got)
+	}
+	// Still usable after many lease periods.
+	if _, err := client.Call([]byte("hold-2")); err != nil {
+		t.Fatal(err)
+	}
+}

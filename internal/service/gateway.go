@@ -29,14 +29,29 @@ type GatewayConfig struct {
 	// RequestTimeout bounds the wait for one write's replicated delivery
 	// before answering TIMEOUT so the client can retry (default 5s).
 	RequestTimeout time.Duration
+	// Batching dispatches a session's queued writes concurrently (up to
+	// MaxInflight at once) instead of one at a time, so pipelined operations
+	// from one session coalesce into the replica's group-commit batches.
+	// Responses still carry their request Seq, so clients match them
+	// regardless of completion order. Enable it together with the replica's
+	// EnableBatching for the full group-commit write path.
+	Batching bool
+	// SessionTTL is the idle-session lease: a session with no attached
+	// connection, no queued or in-flight operations, and no activity for
+	// SessionTTL is garbage-collected (its worker stops and its state is
+	// dropped; the replicated dedup table is unaffected, so a later
+	// reconnect under the same session ID still deduplicates correctly).
+	// Zero keeps sessions forever.
+	SessionTTL time.Duration
 }
 
 // GatewayStats is a snapshot of gateway accounting.
 type GatewayStats struct {
-	Sessions      int    // sessions ever opened
+	Sessions      int    // live sessions
 	Writes        uint64 // write operations answered
 	Reads         uint64 // read operations answered
 	Redirects     uint64 // NOT_PRIMARY answers and demotion pushes
+	Expired       uint64 // sessions garbage-collected by the lease timeout
 	MaxInflight   int64  // highest per-session in-flight count observed
 	ActiveStreams int64  // currently attached connections
 }
@@ -58,19 +73,26 @@ type Gateway struct {
 	writes      atomic.Uint64
 	reads       atomic.Uint64
 	redirects   atomic.Uint64
+	expired     atomic.Uint64
 	maxInflight atomic.Int64
 	active      atomic.Int64
 }
 
 // gwSession is one client session's server-side state. Unanswered writes
-// are bounded at MaxInflight: up to MaxInflight-1 queued plus one being
+// are bounded at MaxInflight: up to MaxInflight-1 queued plus the ones being
 // processed by the worker; beyond that the connection's read loop blocks.
 type gwSession struct {
 	id    string
 	queue chan reqFrame // pending writes; capacity = MaxInflight-1
+	stop  chan struct{} // closed when the session's lease expires
 
-	mu   sync.Mutex
-	conn transport.StreamConn // current attachment (nil between connections)
+	inflight   atomic.Int64 // queued + processing writes
+	processing atomic.Int64 // writes currently inside RequestSession
+
+	mu         sync.Mutex
+	conn       transport.StreamConn // current attachment (nil between connections)
+	lastActive time.Time
+	expired    bool
 }
 
 // send writes a frame to the session's current connection, if any. Errors
@@ -91,23 +113,39 @@ func (s *gwSession) send(v any) {
 
 // attach makes conn the session's current connection, detaching (and
 // closing) any previous one: the newest connection wins, as the client only
-// dials anew after abandoning the old connection.
-func (s *gwSession) attach(conn transport.StreamConn) {
+// dials anew after abandoning the old connection. It fails on a session
+// whose lease just expired; the caller must fetch a fresh session.
+func (s *gwSession) attach(conn transport.StreamConn) bool {
 	s.mu.Lock()
+	if s.expired {
+		s.mu.Unlock()
+		return false
+	}
 	old := s.conn
 	s.conn = conn
+	s.lastActive = time.Now()
 	s.mu.Unlock()
 	if old != nil && old != conn {
 		_ = old.Close()
 	}
+	return true
 }
 
-// detach clears the session's connection if it is still conn.
+// detach clears the session's connection if it is still conn, starting the
+// idle lease clock.
 func (s *gwSession) detach(conn transport.StreamConn) {
 	s.mu.Lock()
 	if s.conn == conn {
 		s.conn = nil
+		s.lastActive = time.Now()
 	}
+	s.mu.Unlock()
+}
+
+// touch records session activity for the lease clock.
+func (s *gwSession) touch() {
+	s.mu.Lock()
+	s.lastActive = time.Now()
 	s.mu.Unlock()
 }
 
@@ -140,6 +178,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 		hint := cfg.Addrs[primary]
 		go g.pushDemotion(hint)
 	})
+	if cfg.SessionTTL > 0 {
+		g.wg.Add(1)
+		go g.expireLoop()
+	}
 	return g
 }
 
@@ -215,6 +257,7 @@ func (g *Gateway) Stats() GatewayStats {
 		Writes:        g.writes.Load(),
 		Reads:         g.reads.Load(),
 		Redirects:     g.redirects.Load(),
+		Expired:       g.expired.Load(),
 		MaxInflight:   g.maxInflight.Load(),
 		ActiveStreams: g.active.Load(),
 	}
@@ -240,21 +283,70 @@ func (g *Gateway) pushDemotion(hint string) {
 }
 
 // session returns (creating if needed) the session with the given ID,
-// starting its worker on creation.
+// starting its worker on creation. The map only ever holds live sessions:
+// the expiry loop removes a session in the same critical section that marks
+// it expired.
 func (g *Gateway) session(id string) *gwSession {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if s, ok := g.sessions[id]; ok {
 		return s
 	}
+	// Unbatched, the queue IS the window: MaxInflight-1 buffered plus one in
+	// the worker. Batched, the window is the worker's slot semaphore, so the
+	// queue is a pure handoff — a buffered queue on top would double the
+	// session's unanswered-write bound.
+	depth := g.cfg.MaxInflight - 1
+	if g.cfg.Batching {
+		depth = 0
+	}
 	s := &gwSession{
-		id:    id,
-		queue: make(chan reqFrame, g.cfg.MaxInflight-1),
+		id:         id,
+		queue:      make(chan reqFrame, depth),
+		stop:       make(chan struct{}),
+		lastActive: time.Now(),
 	}
 	g.sessions[id] = s
 	g.wg.Add(1)
 	go g.sessionWorker(s)
 	return s
+}
+
+// expireLoop is the lease janitor: it garbage-collects sessions that have
+// had no attached connection, no queued or in-flight writes, and no
+// activity for SessionTTL.
+func (g *Gateway) expireLoop() {
+	defer g.wg.Done()
+	interval := g.cfg.SessionTTL / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-ticker.C:
+			g.expirePass(time.Now())
+		}
+	}
+}
+
+func (g *Gateway) expirePass(now time.Time) {
+	g.mu.Lock()
+	for id, s := range g.sessions {
+		s.mu.Lock()
+		idle := s.conn == nil && now.Sub(s.lastActive) >= g.cfg.SessionTTL
+		if idle && s.inflight.Load() == 0 {
+			s.expired = true
+			close(s.stop)
+			delete(g.sessions, id)
+			g.expired.Add(1)
+		}
+		s.mu.Unlock()
+	}
+	g.mu.Unlock()
 }
 
 // handleConn speaks the session protocol on one inbound connection.
@@ -282,8 +374,15 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	if !ok || hello.Session == "" {
 		return
 	}
-	s := g.session(hello.Session)
-	s.attach(conn)
+	// Retry on attach failure: the lease may expire a session between the
+	// map lookup and the attachment; the next lookup creates a fresh one.
+	var s *gwSession
+	for {
+		s = g.session(hello.Session)
+		if s.attach(conn) {
+			break
+		}
+	}
 	defer s.detach(conn)
 
 	welcome, err := encodeFrame(welcomeFrame{
@@ -309,12 +408,14 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 		if !ok {
 			continue
 		}
+		s.touch()
 		if req.Read {
 			g.serveRead(s, req)
 			continue
 		}
 		// Backpressure: when the session's window is full this send blocks,
 		// pausing reads from the connection until the worker catches up.
+		s.inflight.Add(1)
 		select {
 		case s.queue <- req:
 		case <-g.done:
@@ -335,42 +436,101 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 	s.send(res)
 }
 
-// sessionWorker executes one session's writes serially, in arrival (= seq)
-// order, answering on whichever connection the session currently has.
+// processWrite routes one write into the replicated service and builds its
+// response frame.
+func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
+	res := resFrame{Seq: req.Seq}
+	result, err := g.cfg.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
+	switch {
+	case err == nil:
+		res.Result = result
+		g.writes.Add(1)
+	case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
+		res.Err = errNotPrimary
+		res.Redirect = g.hint()
+		g.redirects.Add(1)
+	case errors.Is(err, replication.ErrTimeout):
+		res.Err = errTimeout
+	case errors.Is(err, replication.ErrPruned):
+		res.Err = errPruned
+	default:
+		res.Err = err.Error()
+	}
+	return res
+}
+
+// observeInflight folds n into the high-water in-flight stat.
+func (g *Gateway) observeInflight(n int64) {
+	for {
+		max := g.maxInflight.Load()
+		if n <= max || g.maxInflight.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+// sessionWorker executes one session's writes, answering on whichever
+// connection the session currently has. Without batching, writes run
+// serially in arrival (= seq) order; with batching, up to MaxInflight run
+// concurrently so they coalesce into the replica's group-commit batches.
 func (g *Gateway) sessionWorker(s *gwSession) {
 	defer g.wg.Done()
+	if g.cfg.Batching {
+		g.batchingWorker(s)
+		return
+	}
 	for {
 		var req reqFrame
 		select {
 		case req = <-s.queue:
+		case <-s.stop:
+			return
 		case <-g.done:
 			return
 		}
 		// Unanswered writes at this instant: the queued ones plus this one.
-		n := int64(len(s.queue)) + 1
-		for {
-			max := g.maxInflight.Load()
-			if n <= max || g.maxInflight.CompareAndSwap(max, n) {
-				break
-			}
-		}
-		res := resFrame{Seq: req.Seq}
-		result, err := g.cfg.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
-		switch {
-		case err == nil:
-			res.Result = result
-			g.writes.Add(1)
-		case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
-			res.Err = errNotPrimary
-			res.Redirect = g.hint()
-			g.redirects.Add(1)
-		case errors.Is(err, replication.ErrTimeout):
-			res.Err = errTimeout
-		case errors.Is(err, replication.ErrPruned):
-			res.Err = errPruned
-		default:
-			res.Err = err.Error()
-		}
+		g.observeInflight(int64(len(s.queue)) + 1)
+		res := g.processWrite(s, req)
 		s.send(res)
+		s.touch()
+		s.inflight.Add(-1)
+	}
+}
+
+// batchingWorker is sessionWorker's concurrent-dispatch mode: it feeds every
+// queued write straight into the replica (whose batcher coalesces them) and
+// completes the session's waiters as the batched results come back.
+func (g *Gateway) batchingWorker(s *gwSession) {
+	slots := make(chan struct{}, g.cfg.MaxInflight)
+	for {
+		// Reserve the slot BEFORE accepting a request: with the unbuffered
+		// queue this makes MaxInflight the exact unanswered-write bound —
+		// the connection's read loop blocks until a dispatch slot is free.
+		select {
+		case slots <- struct{}{}:
+		case <-s.stop:
+			return
+		case <-g.done:
+			return
+		}
+		var req reqFrame
+		select {
+		case req = <-s.queue:
+		case <-s.stop:
+			return
+		case <-g.done:
+			return
+		}
+		g.observeInflight(s.processing.Add(1))
+		g.wg.Add(1)
+		go func(req reqFrame) {
+			defer g.wg.Done()
+			res := g.processWrite(s, req)
+			s.send(res)
+			s.touch()
+			s.processing.Add(-1)
+			s.inflight.Add(-1)
+			<-slots
+		}(req)
 	}
 }
