@@ -13,6 +13,9 @@
 //	gcsbench service         E12: service gateway, client-observed
 //	                         throughput/latency vs concurrent sessions
 //	                         (also emits one JSON record per row)
+//	gcsbench service-reads   E13: read consistency levels (local, monotonic,
+//	                         linearizable) vs concurrent reader sessions,
+//	                         with barrier-coalescing accounting (JSON rows)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -49,6 +52,8 @@ func run(cmd string) error {
 		return experimentFig8()
 	case "service":
 		return experimentService()
+	case "service-reads":
+		return experimentServiceReads()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -57,6 +62,7 @@ func run(cmd string) error {
 			experimentViewChange,
 			experimentFig8,
 			experimentService,
+			experimentServiceReads,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -65,6 +71,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|all)", cmd)
 	}
 }

@@ -76,69 +76,86 @@ func experimentService() error {
 	return nil
 }
 
-func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, error) {
-	network := newNet(int64(500 + sessions))
+// svcHarness is one benchmark cluster: 3 nodes, a gateway each.
+type svcHarness struct {
+	network *transport.Network
+	nodes   []*core.Node
+	reps    []*replication.Passive
+	sms     []*benchSM
+	gws     []*service.Gateway
+}
+
+func buildSvcHarness(seed int64, batch bool) (*svcHarness, error) {
+	h := &svcHarness{network: newNet(seed)}
 	members := ids(3, "s")
 	addrs := make(map[proc.ID]string)
 	for _, id := range members {
 		addrs[id] = string(id)
 	}
-
-	var (
-		nodes []*core.Node
-		reps  []*replication.Passive
-		sms   []*benchSM
-		gws   []*service.Gateway
-	)
 	for _, id := range members {
 		sm := &benchSM{}
-		sms = append(sms, sm)
+		h.sms = append(h.sms, sm)
 		rep := replication.NewPassive(sm, members)
-		nd, err := core.NewNode(network.Endpoint(id),
+		nd, err := core.NewNode(h.network.Endpoint(id),
 			core.Config{Self: id, Universe: members, Relation: replication.PassiveRelation()},
 			rep.DeliverFunc())
 		if err != nil {
-			return svcRecord{}, err
+			return nil, err
 		}
 		rep.Bind(nd)
 		if batch {
 			rep.EnableBatching(replication.BatchConfig{})
 		}
-		nodes = append(nodes, nd)
-		reps = append(reps, rep)
+		h.nodes = append(h.nodes, nd)
+		h.reps = append(h.reps, rep)
 	}
-	for _, nd := range nodes {
+	for _, nd := range h.nodes {
 		nd.Start()
 	}
 	for i, id := range members {
 		gw := service.NewGateway(service.GatewayConfig{
 			Self:     id,
-			Replica:  reps[i],
-			Read:     sms[i].read,
+			Replica:  h.reps[i],
+			Read:     h.sms[i].read,
 			Addrs:    addrs,
 			Batching: batch,
 		})
-		l, err := network.ListenStream(id)
+		l, err := h.network.ListenStream(id)
 		if err != nil {
-			return svcRecord{}, err
+			return nil, err
 		}
 		gw.Serve(l)
-		gws = append(gws, gw)
+		h.gws = append(h.gws, gw)
 	}
-	defer func() {
-		for _, gw := range gws {
-			gw.Close()
-		}
-		for _, rep := range reps {
-			rep.StopBatching()
-		}
-		stopAll(nodes, network)
-	}()
-	warm(network)
+	return h, nil
+}
 
-	dial := func(addr string) (transport.StreamConn, error) {
-		return network.DialStream(proc.ID(addr))
+func (h *svcHarness) stop() {
+	for _, gw := range h.gws {
+		gw.Close()
 	}
+	for _, rep := range h.reps {
+		rep.StopBatching()
+	}
+	stopAll(h.nodes, h.network)
+}
+
+func (h *svcHarness) dialer() func(addr string) (transport.StreamConn, error) {
+	return func(addr string) (transport.StreamConn, error) {
+		return h.network.DialStream(proc.ID(addr))
+	}
+}
+
+func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, error) {
+	h, err := buildSvcHarness(int64(500+sessions), batch)
+	if err != nil {
+		return svcRecord{}, err
+	}
+	reps := h.reps
+	defer h.stop()
+	warm(h.network)
+
+	dial := h.dialer()
 	addrList := []string{"s0", "s1", "s2"}
 
 	var (
@@ -207,5 +224,180 @@ func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, erro
 		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
 		Batches:    bst.Batches,
 		MaxBatch:   bst.MaxBatch,
+	}, nil
+}
+
+// ---- E13: service read levels --------------------------------------------
+//
+// Client-observed read throughput of the three read consistency levels as
+// the number of concurrent reader sessions grows. A background writer keeps
+// the commit index moving so monotonic tokens are live. Local reads never
+// leave the contacted gateway; monotonic reads pay a commit-index check (no
+// broadcast — near-local once the replica is caught up); linearizable reads
+// pay an ordered no-op barrier at the primary, COALESCED across concurrent
+// readers — the barriers/max_coalesced columns show a 64-session burst
+// costing far fewer than 64 broadcasts.
+
+// svcReadRecord is the JSON shape of one read-sweep row.
+type svcReadRecord struct {
+	Experiment   string  `json:"experiment"`
+	Level        string  `json:"level"`
+	Sessions     int     `json:"sessions"`
+	DurationS    float64 `json:"duration_s"`
+	Reads        uint64  `json:"reads"`
+	ReadsPerSec  float64 `json:"reads_per_s"`
+	MeanUS       float64 `json:"mean_us"`
+	P99US        float64 `json:"p99_us"`
+	Barriers     uint64  `json:"barriers"`      // barrier no-ops broadcast (linearizable only)
+	BarrierReads uint64  `json:"barrier_reads"` // reads served through them
+	MaxCoalesced int     `json:"max_coalesced"` // largest reader group per barrier
+}
+
+func experimentServiceReads() error {
+	fmt.Println("== E13 — service read levels: reads/s vs concurrent sessions ==")
+	fmt.Println("   closed-loop readers + 1 background writer; barrier columns are linearizable-only")
+	fmt.Printf("%-14s %-10s %10s %12s %10s %10s %10s %8s\n",
+		"level", "sessions", "reads", "reads/s", "mean", "p99", "barriers", "maxcoal")
+
+	const runFor = time.Second
+	levels := []struct {
+		name  string
+		level service.ReadLevel
+	}{
+		{"local", service.ReadLocal},
+		{"monotonic", service.ReadMonotonic},
+		{"linearizable", service.ReadLinearizable},
+	}
+	for _, lv := range levels {
+		for _, sessions := range []int{1, 4, 16, 64} {
+			rec, err := runServiceReads(lv.name, lv.level, sessions, runFor)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-14s %-10d %10d %12.0f %10v %10v %10d %8d\n",
+				rec.Level, rec.Sessions, rec.Reads, rec.ReadsPerSec,
+				time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond),
+				rec.Barriers, rec.MaxCoalesced)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		}
+	}
+	return nil
+}
+
+func runServiceReads(name string, level service.ReadLevel, sessions int, runFor time.Duration) (svcReadRecord, error) {
+	h, err := buildSvcHarness(int64(900+sessions), false)
+	if err != nil {
+		return svcReadRecord{}, err
+	}
+	defer h.stop()
+	warm(h.network)
+
+	dial := h.dialer()
+	addrList := []string{"s0", "s1", "s2"}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		hist    = sim.NewHistogram()
+		reads   atomic.Uint64
+		stop    = make(chan struct{})
+		downErr atomic.Value
+	)
+
+	// Background writer: keeps the ordered path busy and the commit index
+	// advancing, as a live service would.
+	writer, err := service.NewClient(service.ClientConfig{Addrs: addrList, Dial: dial})
+	if err != nil {
+		return svcReadRecord{}, err
+	}
+	defer writer.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		op := []byte("background-write")
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := writer.Call(op); err != nil {
+				downErr.Store(err)
+				return
+			}
+		}
+	}()
+
+	clients := make([]*service.Client, sessions)
+	for i := range clients {
+		cl, err := service.NewClient(service.ClientConfig{
+			Addrs:     addrList,
+			Dial:      dial,
+			ReadLevel: level,
+		})
+		if err != nil {
+			return svcReadRecord{}, err
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+	// One write per reader session seeds its monotonic token.
+	for _, cl := range clients {
+		if _, err := cl.Call([]byte("seed")); err != nil {
+			return svcReadRecord{}, err
+		}
+	}
+
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *service.Client) {
+			defer wg.Done()
+			op := []byte("read-payload")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := cl.Read(op); err != nil {
+					downErr.Store(err)
+					return
+				}
+				d := time.Since(t0)
+				reads.Add(1)
+				mu.Lock()
+				hist.Add(d)
+				mu.Unlock()
+			}
+		}(cl)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := downErr.Load().(error); ok && err != nil {
+		return svcReadRecord{}, err
+	}
+	bst := h.reps[0].ReadBarrierStats()
+
+	return svcReadRecord{
+		Experiment:   "service_reads",
+		Level:        name,
+		Sessions:     sessions,
+		DurationS:    elapsed.Seconds(),
+		Reads:        reads.Load(),
+		ReadsPerSec:  float64(reads.Load()) / elapsed.Seconds(),
+		MeanUS:       float64(hist.Mean()) / float64(time.Microsecond),
+		P99US:        float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+		Barriers:     bst.Broadcasts,
+		BarrierReads: bst.Reads,
+		MaxCoalesced: bst.MaxCoalesced,
 	}, nil
 }

@@ -56,15 +56,16 @@ func main() {
 		svcPeersSpec = flag.String("service-peers", "", "comma-separated id=host:port of every member's service gateway (for redirect hints)")
 		svcBatch     = flag.Bool("service-batch", false, "group-commit batching: coalesce concurrent session writes into one broadcast")
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
+		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcTTL); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcTTL, *svcLease); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcTTL time.Duration) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcTTL, svcLease time.Duration) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -156,6 +157,7 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			Addrs:      svcAddrs,
 			Batching:   svcBatch,
 			SessionTTL: svcTTL,
+			LeaseTTL:   svcLease,
 		}, l)
 		defer gw.Close()
 		fmt.Printf("gcsnode %s up; universe %v; service gateway on %s\n", self, universe, l.Addr())

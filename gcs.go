@@ -58,6 +58,16 @@ type (
 	BatchConfig = replication.BatchConfig
 	// BatchStats is the batcher's accounting.
 	BatchStats = replication.BatchStats
+	// BarrierStats is the linearizable read barrier's accounting
+	// (PassiveReplica.ReadBarrierStats): broadcasts vs reads shows how many
+	// concurrent linearizable reads coalesced into one ordered no-op.
+	BarrierStats = replication.BarrierStats
+	// LeaseStats is the replicated session lease's accounting
+	// (PassiveReplica.LeaseStats).
+	LeaseStats = replication.LeaseStats
+	// ReadLevel selects the consistency of ServiceClient reads: ReadLocal,
+	// ReadMonotonic (the default) or ReadLinearizable.
+	ReadLevel = service.ReadLevel
 	// ServiceGateway accepts networked client sessions at one node.
 	ServiceGateway = service.Gateway
 	// ServiceGatewayConfig parameterises a gateway.
@@ -72,6 +82,22 @@ type (
 	StreamListener = transport.StreamListener
 	// StreamConn is one framed client connection.
 	StreamConn = transport.StreamConn
+)
+
+// Read consistency levels of the service client (see service.ReadLevel).
+const (
+	// ReadDefault selects the client's configured default (ReadMonotonic).
+	ReadDefault = service.ReadDefault
+	// ReadLocal serves from the contacted gateway's local state (may be
+	// stale at a lagging or partitioned gateway).
+	ReadLocal = service.ReadLocal
+	// ReadMonotonic never travels backwards in time for the session: any
+	// gateway answers only once its replica has reached the session's
+	// last-seen commit index.
+	ReadMonotonic = service.ReadMonotonic
+	// ReadLinearizable reflects every write acknowledged before the read
+	// began, via an ordered no-op barrier at the primary.
+	ReadLinearizable = service.ReadLinearizable
 )
 
 // Default class names of the standard relation (Section 3.3 of the paper).

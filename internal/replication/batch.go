@@ -425,6 +425,9 @@ func (p *Passive) onUpdateBatch(u pUpdateBatch) {
 				p.sm.ApplyUpdate(u.Entries[i].Update)
 			}
 		}
+		// Only after every entry's apply: a monotonic reader woken at this
+		// index reads local state lock-free.
+		p.advanceCommit(uint64(len(u.Entries)))
 	}
 	for _, g := range gates {
 		p.resolve(g.key, g.w, g.result, nil)

@@ -39,13 +39,25 @@ import (
 const (
 	ClassUpdate        = "update"
 	ClassPrimaryChange = "primary-change"
+	// ClassLease carries replicated session lease messages (lease.go). It
+	// conflicts with everything: renewals may originate at ANY replica's
+	// gateway, so only total order makes the tick-time expiry decision —
+	// which depends on the interleaving of renewals, ticks, record-creating
+	// updates and epoch changes — identical everywhere. Lease traffic is a
+	// few messages per LeaseTTL, so the ordered slow path costs nothing
+	// measurable.
+	ClassLease = "lease"
 )
 
-// PassiveRelation returns the Section 3.2.3 conflict table.
+// PassiveRelation returns the Section 3.2.3 conflict table, extended with
+// the fully ordered lease class.
 func PassiveRelation() *gbcast.Relation {
 	return gbcast.NewRelationBuilder().
 		Conflict(ClassPrimaryChange, ClassPrimaryChange).
 		Conflict(ClassUpdate, ClassPrimaryChange).
+		Conflict(ClassLease, ClassLease).
+		Conflict(ClassLease, ClassUpdate).
+		Conflict(ClassLease, ClassPrimaryChange).
 		Class(ClassUpdate).
 		Build()
 }
@@ -122,6 +134,17 @@ type Passive struct {
 	changes  uint64
 	dups     uint64 // session duplicates suppressed at apply time
 
+	// commitIdx counts this replica's position in the totally ordered
+	// command sequence: non-stale update entries (dup or not — the dedup
+	// decision is itself replicated state), primary changes, read barriers
+	// and lease messages. Within an epoch every counted message originates
+	// at that epoch's unique primary (FIFO per origin), and primary changes
+	// conflict with everything, so the sequence — and hence the index — is
+	// identical at every replica. It is the token of the monotonic and
+	// linearizable read levels (see read.go).
+	commitIdx  uint64
+	idxWaiters []*idxWaiter
+
 	// sessions is REPLICATED state: it is mutated only by update delivery,
 	// so (up to entries pruned by piggybacked client acks) every replica
 	// holds the same table and any new primary can deduplicate retries.
@@ -137,6 +160,19 @@ type Passive struct {
 	batcher      *batcher
 	batchWaiters map[uint64]chan pUpdateBatch
 
+	// Read-barrier coalescing state (read.go): at most one barrier no-op is
+	// in flight; readers arriving meanwhile join the next pending group.
+	pendingBarrier *barrierGroup
+	barrierBusy    bool
+	barrierWaiters map[uint64]chan pBarrier
+	barrierStats   BarrierStats
+
+	// Replicated session lease state (lease.go): leaseClock advances on
+	// delivered lease ticks; session records whose deadline falls behind it
+	// are pruned identically at every replica.
+	leaseClock   uint64
+	leaseExpired uint64
+
 	onPrimaryChange func(primary proc.ID, epoch uint64)
 
 	failover     *fd.Subscription
@@ -148,6 +184,16 @@ type Passive struct {
 type sessionRecord struct {
 	results map[uint64][]byte // seq -> result, for unacknowledged seqs
 	pruned  uint64            // seqs <= pruned were acknowledged by the client
+	// deadline is the lease clock tick past which the record expires; it is
+	// refreshed by every applied write and by delivered lease renewals, so
+	// the whole table stays bounded for vanished clients (lease.go).
+	deadline uint64
+}
+
+// idxWaiter blocks a monotonic read until the commit index reaches index.
+type idxWaiter struct {
+	index uint64
+	ch    chan struct{}
 }
 
 type sessKey struct {
@@ -167,12 +213,13 @@ type sessWaiter struct {
 // same at every replica); its head is the initial primary.
 func NewPassive(sm PassiveStateMachine, replicas []proc.ID) *Passive {
 	return &Passive{
-		sm:           sm,
-		replicas:     proc.NewView(replicas...),
-		waiters:      make(map[uint64]chan pUpdate),
-		sessions:     make(map[string]*sessionRecord),
-		inflight:     make(map[sessKey]*sessWaiter),
-		batchWaiters: make(map[uint64]chan pUpdateBatch),
+		sm:             sm,
+		replicas:       proc.NewView(replicas...),
+		waiters:        make(map[uint64]chan pUpdate),
+		sessions:       make(map[string]*sessionRecord),
+		inflight:       make(map[sessKey]*sessWaiter),
+		batchWaiters:   make(map[uint64]chan pUpdateBatch),
+		barrierWaiters: make(map[uint64]chan pBarrier),
 	}
 }
 
@@ -186,6 +233,10 @@ func (p *Passive) DeliverFunc() core.DeliverFunc {
 			p.onUpdateBatch(m)
 		case pChange:
 			p.onChange(m)
+		case pBarrier:
+			p.onBarrier(m)
+		case pLease:
+			p.onLease(m)
 		}
 	}
 }
@@ -272,6 +323,92 @@ func (p *Passive) Duplicates() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.dups
+}
+
+// CommitIndex returns this replica's position in the totally ordered command
+// sequence. Two replicas at the same commit index hold identical state, so
+// the index is a portable staleness token: a session that records the index
+// of its last acknowledged operation can demand "at least this" from any
+// replica (the Monotonic read level).
+func (p *Passive) CommitIndex() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.commitIdx
+}
+
+// WaitCommit blocks until this replica's commit index reaches at least
+// index, returning the index observed. A lagging replica reaches the target
+// as soon as the retransmission machinery delivers the missing messages;
+// ErrTimeout is returned if that takes longer than timeout (e.g. the replica
+// is partitioned from the quorum) so the caller can retry elsewhere, or as
+// soon as abort is closed (nil = never) — the gateway passes its shutdown
+// channel so a closing node does not wait out parked reads.
+func (p *Passive) WaitCommit(index uint64, timeout time.Duration, abort <-chan struct{}) (uint64, error) {
+	p.mu.Lock()
+	if p.commitIdx >= index {
+		idx := p.commitIdx
+		p.mu.Unlock()
+		return idx, nil
+	}
+	w := &idxWaiter{index: index, ch: make(chan struct{})}
+	p.idxWaiters = append(p.idxWaiters, w)
+	p.mu.Unlock()
+
+	var expire <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case <-w.ch:
+		p.mu.Lock()
+		idx := p.commitIdx
+		p.mu.Unlock()
+		return idx, nil
+	case <-expire:
+	case <-abort:
+	}
+	p.mu.Lock()
+	for i, o := range p.idxWaiters {
+		if o == w {
+			p.idxWaiters = append(p.idxWaiters[:i], p.idxWaiters[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+	return 0, ErrTimeout
+}
+
+// advanceCommit moves the commit index forward by n and wakes matured index
+// waiters. For deliveries that mutate the state machine it MUST be called
+// only after ApplyUpdate has run: a monotonic reader woken at index N reads
+// local state without any lock, so the index may never get ahead of the
+// applies it stands for. (Deliveries are serialized on the stack's delivery
+// goroutine, so deferring the advance past the unlocked apply section cannot
+// reorder it against other deliveries.)
+func (p *Passive) advanceCommit(n uint64) {
+	p.mu.Lock()
+	p.advanceCommitLocked(n)
+	p.mu.Unlock()
+}
+
+// advanceCommitLocked is advanceCommit for delivery paths that touch no
+// state outside p.mu; the same apply-before-advance rule applies.
+func (p *Passive) advanceCommitLocked(n uint64) {
+	p.commitIdx += n
+	if len(p.idxWaiters) == 0 {
+		return
+	}
+	kept := p.idxWaiters[:0]
+	for _, w := range p.idxWaiters {
+		if w.index <= p.commitIdx {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	p.idxWaiters = kept
 }
 
 // OnPrimaryChange registers a hook invoked after every delivered primary
@@ -476,10 +613,26 @@ func (w *sessWaiter) wait(timeout time.Duration) ([]byte, error) {
 func (p *Passive) sessionLocked(session string) *sessionRecord {
 	rec, ok := p.sessions[session]
 	if !ok {
-		rec = &sessionRecord{results: make(map[uint64][]byte)}
+		rec = &sessionRecord{
+			results:  make(map[uint64][]byte),
+			deadline: p.leaseClock + leaseTTLTicks,
+		}
 		p.sessions[session] = rec
 	}
 	return rec
+}
+
+// SessionTableSize returns the replicated dedup table's size: live session
+// records and cached (unacknowledged) results across them. With the
+// replicated lease running, both stay bounded under session churn; without
+// it, a vanished client's last results are cached forever.
+func (p *Passive) SessionTableSize() (sessions, results int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rec := range p.sessions {
+		results += len(rec.results)
+	}
+	return len(p.sessions), results
 }
 
 // staleEpoch marks an update that was ignored because a primary change was
@@ -512,6 +665,7 @@ func (p *Passive) dedupSessionLocked(session string, seq, ack uint64, result *[]
 	}
 	p.applied++
 	rec.results[seq] = *result
+	rec.deadline = p.leaseClock + leaseTTLTicks // every applied write renews the lease
 	if ack > rec.pruned {
 		rec.pruned = ack
 		for s := range rec.results {
@@ -559,6 +713,10 @@ func (p *Passive) onUpdate(u pUpdate) {
 	if !stale && (u.Session == "" || !dup) {
 		p.sm.ApplyUpdate(u.Update)
 	}
+	if !stale {
+		// Only after the apply: the index stands for applied state.
+		p.advanceCommit(1)
+	}
 	if applyGate != nil {
 		p.resolve(key, applyGate, u.Result, nil)
 	}
@@ -575,6 +733,10 @@ func (p *Passive) onChange(c pChange) {
 	var hook func(primary proc.ID, epoch uint64)
 	var primary proc.ID
 	var epoch uint64
+	// Primary changes conflict with every counted class, so counting each
+	// delivery (even a no-op rotation — that decision is replicated state)
+	// keeps the commit index identical everywhere.
+	p.advanceCommitLocked(1)
 	next := p.replicas.RotatePast(c.Old)
 	if next.Seq != p.replicas.Seq {
 		p.replicas = next

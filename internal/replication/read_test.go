@@ -1,0 +1,221 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCommitIndexConverges: the commit index counts the same totally ordered
+// command sequence at every replica — after a burst of writes, all replicas
+// settle on the same index, and WaitCommit unblocks a backup only once it
+// has caught up to it.
+func TestCommitIndexConverges(t *testing.T) {
+	reps, _, _, _ := buildPassive(t, 3)
+
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		if _, err := reps[0].Request([]byte(fmt.Sprintf("op-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := reps[0].CommitIndex()
+	if want < ops {
+		t.Fatalf("primary commit index %d after %d ops", want, ops)
+	}
+	for i, r := range reps {
+		idx, err := r.WaitCommit(want, 10*time.Second, nil)
+		if err != nil {
+			t.Fatalf("replica %d did not reach index %d: %v", i, want, err)
+		}
+		if idx < want {
+			t.Fatalf("replica %d WaitCommit returned %d < %d", i, idx, want)
+		}
+	}
+	// Quiesced, all indexes are equal.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		a, b, c := reps[0].CommitIndex(), reps[1].CommitIndex(), reps[2].CommitIndex()
+		if a == b && b == c {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("commit indexes diverged: %d %d %d", a, b, c)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestWaitCommitTimesOut: a target beyond anything delivered must time out,
+// not hang or return early.
+func TestWaitCommitTimesOut(t *testing.T) {
+	reps, _, _, _ := buildPassive(t, 3)
+	if _, err := reps[1].WaitCommit(1<<40, 30*time.Millisecond, nil); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+// TestReadBarrier: the barrier succeeds only at the primary, returns an
+// index covering every prior acknowledged write, and concurrent callers
+// coalesce into far fewer broadcasts than readers.
+func TestReadBarrier(t *testing.T) {
+	reps, sms, _, _ := buildPassive(t, 3)
+
+	if _, err := reps[1].ReadBarrier(time.Second, nil); !errors.Is(err, ErrNotPrimary) {
+		t.Fatalf("barrier at backup: err = %v, want ErrNotPrimary", err)
+	}
+
+	if _, err := reps[0].Request([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	before := reps[0].CommitIndex()
+	idx, err := reps[0].ReadBarrier(10*time.Second, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < before {
+		t.Fatalf("barrier index %d < pre-barrier commit index %d", idx, before)
+	}
+	if got := sms[0].value(); got != "v1" {
+		t.Fatalf("primary state after barrier: %q", got)
+	}
+
+	// A burst of concurrent barriers coalesces.
+	const readers = 64
+	var wg sync.WaitGroup
+	errs := make([]error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = reps[0].ReadBarrier(10*time.Second, nil)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("reader %d: %v", i, err)
+		}
+	}
+	st := reps[0].ReadBarrierStats()
+	if st.Reads < readers {
+		t.Fatalf("barrier stats recorded %d reads, want >= %d", st.Reads, readers)
+	}
+	if st.Broadcasts >= readers/2 {
+		t.Fatalf("%d readers cost %d broadcasts — no coalescing", readers, st.Broadcasts)
+	}
+	if st.MaxCoalesced < 2 {
+		t.Fatalf("max coalesced %d, want >= 2", st.MaxCoalesced)
+	}
+}
+
+// TestReadBarrierDemoted: a barrier in flight when the primary is demoted
+// resolves with ErrDemoted (or ErrNotPrimary when the rotation lands first)
+// — never with a stale success.
+func TestReadBarrierDemoted(t *testing.T) {
+	reps, _, _, _ := buildPassive(t, 3)
+	if _, err := reps[0].Request([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := reps[0].ReadBarrier(10*time.Second, nil)
+		done <- err
+	}()
+	if err := reps[1].RequestPrimaryChange("s1"); err != nil {
+		t.Fatal(err)
+	}
+	// The barrier either raced ahead of the change (nil) or was voided by
+	// it; both are linearizable outcomes. What must not happen is a hang or
+	// an unexpected error.
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, ErrDemoted) && !errors.Is(err, ErrNotPrimary) {
+			t.Fatalf("unexpected barrier error: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("barrier hung across demotion")
+	}
+}
+
+// TestReplicatedLeaseExpiry: lease ticks travel the ordered path, so the
+// (session, seq) dedup table of a vanished session shrinks identically at
+// every replica, while a renewed session survives.
+func TestReplicatedLeaseExpiry(t *testing.T) {
+	reps, _, _, _ := buildPassive(t, 3)
+
+	// Two sessions write; "gone" never acknowledges its last write, which
+	// without a lease would cache its result forever at every replica.
+	if _, err := reps[0].RequestSession("gone", 1, 0, []byte("g1"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reps[0].RequestSession("kept", 1, 0, []byte("k1"), 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if s, res := r.SessionTableSize(); s == 2 && res == 2 {
+				break
+			}
+			if time.Now().After(deadline) {
+				s, res := r.SessionTableSize()
+				t.Fatalf("replica %d table: %d sessions / %d results, want 2/2", i, s, res)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Tick past the TTL, renewing only "kept" — as the primary's gateway
+	// would for its attached sessions.
+	for tick := 0; tick < leaseTTLTicks+2; tick++ {
+		if err := reps[0].LeaseTick([]string{"kept"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, r := range reps {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if s, _ := r.SessionTableSize(); s == 1 {
+				break
+			}
+			if time.Now().After(deadline) {
+				s, res := r.SessionTableSize()
+				t.Fatalf("replica %d table after lease expiry: %d sessions / %d results, want 1", i, s, res)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if st := r.LeaseStats(); st.Expired != 1 {
+			t.Fatalf("replica %d expired %d sessions, want 1", i, st.Expired)
+		}
+	}
+
+	// The expired session's retry of its unacknowledged write re-executes
+	// (the lease contract): it gets a fresh record, not a cached result.
+	if _, err := reps[0].RequestSession("gone", 1, 0, []byte("g1-again"), 10*time.Second); err != nil {
+		t.Fatalf("retry after lease expiry: %v", err)
+	}
+
+	// A backup's lease message renews but does not tick: after one backup
+	// broadcast and one primary broadcast, the clock advanced exactly once
+	// everywhere.
+	before := reps[0].LeaseStats().Clock
+	if err := reps[1].LeaseTick([]string{"kept"}); err != nil {
+		t.Fatalf("backup renewal: %v", err)
+	}
+	if err := reps[0].LeaseTick(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reps {
+		deadline := time.Now().Add(10 * time.Second)
+		for r.LeaseStats().Clock != before+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d clock %d, want %d (backup broadcasts must not tick)",
+					i, r.LeaseStats().Clock, before+1)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	mrand "math/rand/v2"
 	"sort"
 	"sync"
 	"time"
@@ -32,8 +33,14 @@ type ClientConfig struct {
 	// (default 30s).
 	OpTimeout time.Duration
 	// RetryBackoff is the base delay between reconnect attempts; each full
-	// sweep of Addrs doubles it up to 32x (default 10ms).
+	// sweep of Addrs doubles it up to 32x, jittered so clients orphaned by
+	// the same crash do not reconnect in lockstep (default 10ms).
 	RetryBackoff time.Duration
+	// ReadLevel is the consistency level used by Read (per-call override:
+	// ReadAt). The default is ReadMonotonic: reads never travel backwards
+	// in time for this session, even across failover to a lagging gateway;
+	// ReadLocal restores the cheaper pre-level behavior.
+	ReadLevel ReadLevel
 }
 
 // ErrClosed is returned by operations on a closed client.
@@ -41,12 +48,14 @@ var ErrClosed = errors.New("service: client closed")
 
 // call is one pending operation.
 type call struct {
-	seq    uint64
-	op     []byte
-	read   bool
-	done   chan struct{}
-	result []byte
-	err    error
+	seq      uint64
+	op       []byte
+	read     bool
+	level    ReadLevel // resolved read level (reads only)
+	minIndex uint64    // monotonic token captured when the read was issued
+	done     chan struct{}
+	result   []byte
+	err      error
 }
 
 func (c *call) finish(result []byte, err error) {
@@ -75,6 +84,7 @@ type Client struct {
 	acked      uint64          // highest contiguously acknowledged seq
 	ackedSet   map[uint64]bool // acknowledged seqs above acked
 	pending    map[uint64]*call
+	lastIndex  uint64 // highest commit index observed in any response
 	closed     bool
 
 	window chan struct{} // pipelining semaphore
@@ -99,6 +109,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	switch cfg.ReadLevel {
+	case ReadDefault:
+		cfg.ReadLevel = ReadMonotonic
+	case ReadLocal, ReadMonotonic, ReadLinearizable:
+	default:
+		return nil, fmt.Errorf("service: unknown read level %v", cfg.ReadLevel)
 	}
 	session := cfg.Session
 	if session == "" {
@@ -157,16 +174,40 @@ func (c *Client) Close() {
 // result. Calls may be issued concurrently; up to MaxInflight are pipelined.
 // An acknowledged call executed exactly once, even across primary failover.
 func (c *Client) Call(op []byte) ([]byte, error) {
-	return c.do(op, false)
+	return c.do(op, false, ReadDefault)
 }
 
-// Read executes a read-only operation against the connected gateway's local
-// state (no replication; reads at a backup may trail the primary).
+// Read executes a read-only operation at the client's configured read level
+// (ReadMonotonic unless overridden): the result is never older than any
+// state this session has already observed, across reconnects and failover.
 func (c *Client) Read(op []byte) ([]byte, error) {
-	return c.do(op, true)
+	return c.do(op, true, c.cfg.ReadLevel)
 }
 
-func (c *Client) do(op []byte, read bool) ([]byte, error) {
+// ReadAt is Read at an explicit consistency level, overriding the
+// configured default for this one operation.
+func (c *Client) ReadAt(op []byte, level ReadLevel) ([]byte, error) {
+	switch level {
+	case ReadDefault:
+		level = c.cfg.ReadLevel
+	case ReadLocal, ReadMonotonic, ReadLinearizable:
+	default:
+		// Reject locally, like NewClient: no point burning a round trip and
+		// a window slot on a guaranteed BAD_READ_LEVEL.
+		return nil, fmt.Errorf("service: unknown read level %v", level)
+	}
+	return c.do(op, true, level)
+}
+
+// LastIndex returns the highest replica commit index this session has
+// observed — the monotonic-read token.
+func (c *Client) LastIndex() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastIndex
+}
+
+func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 	select {
 	case c.window <- struct{}{}:
 		defer func() { <-c.window }()
@@ -185,6 +226,14 @@ func (c *Client) do(op []byte, read bool) ([]byte, error) {
 		op:   append([]byte(nil), op...),
 		read: read,
 		done: make(chan struct{}),
+	}
+	if read {
+		cl.level = level
+		// The monotonic token is captured at issue time and stays fixed
+		// across retransmissions: any replica that has reached this index
+		// has applied everything the session had observed when the read
+		// began.
+		cl.minIndex = c.lastIndex
 	}
 	c.pending[cl.seq] = cl
 	conn, ok := c.connLocked()
@@ -241,7 +290,10 @@ func (c *Client) connLocked() (transport.StreamConn, bool) {
 // transmit sends one operation on conn; a send failure triggers recovery
 // (the op stays pending and is retransmitted on the next connection).
 func (c *Client) transmit(conn transport.StreamConn, gen int, cl *call, ack uint64) {
-	frame, err := encodeFrame(reqFrame{Seq: cl.seq, Ack: ack, Op: cl.op, Read: cl.read})
+	frame, err := encodeFrame(reqFrame{
+		Seq: cl.seq, Ack: ack, Op: cl.op,
+		Read: cl.read, Level: cl.level, MinIndex: cl.minIndex,
+	})
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, cl.seq)
@@ -292,8 +344,13 @@ func (c *Client) reconnect() {
 
 		conn, addr, ok := c.attemptConnect()
 		if !ok {
+			// Jitter the delay across [backoff/2, backoff): every client
+			// orphaned by the same primary kill would otherwise double the
+			// same base in lockstep and retry the surviving gateways in
+			// synchronized waves (thundering herd).
+			delay := backoff/2 + mrand.N(backoff/2+1)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(delay):
 			case <-c.done:
 			}
 			if backoff < 32*c.cfg.RetryBackoff {
@@ -441,7 +498,7 @@ func (c *Client) recvLoop(conn transport.StreamConn, gen int) {
 func (c *Client) handleResponse(gen int, f resFrame) {
 	switch f.Err {
 	case "":
-		c.complete(f.Seq, f.Result, nil, gen)
+		c.complete(f.Seq, f.Result, nil, gen, f.Index)
 	case errNotPrimary:
 		// The op stays pending; reconnect to the hinted primary and let the
 		// resend deliver it there.
@@ -460,15 +517,17 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 		// retry under the same seq.
 		c.connBroken(gen)
 	default:
-		// Terminal server-side error (PRUNED, NO_READS, application error).
-		c.complete(f.Seq, nil, fmt.Errorf("service: server error: %s", f.Err), gen)
+		// Terminal server-side error (PRUNED, NO_READS, BAD_READ_LEVEL,
+		// application error).
+		c.complete(f.Seq, nil, fmt.Errorf("service: server error: %s", f.Err), gen, 0)
 	}
 }
 
 // complete resolves a pending call and advances the contiguous ack frontier.
 // A successful write proves the gateway that answered fronts the primary, so
-// its address becomes the primary hint.
-func (c *Client) complete(seq uint64, result []byte, err error, gen int) {
+// its address becomes the primary hint; the response's commit index feeds
+// the session's monotonic-read token.
+func (c *Client) complete(seq uint64, result []byte, err error, gen int, index uint64) {
 	c.mu.Lock()
 	cl, ok := c.pending[seq]
 	if ok {
@@ -480,6 +539,9 @@ func (c *Client) complete(seq uint64, result []byte, err error, gen int) {
 		}
 		if err == nil && !cl.read && gen == c.gen && c.connAddr != "" {
 			c.hint = c.connAddr
+		}
+		if index > c.lastIndex {
+			c.lastIndex = index
 		}
 	}
 	c.mu.Unlock()

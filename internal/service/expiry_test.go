@@ -52,6 +52,93 @@ func TestGatewaySessionExpiry(t *testing.T) {
 	}
 }
 
+// TestReplicatedLeaseBoundsDedupTable: with the replicated lease enabled, a
+// session that vanishes without acknowledging its last writes is pruned from
+// the (session, seq) dedup table at EVERY replica — identically, because the
+// expiry travels the ordered path — while a session still attached to the
+// primary's gateway is renewed and survives.
+func TestReplicatedLeaseBoundsDedupTable(t *testing.T) {
+	// Generous relative to the 4-tick lease window: under the race detector
+	// a gateway's renewal goroutine can stall for many scheduler quanta, and
+	// a live session's lease must not lapse because of that.
+	const ttl = 400 * time.Millisecond
+	c := buildService(t, 3, func(cfg *GatewayConfig) { cfg.LeaseTTL = ttl })
+
+	stay := c.newClient(t, func(cfg *ClientConfig) { cfg.Session = "stay" })
+	if _, err := stay.Call([]byte("stay-1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// "parked" writes once (creating replicated dedup state), then its
+	// client goes away and the session reattaches RAW to a BACKUP gateway:
+	// the backup's renewals must keep its lease alive too.
+	parked := c.newClient(t, func(cfg *ClientConfig) { cfg.Session = "parked" })
+	if _, err := parked.Call([]byte("parked-1")); err != nil {
+		t.Fatal(err)
+	}
+	parked.Close()
+	conn, err := c.network.DialStream("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	send(t, conn, helloFrame{Session: "parked"})
+	if _, ok := recv(t, conn).(welcomeFrame); !ok {
+		t.Fatal("no welcome at backup")
+	}
+
+	vanish := c.newClient(t, func(cfg *ClientConfig) { cfg.Session = "vanish" })
+	for _, op := range []string{"v-1", "v-2", "v-3"} {
+		if _, err := vanish.Call([]byte(op)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The final write's ack is never piggybacked anywhere: without the
+	// replicated lease its cached result would survive forever at every
+	// replica. The client vanishes instead of acknowledging.
+	vanish.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		done := true
+		for _, r := range c.reps {
+			if s, _ := r.SessionTableSize(); s != 2 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			s1, r1 := c.reps[0].SessionTableSize()
+			s2, r2 := c.reps[1].SessionTableSize()
+			s3, r3 := c.reps[2].SessionTableSize()
+			t.Fatalf("dedup table not pruned to the surviving sessions: s1=%d/%d s2=%d/%d s3=%d/%d",
+				s1, r1, s2, r2, s3, r3)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The shrink is identical everywhere: same table size, same expiry count.
+	for i, r := range c.reps {
+		if st := r.LeaseStats(); st.Expired != 1 {
+			t.Fatalf("replica %d expired %d sessions, want exactly the vanished one", i+1, st.Expired)
+		}
+	}
+
+	// "stay" (attached to the primary's gateway) and "parked" (attached to a
+	// backup's) keep being renewed across many TTLs, and "stay"'s writes
+	// still deduplicate.
+	time.Sleep(3 * ttl)
+	for i, r := range c.reps {
+		if s, _ := r.SessionTableSize(); s != 2 {
+			t.Fatalf("replica %d pruned an attached session (table %d)", i+1, s)
+		}
+	}
+	if _, err := stay.Call([]byte("stay-2")); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestGatewaySessionLeaseHeldByConnection: an attached connection keeps the
 // lease alive indefinitely, even with no traffic.
 func TestGatewaySessionLeaseHeldByConnection(t *testing.T) {

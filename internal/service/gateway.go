@@ -41,8 +41,19 @@ type GatewayConfig struct {
 	// SessionTTL is garbage-collected (its worker stops and its state is
 	// dropped; the replicated dedup table is unaffected, so a later
 	// reconnect under the same session ID still deduplicates correctly).
-	// Zero keeps sessions forever.
+	// Zero or negative keeps sessions forever.
 	SessionTTL time.Duration
+	// LeaseTTL enables the REPLICATED session lease: every gateway
+	// periodically broadcasts an ordered lease message renewing its attached
+	// sessions, the primary's broadcast ticks the replicated lease clock,
+	// and every replica prunes (session, seq) dedup records idle for more
+	// than the TTL identically (replication.LeaseTick). This bounds the
+	// replicated table for vanished clients; a session attached to NO
+	// gateway and writing nothing for more than the TTL loses its dedup
+	// state, so pick a TTL comfortably above client reconnect times. Zero or
+	// negative disables the replicated lease (the table is pruned by client
+	// acks only).
+	LeaseTTL time.Duration
 }
 
 // GatewayStats is a snapshot of gateway accounting.
@@ -82,9 +93,10 @@ type Gateway struct {
 // are bounded at MaxInflight: up to MaxInflight-1 queued plus the ones being
 // processed by the worker; beyond that the connection's read loop blocks.
 type gwSession struct {
-	id    string
-	queue chan reqFrame // pending writes; capacity = MaxInflight-1
-	stop  chan struct{} // closed when the session's lease expires
+	id        string
+	queue     chan reqFrame // pending writes; capacity = MaxInflight-1
+	stop      chan struct{} // closed when the session's lease expires
+	readSlots chan struct{} // waiting-read window; capacity = MaxInflight
 
 	inflight   atomic.Int64 // queued + processing writes
 	processing atomic.Int64 // writes currently inside RequestSession
@@ -159,6 +171,15 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 5 * time.Second
 	}
+	// Nonsensical TTLs (negative, or so small the janitor interval would
+	// truncate to zero — time.NewTicker panics on non-positive periods) are
+	// normalized here so every janitor below can trust its config.
+	if cfg.SessionTTL < 0 {
+		cfg.SessionTTL = 0
+	}
+	if cfg.LeaseTTL < 0 {
+		cfg.LeaseTTL = 0
+	}
 	g := &Gateway{
 		cfg:      cfg,
 		sessions: make(map[string]*gwSession),
@@ -181,6 +202,10 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.SessionTTL > 0 {
 		g.wg.Add(1)
 		go g.expireLoop()
+	}
+	if cfg.LeaseTTL > 0 {
+		g.wg.Add(1)
+		go g.leaseLoop()
 	}
 	return g
 }
@@ -304,6 +329,7 @@ func (g *Gateway) session(id string) *gwSession {
 		id:         id,
 		queue:      make(chan reqFrame, depth),
 		stop:       make(chan struct{}),
+		readSlots:  make(chan struct{}, g.cfg.MaxInflight),
 		lastActive: time.Now(),
 	}
 	g.sessions[id] = s
@@ -312,12 +338,46 @@ func (g *Gateway) session(id string) *gwSession {
 	return s
 }
 
-// expireLoop is the lease janitor: it garbage-collects sessions that have
-// had no attached connection, no queued or in-flight writes, and no
+// janitorInterval derives a ticker period as a quarter of a TTL, floored at
+// one millisecond: time.NewTicker panics on a non-positive period, which an
+// integer division of a small (but valid) TTL would otherwise produce.
+func janitorInterval(ttl time.Duration) time.Duration {
+	interval := ttl / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	return interval
+}
+
+// expireLoop is the local lease janitor: it garbage-collects sessions that
+// have had no attached connection, no queued or in-flight writes, and no
 // activity for SessionTTL.
 func (g *Gateway) expireLoop() {
 	defer g.wg.Done()
-	interval := g.cfg.SessionTTL / 4
+	ticker := time.NewTicker(janitorInterval(g.cfg.SessionTTL))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-g.done:
+			return
+		case <-ticker.C:
+			g.expirePass(time.Now())
+		}
+	}
+}
+
+// leaseLoop is the replicated lease janitor: every gateway periodically
+// broadcasts an ordered lease message renewing the sessions it holds
+// attached — so a session parked at a backup gateway is renewed too — and
+// the broadcast of the gateway fronting the primary ticks the replicated
+// lease clock, pruning vanished sessions identically at every replica (see
+// replication.LeaseTick).
+func (g *Gateway) leaseLoop() {
+	defer g.wg.Done()
+	// The broadcast period and the lease's tick count must agree, or the
+	// effective TTL silently drifts from the configured one — derive it
+	// from replication's own constant.
+	interval := g.cfg.LeaseTTL / replication.LeaseTTLTicks
 	if interval < time.Millisecond {
 		interval = time.Millisecond
 	}
@@ -328,9 +388,31 @@ func (g *Gateway) expireLoop() {
 		case <-g.done:
 			return
 		case <-ticker.C:
-			g.expirePass(time.Now())
+			sessions := g.attachedSessions()
+			if len(sessions) == 0 && g.cfg.Replica.Primary() != g.cfg.Self {
+				continue // nothing to renew and no clock to tick
+			}
+			_ = g.cfg.Replica.LeaseTick(sessions)
 		}
 	}
+}
+
+// attachedSessions lists the sessions currently holding a connection (or
+// with work in flight) at this gateway — the ones whose replicated lease
+// this gateway keeps renewing.
+func (g *Gateway) attachedSessions() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, 0, len(g.sessions))
+	for id, s := range g.sessions {
+		s.mu.Lock()
+		live := s.conn != nil
+		s.mu.Unlock()
+		if live || s.inflight.Load() > 0 {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 func (g *Gateway) expirePass(now time.Time) {
@@ -424,16 +506,93 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	}
 }
 
-// serveRead answers a read from local state without touching the group.
+// serveRead dispatches a read at its requested consistency level. Local
+// reads answer inline on the connection's read loop; waiting levels
+// (monotonic, linearizable) run on their own goroutine so a lagging replica
+// or an in-flight barrier never stalls the session's pipelined writes. An
+// unknown level is rejected with BAD_READ_LEVEL rather than silently
+// degraded to a weaker read.
 func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
-	res := resFrame{Seq: req.Seq}
 	if g.cfg.Read == nil {
-		res.Err = errNoReads
-	} else {
-		res.Result = g.cfg.Read(req.Op)
-		g.reads.Add(1)
+		s.send(resFrame{Seq: req.Seq, Err: errNoReads})
+		return
 	}
-	s.send(res)
+	level := req.Level
+	if level == ReadDefault {
+		// Pre-level wire clients (Level absent = 0) keep their old behavior.
+		level = ReadLocal
+	}
+	switch level {
+	case ReadLocal:
+		g.reads.Add(1)
+		s.send(resFrame{
+			Seq:    req.Seq,
+			Result: g.cfg.Read(req.Op),
+			Index:  g.cfg.Replica.CommitIndex(),
+		})
+	case ReadMonotonic, ReadLinearizable:
+		// Monotonic fast path: when the replica has already reached the
+		// session's token — the steady-state case — the read is answered
+		// inline, as cheap as a local one.
+		if level == ReadMonotonic && g.cfg.Replica.CommitIndex() >= req.MinIndex {
+			g.reads.Add(1)
+			s.send(resFrame{
+				Seq:    req.Seq,
+				Result: g.cfg.Read(req.Op),
+				Index:  g.cfg.Replica.CommitIndex(),
+			})
+			return
+		}
+		// Same backpressure as writes: at most MaxInflight waiting reads per
+		// session; beyond that this blocks, pausing the connection's read
+		// loop until a slot frees.
+		select {
+		case s.readSlots <- struct{}{}:
+		case <-s.stop:
+			return
+		case <-g.done:
+			return
+		}
+		g.wg.Add(1)
+		go func() {
+			defer g.wg.Done()
+			defer func() { <-s.readSlots }()
+			s.send(g.processRead(req, level))
+			s.touch()
+		}()
+	default:
+		s.send(resFrame{Seq: req.Seq, Err: errBadReadLevel})
+	}
+}
+
+// processRead serves a waiting read level and builds its response frame.
+func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
+	res := resFrame{Seq: req.Seq}
+	var err error
+	if level == ReadMonotonic {
+		// Any replica may answer once it has caught up to the session's
+		// last-seen commit index.
+		_, err = g.cfg.Replica.WaitCommit(req.MinIndex, g.cfg.RequestTimeout, g.done)
+	} else {
+		// Linearizable: only the primary answers, behind an ordered no-op
+		// confirmed through the broadcast path (coalesced across readers).
+		_, err = g.cfg.Replica.ReadBarrier(g.cfg.RequestTimeout, g.done)
+	}
+	switch {
+	case err == nil:
+		res.Result = g.cfg.Read(req.Op)
+		res.Index = g.cfg.Replica.CommitIndex()
+		g.reads.Add(1)
+	case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
+		res.Err = errNotPrimary
+		res.Redirect = g.hint()
+		g.redirects.Add(1)
+	case errors.Is(err, replication.ErrTimeout):
+		res.Err = errTimeout
+	default:
+		res.Err = err.Error()
+	}
+	return res
 }
 
 // processWrite routes one write into the replicated service and builds its
@@ -444,6 +603,11 @@ func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
 	switch {
 	case err == nil:
 		res.Result = result
+		// The local apply precedes RequestSession's return at the primary,
+		// so the current commit index covers this write (conservatively: it
+		// may also cover later ones, which only strengthens the client's
+		// monotonic token).
+		res.Index = g.cfg.Replica.CommitIndex()
 		g.writes.Add(1)
 	case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
 		res.Err = errNotPrimary

@@ -16,9 +16,9 @@
 //	  |----------------------------->|   the passive-replication primary
 //	  |              RES{seq, result}|   (g-broadcast update, Section 3.2.3)
 //	  |<-----------------------------|
-//	  | REQ{seq, op, read}           |   reads: served from local state
-//	  |----------------------------->|
-//	  |              RES{seq, result}|
+//	  | REQ{seq, op, read, level}    |   reads: local, monotonic (commit-
+//	  |----------------------------->|   index token) or linearizable
+//	  |              RES{seq, result}|   (ordered no-op read barrier)
 //	  |<-----------------------------|
 //	  |     PUSH{primary}  (demotion)|   NOT_PRIMARY redirect, unsolicited
 //	  |<-----------------------------|
@@ -31,6 +31,15 @@
 // writes are retried until they execute exactly once. REQ.Ack carries the
 // client's highest contiguously acknowledged sequence so the table can be
 // pruned identically at every replica.
+//
+// Read consistency: every response carries the serving replica's commit
+// index, and the client keeps the maximum it has seen. A Monotonic read
+// (the client default) ships that token as REQ.MinIndex; any gateway blocks
+// the read until its replica has applied at least that index, so
+// read-your-writes and monotonic reads hold even when the client fails over
+// to a lagging gateway. A Linearizable read is served at the primary behind
+// an ordered no-op barrier, coalesced across concurrent readers. Local reads
+// (today's pre-PR-3 behavior) remain available opt-in.
 //
 // Backpressure: each session has a bounded in-flight window at the gateway
 // (Config.MaxInflight). When the window is full the gateway stops reading
@@ -62,7 +71,15 @@ type (
 		Seq  uint64
 		Ack  uint64 // highest contiguously acknowledged response
 		Op   []byte
-		Read bool // serve from local state, no replication
+		Read bool // read-only operation; Level selects its consistency
+
+		// Level is the read's consistency level (meaningful with Read; the
+		// zero value selects Local for wire compatibility with old clients).
+		Level ReadLevel
+		// MinIndex, with ReadMonotonic, is the commit index the serving
+		// replica must have reached before answering — the session's
+		// last-seen index, making reads monotonic across gateway failover.
+		MinIndex uint64
 	}
 	// resFrame answers reqFrame with the same Seq.
 	resFrame struct {
@@ -70,6 +87,9 @@ type (
 		Result   []byte
 		Err      string // one of the err* codes, or a free-form message
 		Redirect string // with errNotPrimary: address of the new primary
+		// Index is the serving replica's commit index when the operation was
+		// answered; the client folds it into its monotonic-read token.
+		Index uint64
 	}
 	// pushFrame is unsolicited: the gateway's replica was demoted and
 	// clients should reconnect to the new primary.
@@ -78,12 +98,53 @@ type (
 	}
 )
 
+// ReadLevel selects the consistency of a read-only operation.
+type ReadLevel int
+
+const (
+	// ReadDefault selects the client's configured default level
+	// (ReadMonotonic unless overridden). On the wire it is served as
+	// ReadLocal so pre-level clients keep their old behavior.
+	ReadDefault ReadLevel = iota
+	// ReadLocal serves the read from the contacted gateway's local state:
+	// cheapest, but a lagging or partitioned gateway may return state older
+	// than the session's own acknowledged writes.
+	ReadLocal
+	// ReadMonotonic blocks the read until the serving replica has applied
+	// at least the session's last-seen commit index: read-your-writes and
+	// monotonic reads survive failover to a lagging gateway, at any replica,
+	// with no broadcast.
+	ReadMonotonic
+	// ReadLinearizable serves the read at the primary behind an ordered
+	// no-op barrier (replication.ReadBarrier): the answer reflects every
+	// write acknowledged before the read began, and a deposed or partitioned
+	// primary cannot answer at all. Concurrent linearizable reads coalesce
+	// into one barrier broadcast.
+	ReadLinearizable
+)
+
+func (l ReadLevel) String() string {
+	switch l {
+	case ReadDefault:
+		return "default"
+	case ReadLocal:
+		return "local"
+	case ReadMonotonic:
+		return "monotonic"
+	case ReadLinearizable:
+		return "linearizable"
+	default:
+		return fmt.Sprintf("ReadLevel(%d)", int(l))
+	}
+}
+
 // Error codes carried in resFrame.Err.
 const (
-	errNotPrimary = "NOT_PRIMARY"
-	errTimeout    = "TIMEOUT"
-	errPruned     = "PRUNED"
-	errNoReads    = "NO_READS"
+	errNotPrimary   = "NOT_PRIMARY"
+	errTimeout      = "TIMEOUT"
+	errPruned       = "PRUNED"
+	errNoReads      = "NO_READS"
+	errBadReadLevel = "BAD_READ_LEVEL"
 )
 
 func init() {
