@@ -443,6 +443,31 @@ func BenchmarkMsgCodec(b *testing.B) {
 	}
 }
 
+// BenchmarkMsgDecode guards the pooled decode side: the full inbound frame
+// lifecycle — borrow a pooled frame buffer (as the transports' read paths
+// do), copy the wire bytes in, decode, recycle. Steady state must not
+// allocate for the frame buffer itself; gob's per-message decoder remains
+// the dominant (and irreducible, per message independence) cost.
+func BenchmarkMsgDecode(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		pre, err := msg.Encode(sim.NewPayload(1, size))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("pooledFrame/size=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				frame := transport.GetFrame(len(pre))
+				copy(frame, pre)
+				if _, err := msg.Decode(frame); err != nil {
+					b.Fatal(err)
+				}
+				transport.PutFrame(frame)
+			}
+		})
+	}
+}
+
 func BenchmarkCodecRoundTrip(b *testing.B) {
 	p := sim.NewPayload(1, 256)
 	b.ReportAllocs()

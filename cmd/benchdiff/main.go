@@ -1,0 +1,139 @@
+// Command benchdiff compares two JSON-lines benchmark files (as produced by
+// `gcsbench service`, `service-reads`, `service-shards`) row by row and
+// prints the relative change of the headline metrics. It is REPORT-ONLY:
+// the exit code is always 0 — the point is a visible trajectory in CI logs
+// against the baselines committed in-tree (BENCH_*.json), not a gate (the
+// shared CI runners are far too noisy for bench numbers to block a merge).
+//
+// Usage: benchdiff <baseline.json> <current.json>
+//
+// Rows are joined on their dimension fields (experiment, batch, sessions,
+// level, profile, shards, pipeline — everything that is not a measured
+// metric); rows present on only one side are listed as added/removed.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// metrics are the measured (non-dimension) fields, with the headline ones
+// compared explicitly.
+var metrics = map[string]bool{
+	"duration_s": true, "ops": true, "ops_per_s": true,
+	"reads": true, "reads_per_s": true,
+	"mean_us": true, "p50_us": true, "p99_us": true,
+	"batches": true, "max_batch": true,
+	"barriers": true, "barrier_reads": true, "max_coalesced": true,
+}
+
+// headline metrics shown in the diff, in order, with direction of "better".
+var headline = []struct {
+	field  string
+	upGood bool
+}{
+	{"ops_per_s", true},
+	{"reads_per_s", true},
+	{"p50_us", false},
+	{"p99_us", false},
+}
+
+func load(path string) (map[string]map[string]float64, []string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rows := make(map[string]map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "{") {
+			continue
+		}
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			continue
+		}
+		var keyParts []string
+		vals := make(map[string]float64)
+		fields := make([]string, 0, len(raw))
+		for k := range raw {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+		for _, k := range fields {
+			if metrics[k] {
+				if f, ok := raw[k].(float64); ok {
+					vals[k] = f
+				}
+				continue
+			}
+			keyParts = append(keyParts, fmt.Sprintf("%s=%v", k, raw[k]))
+		}
+		key := strings.Join(keyParts, " ")
+		if _, dup := rows[key]; !dup {
+			order = append(order, key)
+		}
+		rows[key] = vals
+	}
+	return rows, order, sc.Err()
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff <baseline.json> <current.json>")
+		os.Exit(0) // report-only, even on misuse
+	}
+	base, baseOrder, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (skipping diff)\n", err)
+		return
+	}
+	cur, curOrder, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v (skipping diff)\n", err)
+		return
+	}
+
+	fmt.Printf("benchdiff %s -> %s\n", os.Args[1], os.Args[2])
+	for _, key := range baseOrder {
+		b := base[key]
+		c, ok := cur[key]
+		if !ok {
+			fmt.Printf("  removed: %s\n", key)
+			continue
+		}
+		var parts []string
+		for _, h := range headline {
+			bv, bok := b[h.field]
+			cv, cok := c[h.field]
+			if !bok || !cok || bv == 0 {
+				continue
+			}
+			delta := (cv - bv) / bv * 100
+			arrow := ""
+			switch {
+			case delta > 5 && h.upGood, delta < -5 && !h.upGood:
+				arrow = " (better)"
+			case delta < -5 && h.upGood, delta > 5 && !h.upGood:
+				arrow = " (worse)"
+			}
+			parts = append(parts, fmt.Sprintf("%s %+.1f%%%s", h.field, delta, arrow))
+		}
+		if len(parts) > 0 {
+			fmt.Printf("  %s: %s\n", key, strings.Join(parts, ", "))
+		}
+	}
+	for _, key := range curOrder {
+		if _, ok := base[key]; !ok {
+			fmt.Printf("  added: %s\n", key)
+		}
+	}
+}

@@ -16,6 +16,9 @@
 //	gcsbench service-reads   E13: read consistency levels (local, monotonic,
 //	                         linearizable) vs concurrent reader sessions,
 //	                         with barrier-coalescing accounting (JSON rows)
+//	gcsbench service-shards  E14: key space sharded across S parallel
+//	                         replicated groups on one node set (group mux,
+//	                         batching on) — aggregate write scaling (JSON)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -54,6 +57,8 @@ func run(cmd string) error {
 		return experimentService()
 	case "service-reads":
 		return experimentServiceReads()
+	case "service-shards":
+		return experimentServiceShards()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -63,6 +68,7 @@ func run(cmd string) error {
 			experimentFig8,
 			experimentService,
 			experimentServiceReads,
+			experimentServiceShards,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -71,6 +77,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|all)", cmd)
 	}
 }

@@ -36,6 +36,7 @@ type svcRecord struct {
 	Ops        uint64  `json:"ops"`
 	OpsPerSec  float64 `json:"ops_per_s"`
 	MeanUS     float64 `json:"mean_us"`
+	P50US      float64 `json:"p50_us"`
 	P99US      float64 `json:"p99_us"`
 	Batches    uint64  `json:"batches"`   // broadcasts carrying the ops (0 unbatched)
 	MaxBatch   int     `json:"max_batch"` // largest coalesced batch (0 unbatched)
@@ -221,6 +222,7 @@ func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, erro
 		Ops:        ops.Load(),
 		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
 		MeanUS:     float64(hist.Mean()) / float64(time.Microsecond),
+		P50US:      float64(hist.Quantile(0.50)) / float64(time.Microsecond),
 		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
 		Batches:    bst.Batches,
 		MaxBatch:   bst.MaxBatch,

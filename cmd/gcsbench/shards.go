@@ -1,0 +1,319 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	mrand "math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// ---- E14: sharded service ------------------------------------------------
+//
+// Aggregate write throughput as the key space is sharded across S parallel
+// replicated groups on the SAME 3-node set. Each shard is a complete
+// passive-replication stack (own epoch, primary, batcher, commit index),
+// every node's S stacks share one physical endpoint through the group mux,
+// the per-shard replica lists are rotated so primaries spread across the
+// nodes, and group-commit batching is ON everywhere.
+//
+// Two profiles, because what sharding buys depends on where the bottleneck
+// is:
+//
+//   - "parity" replicates E12's substrate exactly (fast LAN-like delays,
+//     default batch window, closed-loop sessions) with ONE shard: it shows
+//     the sharded stack — group mux, shard router, per-shard sessions — at
+//     S=1 matches the unsharded E12 numbers (no refactor regression).
+//     On this benchmark's single-CPU runners the E12 configuration is
+//     CPU-bound, and no amount of sharding speeds up a saturated CPU —
+//     splitting the batcher only shrinks per-broadcast amortisation.
+//
+//   - "scaling" makes the ordered pipeline the bottleneck, which is the
+//     regime sharding addresses: wide-area-ish delays (3–8 ms per hop) and
+//     a bounded commit window (MaxOps 8 — think fsync'd log segments or
+//     consensus over a WAN), with pipelined sessions supplying plenty of
+//     outstanding writes. One group then commits at most window/round ops
+//     per round no matter the offered load, while S groups run S rounds in
+//     parallel: aggregate ops/s scales with S until the CPU (or the
+//     outstanding-op supply) is exhausted.
+
+// svcShardRecord is the JSON shape of one E14 row.
+type svcShardRecord struct {
+	Experiment string  `json:"experiment"`
+	Profile    string  `json:"profile"` // "parity" (E12 substrate) or "scaling"
+	Shards     int     `json:"shards"`
+	Sessions   int     `json:"sessions"`
+	Pipeline   int     `json:"pipeline"` // concurrent writes per session
+	DurationS  float64 `json:"duration_s"`
+	Ops        uint64  `json:"ops"`
+	OpsPerSec  float64 `json:"ops_per_s"`
+	MeanUS     float64 `json:"mean_us"`
+	P50US      float64 `json:"p50_us"`
+	P99US      float64 `json:"p99_us"`
+	Batches    uint64  `json:"batches"`   // batches across all shard primaries
+	MaxBatch   int     `json:"max_batch"` // largest coalesced batch anywhere
+}
+
+// shardProfile bundles one profile's substrate and load shape.
+type shardProfile struct {
+	name               string
+	delayMin, delayMax time.Duration
+	batch              replication.BatchConfig
+	pipeline           int
+}
+
+var (
+	// parityProfile is E12's exact substrate (newNet delays, default batch
+	// window) and closed-loop sessions.
+	parityProfile = shardProfile{
+		name: "parity", delayMin: 50 * time.Microsecond, delayMax: 200 * time.Microsecond,
+		pipeline: 1,
+	}
+	// scalingProfile is ordered-pipeline-bound: WAN-ish hop latency and a
+	// small commit window cap each group's serial capacity while leaving
+	// the CPU mostly idle — the capacity sharding multiplies.
+	scalingProfile = shardProfile{
+		name: "scaling", delayMin: 3 * time.Millisecond, delayMax: 8 * time.Millisecond,
+		batch:    replication.BatchConfig{MaxOps: 8},
+		pipeline: 8,
+	}
+)
+
+func experimentServiceShards() error {
+	fmt.Println("== E14 — sharded service: aggregate write ops/s vs shard count ==")
+	fmt.Println("   S parallel replicated groups on one 3-node set (group mux, batching on);")
+	fmt.Println("   parity = E12 substrate at S=1 (refactor regression check);")
+	fmt.Println("   scaling = ordered-pipeline-bound substrate (3-8ms hops, 8-op commit window)")
+	fmt.Printf("%-9s %-7s %-9s %-9s %10s %12s %10s %10s %10s %9s\n",
+		"profile", "shards", "sessions", "pipeline", "ops", "ops/s", "mean", "p50", "p99", "batches")
+
+	const runFor = time.Second
+	type cell struct {
+		prof   shardProfile
+		shards int
+	}
+	var cells []cell
+	for _, sh := range []int{1} {
+		cells = append(cells, cell{parityProfile, sh})
+	}
+	for _, sh := range []int{1, 2, 4, 8} {
+		cells = append(cells, cell{scalingProfile, sh})
+	}
+	for _, sessions := range []int{16, 64} {
+		for _, c := range cells {
+			rec, err := runServiceShards(c.prof, c.shards, sessions, runFor)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-9s %-7d %-9d %-9d %10d %12.0f %10v %10v %10v %9d\n",
+				rec.Profile, rec.Shards, rec.Sessions, rec.Pipeline, rec.Ops, rec.OpsPerSec,
+				time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P50US*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond),
+				rec.Batches)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		}
+	}
+	return nil
+}
+
+// shardHarness is one benchmark cluster: 3 nodes × S shards, each node's
+// shard stacks muxed over its single memnet endpoint, a sharded gateway per
+// node.
+type shardHarness struct {
+	network *transport.Network
+	muxes   []*transport.GroupMux
+	nodes   []*core.Node
+	reps    [][]*replication.Passive // [node][shard]
+	gws     []*service.Gateway
+}
+
+func buildShardHarness(seed int64, shards int, prof shardProfile) (*shardHarness, error) {
+	h := &shardHarness{network: transport.NewNetwork(
+		transport.WithDelay(prof.delayMin, prof.delayMax),
+		transport.WithSeed(seed))}
+	members := ids(3, "s")
+	addrs := make(map[proc.ID]string)
+	for _, id := range members {
+		addrs[id] = string(id)
+	}
+	for _, id := range members {
+		mux := transport.NewGroupMux(h.network.Endpoint(id), shards)
+		h.muxes = append(h.muxes, mux)
+		var nodeReps []*replication.Passive
+		var gwShards []service.Shard
+		for k := 0; k < shards; k++ {
+			sm := &benchSM{}
+			view := append(append([]proc.ID{}, members[k%3:]...), members[:k%3]...)
+			rep := replication.NewPassive(sm, view)
+			nd, err := core.NewNode(mux.Group(k), core.Config{
+				Self: id, Universe: members, Relation: replication.PassiveRelation(),
+				// Many stacks share the machine: relax the failure-detection
+				// cadence so heartbeat traffic (×S) stays in the noise. No
+				// failover runs during the measurement.
+				HeartbeatEvery: 20 * time.Millisecond,
+				FDCheckEvery:   10 * time.Millisecond,
+			}, rep.DeliverFunc())
+			if err != nil {
+				return nil, err
+			}
+			rep.Bind(nd)
+			rep.EnableBatching(prof.batch)
+			h.nodes = append(h.nodes, nd)
+			nodeReps = append(nodeReps, rep)
+			gwShards = append(gwShards, service.Shard{Replica: rep, Read: sm.read})
+		}
+		h.reps = append(h.reps, nodeReps)
+		for _, nd := range h.nodes[len(h.nodes)-shards:] {
+			nd.Start()
+		}
+		gw := service.NewGateway(service.GatewayConfig{
+			Self:     id,
+			Shards:   gwShards,
+			Addrs:    addrs,
+			Batching: true,
+		})
+		l, err := h.network.ListenStream(id)
+		if err != nil {
+			return nil, err
+		}
+		gw.Serve(l)
+		h.gws = append(h.gws, gw)
+	}
+	return h, nil
+}
+
+func (h *shardHarness) stop() {
+	for _, gw := range h.gws {
+		gw.Close()
+	}
+	for _, nodeReps := range h.reps {
+		for _, rep := range nodeReps {
+			rep.StopBatching()
+		}
+	}
+	for _, nd := range h.nodes {
+		nd.Stop()
+	}
+	for _, mux := range h.muxes {
+		mux.Close()
+	}
+	h.network.Shutdown()
+}
+
+// batchTotals sums the batch accounting across every shard's primary.
+func (h *shardHarness) batchTotals() (batches uint64, maxBatch int) {
+	for _, nodeReps := range h.reps {
+		for _, rep := range nodeReps {
+			bst := rep.BatchStats()
+			batches += bst.Batches
+			if bst.MaxBatch > maxBatch {
+				maxBatch = bst.MaxBatch
+			}
+		}
+	}
+	return batches, maxBatch
+}
+
+func runServiceShards(prof shardProfile, shards, sessions int, runFor time.Duration) (svcShardRecord, error) {
+	h, err := buildShardHarness(int64(1400+shards*100+sessions), shards, prof)
+	if err != nil {
+		return svcShardRecord{}, err
+	}
+	defer h.stop()
+	warm(h.network)
+
+	dial := func(addr string) (transport.StreamConn, error) {
+		return h.network.DialStream(proc.ID(addr))
+	}
+	addrList := []string{"s0", "s1", "s2"}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		hist    = sim.NewHistogram()
+		ops     atomic.Uint64
+		stop    = make(chan struct{})
+		downErr atomic.Value
+	)
+	clients := make([]*service.ShardedClient, sessions)
+	for i := range clients {
+		cl, err := service.NewShardedClient(service.ShardedClientConfig{
+			ClientConfig: service.ClientConfig{Addrs: addrList, Dial: dial},
+			Shards:       shards,
+		})
+		if err != nil {
+			return svcShardRecord{}, err
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	start := time.Now()
+	for ci, cl := range clients {
+		for w := 0; w < prof.pipeline; w++ {
+			wg.Add(1)
+			go func(cl *service.ShardedClient, seed uint64) {
+				defer wg.Done()
+				// Each worker walks its own deterministic key sequence; the
+				// op embeds the key (whole-op hashing) padded to ~64 bytes.
+				rng := mrand.New(mrand.NewPCG(seed, seed^0x9e3779b9))
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					op := fmt.Sprintf("key-%04d-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+						rng.IntN(1024))
+					t0 := time.Now()
+					if _, err := cl.Call([]byte(op)); err != nil {
+						downErr.Store(err)
+						return
+					}
+					d := time.Since(t0)
+					ops.Add(1)
+					mu.Lock()
+					hist.Add(d)
+					mu.Unlock()
+				}
+			}(cl, uint64(ci*64+w+1))
+		}
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := downErr.Load().(error); ok && err != nil {
+		return svcShardRecord{}, err
+	}
+	batches, maxBatch := h.batchTotals()
+
+	return svcShardRecord{
+		Experiment: "service_shards",
+		Profile:    prof.name,
+		Shards:     shards,
+		Sessions:   sessions,
+		Pipeline:   prof.pipeline,
+		DurationS:  elapsed.Seconds(),
+		Ops:        ops.Load(),
+		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
+		MeanUS:     float64(hist.Mean()) / float64(time.Microsecond),
+		P50US:      float64(hist.Quantile(0.50)) / float64(time.Microsecond),
+		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+		Batches:    batches,
+		MaxBatch:   maxBatch,
+	}, nil
+}

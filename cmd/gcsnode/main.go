@@ -22,6 +22,12 @@
 //
 // Clients (see examples/kvstore for the client side) send "put <k> <v>",
 // "del <k>" writes and "get <k>" reads.
+//
+// With -service-shards S (all members passing the same S), the key space is
+// hashed across S parallel replicated groups: every node runs S complete
+// protocol stacks multiplexed over its single TCP endpoint (group mux), the
+// per-shard primaries are spread across the members, and clients route each
+// operation to its key's shard (gcs.DialSharded with kvdemo.Key).
 package main
 
 import (
@@ -55,17 +61,18 @@ func main() {
 		svcListen    = flag.String("service-listen", "", "expose the service gateway on this address (enables the replicated KV store)")
 		svcPeersSpec = flag.String("service-peers", "", "comma-separated id=host:port of every member's service gateway (for redirect hints)")
 		svcBatch     = flag.Bool("service-batch", false, "group-commit batching: coalesce concurrent session writes into one broadcast")
+		svcShards    = flag.Int("service-shards", 1, "shard the key space across this many parallel replicated groups (all members must agree)")
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcTTL, *svcLease); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcTTL, svcLease time.Duration) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -83,11 +90,10 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	sort.Slice(universe, func(i, j int) bool { return universe[i] < universe[j] })
 
 	serviceMode := svcListen != ""
-	var (
-		store   *kvdemo.Store
-		replica *gcs.PassiveReplica
-	)
-	cfg := gcs.Config{
+	if svcShards < 1 {
+		return fmt.Errorf("-service-shards %d < 1", svcShards)
+	}
+	baseCfg := gcs.Config{
 		Self:     gcs.ID(self),
 		Universe: universe,
 		// TCP between real processes: slightly relaxed timing defaults.
@@ -97,47 +103,20 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		ExclusionTimeout: 2 * time.Second,
 		StartMonitor:     true,
 	}
-	var deliver gcs.DeliverFunc
-	if serviceMode {
-		store = kvdemo.New()
-		replica = gcs.NewPassiveReplica(store, universe)
-		cfg.Relation = gcs.PassiveRelation()
-		deliver = replica.DeliverFunc()
-	} else {
-		gcs.RegisterType(note{})
-		deliver = func(d gcs.Delivery) {
-			if n, ok := d.Body.(note); ok {
-				fmt.Printf("[deliver %-6s] %s #%d: %s\n", d.Class, n.From, n.Seq, n.Text)
-			}
-		}
-	}
 
 	tr, err := gcs.NewTCPTransport(gcs.ID(self), listen, peers)
 	if err != nil {
 		return err
 	}
-	node, err := gcs.NewNode(tr, cfg, deliver)
-	if err != nil {
-		return err
-	}
-	node.OnView(func(v gcs.View) {
-		fmt.Printf("[view] %v\n", v)
-	})
-	if serviceMode {
-		// Bind before Start: deliveries may arrive as soon as the stack runs.
-		replica.Bind(node)
-	}
-	node.Start()
-	defer node.Stop()
 
+	var node *gcs.Node // demo-mode broadcaster (nil in service mode)
 	if serviceMode {
-		replica.StartFailover(500 * time.Millisecond)
-		defer replica.StopFailover()
-		if svcBatch {
-			replica.EnableBatching(gcs.BatchConfig{})
-			defer replica.StopBatching()
-		}
-
+		// One replicated group per shard, every group's full protocol stack
+		// multiplexed over the single TCP endpoint. Shard k's replica list
+		// is the universe rotated by k, spreading the per-shard primaries
+		// across the node set.
+		mux := gcs.NewGroupMux(tr, svcShards)
+		defer mux.Close()
 		svcAddrs := make(map[gcs.ID]string)
 		if svcPeersSpec != "" {
 			svcPeers, err := parsePeers(svcPeersSpec)
@@ -146,22 +125,65 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			}
 			svcAddrs = svcPeers
 		}
+		var shards []gcs.ServiceShard
+		for k := 0; k < svcShards; k++ {
+			store := kvdemo.New()
+			view := append(append([]gcs.ID{}, universe[k%len(universe):]...), universe[:k%len(universe)]...)
+			replica := gcs.NewPassiveReplica(store, view)
+			cfg := baseCfg
+			cfg.Relation = gcs.PassiveRelation()
+			shardNode, err := gcs.NewNode(mux.Group(k), cfg, replica.DeliverFunc())
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", k, err)
+			}
+			if k == 0 {
+				shardNode.OnView(func(v gcs.View) {
+					fmt.Printf("[view] %v\n", v)
+				})
+			}
+			// Bind before Start: deliveries may arrive as soon as the stack
+			// runs.
+			replica.Bind(shardNode)
+			shardNode.Start()
+			defer shardNode.Stop()
+			replica.StartFailover(500 * time.Millisecond)
+			defer replica.StopFailover()
+			if svcBatch {
+				replica.EnableBatching(gcs.BatchConfig{})
+				defer replica.StopBatching()
+			}
+			shards = append(shards, gcs.ServiceShard{Replica: replica, Read: store.Read})
+		}
 		l, err := gcs.ListenServiceTCP(svcListen)
 		if err != nil {
 			return err
 		}
 		gw := gcs.Serve(gcs.ServiceGatewayConfig{
 			Self:       gcs.ID(self),
-			Replica:    replica,
-			Read:       store.Read,
+			Shards:     shards,
 			Addrs:      svcAddrs,
 			Batching:   svcBatch,
 			SessionTTL: svcTTL,
 			LeaseTTL:   svcLease,
 		}, l)
 		defer gw.Close()
-		fmt.Printf("gcsnode %s up; universe %v; service gateway on %s\n", self, universe, l.Addr())
+		fmt.Printf("gcsnode %s up; universe %v; %d shard(s); service gateway on %s\n",
+			self, universe, svcShards, l.Addr())
 	} else {
+		gcs.RegisterType(note{})
+		node, err = gcs.NewNode(tr, baseCfg, func(d gcs.Delivery) {
+			if n, ok := d.Body.(note); ok {
+				fmt.Printf("[deliver %-6s] %s #%d: %s\n", d.Class, n.From, n.Seq, n.Text)
+			}
+		})
+		if err != nil {
+			return err
+		}
+		node.OnView(func(v gcs.View) {
+			fmt.Printf("[view] %v\n", v)
+		})
+		node.Start()
+		defer node.Stop()
 		fmt.Printf("gcsnode %s up; universe %v\n", self, universe)
 	}
 

@@ -72,12 +72,25 @@ type (
 	ServiceGateway = service.Gateway
 	// ServiceGatewayConfig parameterises a gateway.
 	ServiceGatewayConfig = service.GatewayConfig
+	// ServiceShard is one replicated group behind a sharded gateway
+	// (ServiceGatewayConfig.Shards): the node's replica of that group plus
+	// its read function.
+	ServiceShard = service.Shard
 	// ServiceClient is the networked client of the replicated service.
 	ServiceClient = service.Client
 	// ServiceClientConfig parameterises a client.
 	ServiceClientConfig = service.ClientConfig
+	// ShardedServiceClient routes every operation to its key's shard —
+	// the client of deployments running several replicated groups.
+	ShardedServiceClient = service.ShardedClient
+	// ShardedServiceClientConfig parameterises a sharded client.
+	ShardedServiceClientConfig = service.ShardedClientConfig
 	// ServiceDialer opens stream connections to gateway addresses.
 	ServiceDialer = service.Dialer
+	// GroupMux multiplexes several replicated groups' protocol stacks over
+	// one physical transport endpoint (frames tagged with a group ID), so S
+	// shards do not cost S×N connections.
+	GroupMux = transport.GroupMux
 	// StreamListener accepts client sessions (TCP or memnet).
 	StreamListener = transport.StreamListener
 	// StreamConn is one framed client connection.
@@ -182,6 +195,27 @@ func Serve(cfg ServiceGatewayConfig, l StreamListener) *ServiceGateway {
 // across failover, and guarantees acknowledged writes executed exactly once.
 func Dial(cfg ServiceClientConfig) (*ServiceClient, error) {
 	return service.NewClient(cfg)
+}
+
+// DialSharded creates a networked client for gateways serving cfg.Shards
+// parallel replicated groups: every operation is routed to its key's shard
+// (cfg.ShardKey extracts the key; nil uses the whole op), with per-shard
+// exactly-once writes and per-shard read consistency.
+func DialSharded(cfg ShardedServiceClientConfig) (*ShardedServiceClient, error) {
+	return service.NewShardedClient(cfg)
+}
+
+// ShardOf is the deployment-wide shard map: the shard in [0, shards) that
+// owns key. Every client and every node compute it identically.
+func ShardOf(key []byte, shards int) int {
+	return service.ShardOf(key, shards)
+}
+
+// NewGroupMux fans one transport endpoint out to n logical group
+// transports (group IDs 0..n-1) — one per shard of a sharded deployment.
+// The mux owns tr; build one node stack per group over Group(i).
+func NewGroupMux(tr Transport, n int) *GroupMux {
+	return transport.NewGroupMux(tr, n)
 }
 
 // ListenServiceTCP opens a TCP listener for client sessions (":0" picks a

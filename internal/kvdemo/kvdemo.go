@@ -74,6 +74,18 @@ func (s *Store) Read(op []byte) []byte {
 	return []byte(s.data[fields[1]])
 }
 
+// Key extracts the routing key from a KV operation ("put <k> <v>",
+// "del <k>", "get <k>") — the ShardKey of sharded deployments, so every
+// operation on one key lands on one shard. Malformed ops route by their
+// full text; they fail validation wherever they land.
+func Key(op []byte) []byte {
+	fields := strings.Fields(string(op))
+	if len(fields) < 2 {
+		return op
+	}
+	return []byte(fields[1])
+}
+
 // Get returns the value of k ("" if absent).
 func (s *Store) Get(k string) string {
 	s.mu.Lock()

@@ -10,9 +10,12 @@
 // sync.Pool instead of growing a fresh bytes.Buffer per call, and returns
 // an exactly-sized copy the caller owns. Callers that consume a frame
 // synchronously (transports copy on Send) can avoid even that copy with
-// EncodeTransient. This matters because every message of every layer —
-// data frames, acks, heartbeats, loopback deliveries — passes through
-// here; see BenchmarkMsgCodec.
+// EncodeTransient. The decode path pools its reader, and the buffers decode
+// reads FROM are pooled by the transports (transport.GetFrame/PutFrame):
+// Decode never retains its input, so the final consumer of a frame recycles
+// it right after decoding. This matters because every message of every
+// layer — data frames, acks, heartbeats, loopback deliveries — passes
+// through here; see BenchmarkMsgCodec and BenchmarkMsgDecode.
 package msg
 
 import (
@@ -102,13 +105,25 @@ func EncodeTransient(v any) ([]byte, func(), error) {
 	return buf.Bytes(), func() { bufPool.Put(buf) }, nil
 }
 
-// Decode deserialises a value previously produced by Encode. (The decode
-// path is deliberately unpooled: a gob.Decoder rebuilds its type map per
-// message and dominates the cost; pooling the small reader around it would
-// add lifecycle complexity for a sub-1% win — see BenchmarkMsgCodec.)
+// readerPool recycles the bytes.Reader wrapped around each decode. A
+// gob.Decoder itself cannot be pooled — each Encode output is a
+// self-contained gob stream re-sending its type definitions, and a Decoder
+// fed two independent streams rejects the duplicate definitions — but the
+// reader can, and decode input buffers are pooled one layer down (the
+// transports' frame pool, which consumers release after Decode returns).
+var readerPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
+
+// Decode deserialises a value previously produced by Encode. Decode copies
+// everything out of data: the caller may reuse (or recycle) the buffer as
+// soon as Decode returns — see BenchmarkMsgDecode.
 func Decode(data []byte) (any, error) {
+	r := readerPool.Get().(*bytes.Reader)
+	r.Reset(data)
 	var env envelope
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+	err := gob.NewDecoder(r).Decode(&env)
+	r.Reset(nil) // drop the data reference before pooling
+	readerPool.Put(r)
+	if err != nil {
 		return nil, fmt.Errorf("msg decode: %w", err)
 	}
 	return env.V, nil

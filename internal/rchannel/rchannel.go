@@ -319,6 +319,10 @@ func (e *Endpoint) dispatchLoop() {
 
 func (e *Endpoint) handlePacket(pkt transport.Packet) {
 	decoded, err := msg.Decode(pkt.Data)
+	// The endpoint is the frame's final consumer: gob decoding copies every
+	// field out of the buffer, so it can go back to the transport pool here
+	// regardless of what happens to the decoded value.
+	transport.PutFrame(pkt.Data)
 	if err != nil {
 		e.log.Warn("rchannel: undecodable packet", "from", pkt.From, "err", err)
 		return

@@ -41,10 +41,33 @@ type ClientConfig struct {
 	// in time for this session, even across failover to a lagging gateway;
 	// ReadLocal restores the cheaper pre-level behavior.
 	ReadLevel ReadLevel
+	// Shard binds this client to one of the gateways' replicated groups
+	// (default 0, the whole key space on single-shard deployments). All
+	// operations, redirects and monotonic tokens are relative to that
+	// shard. Sharded applications use ShardedClient, which owns one Client
+	// per shard, rather than setting this directly.
+	Shard int
+	// ShardCount, when > 0, is the total shard count this client assumes
+	// of the deployment: the handshake verifies every gateway serves
+	// EXACTLY that many shards and fails the client permanently otherwise.
+	// Without it only Shard >= served is caught — a client assuming fewer
+	// shards than the deployment would silently route keys to the wrong
+	// groups. ShardedClient always sets it.
+	ShardCount int
 }
 
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("service: client closed")
+
+// newSessionID generates a fresh random session identifier (shared by
+// Client and ShardedClient so the wire format cannot drift).
+func newSessionID() (string, error) {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return "", fmt.Errorf("service: session id: %w", err)
+	}
+	return hex.EncodeToString(buf[:]), nil
+}
 
 // call is one pending operation.
 type call struct {
@@ -89,6 +112,8 @@ type Client struct {
 
 	window chan struct{} // pipelining semaphore
 	done   chan struct{}
+
+	permErr error // terminal misconfiguration (e.g. shard mismatch); set before Close
 }
 
 // NewClient creates a client for the gateways at cfg.Addrs. The first
@@ -117,13 +142,15 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	default:
 		return nil, fmt.Errorf("service: unknown read level %v", cfg.ReadLevel)
 	}
+	if cfg.Shard < 0 {
+		return nil, fmt.Errorf("service: negative shard %d", cfg.Shard)
+	}
 	session := cfg.Session
 	if session == "" {
-		var buf [8]byte
-		if _, err := rand.Read(buf[:]); err != nil {
-			return nil, fmt.Errorf("service: session id: %w", err)
+		var err error
+		if session, err = newSessionID(); err != nil {
+			return nil, err
 		}
-		session = hex.EncodeToString(buf[:])
 	}
 	return &Client{
 		cfg:      cfg,
@@ -161,13 +188,40 @@ func (c *Client) Close() {
 		calls = append(calls, cl)
 	}
 	c.pending = make(map[uint64]*call)
+	err := c.errLocked()
 	c.mu.Unlock()
 	if conn != nil {
 		_ = conn.Close()
 	}
 	for _, cl := range calls {
-		cl.finish(nil, ErrClosed)
+		cl.finish(nil, err)
 	}
+}
+
+// failPermanent records a terminal misconfiguration and closes the client:
+// every pending and future operation fails with err instead of retrying
+// forever against a deployment that can never serve this client.
+func (c *Client) failPermanent(err error) {
+	c.mu.Lock()
+	if c.permErr == nil && !c.closed {
+		c.permErr = err
+	}
+	c.mu.Unlock()
+	c.Close()
+}
+
+// err returns the terminal error operations should fail with.
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.errLocked()
+}
+
+func (c *Client) errLocked() error {
+	if c.permErr != nil {
+		return c.permErr
+	}
+	return ErrClosed
 }
 
 // Call executes a write through the replicated service and returns its
@@ -212,13 +266,14 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 	case c.window <- struct{}{}:
 		defer func() { <-c.window }()
 	case <-c.done:
-		return nil, ErrClosed
+		return nil, c.err()
 	}
 
 	c.mu.Lock()
 	if c.closed {
+		err := c.errLocked()
 		c.mu.Unlock()
-		return nil, ErrClosed
+		return nil, err
 	}
 	c.nextSeq++
 	cl := &call{
@@ -255,7 +310,7 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 		return nil, fmt.Errorf("service: %s op %d timed out after %v",
 			map[bool]string{false: "write", true: "read"}[read], cl.seq, c.cfg.OpTimeout)
 	case <-c.done:
-		return nil, ErrClosed
+		return nil, c.err()
 	}
 }
 
@@ -291,7 +346,7 @@ func (c *Client) connLocked() (transport.StreamConn, bool) {
 // (the op stays pending and is retransmitted on the next connection).
 func (c *Client) transmit(conn transport.StreamConn, gen int, cl *call, ack uint64) {
 	frame, err := encodeFrame(reqFrame{
-		Seq: cl.seq, Ack: ack, Op: cl.op,
+		Seq: cl.seq, Ack: ack, Op: cl.op, Shard: uint32(c.cfg.Shard),
 		Read: cl.read, Level: cl.level, MinIndex: cl.minIndex,
 	})
 	if err != nil {
@@ -413,6 +468,14 @@ func (c *Client) attemptConnect() (transport.StreamConn, string, bool) {
 			tried[addr] = true
 			conn, welcome, err := c.handshake(addr)
 			if err != nil {
+				select {
+				case <-c.done:
+					// The handshake failed the client permanently (shard
+					// misconfiguration): dialing the remaining gateways
+					// would only attach throwaway sessions.
+					return nil, "", false
+				default:
+				}
 				break // next candidate
 			}
 			c.mu.Lock()
@@ -438,7 +501,7 @@ func (c *Client) handshake(addr string) (transport.StreamConn, welcomeFrame, err
 	if err != nil {
 		return nil, welcomeFrame{}, err
 	}
-	hello, err := encodeFrame(helloFrame{Session: c.session})
+	hello, err := encodeFrame(helloFrame{Session: c.session, Shard: uint32(c.cfg.Shard)})
 	if err != nil {
 		_ = conn.Close()
 		return nil, welcomeFrame{}, err
@@ -453,6 +516,7 @@ func (c *Client) handshake(addr string) (transport.StreamConn, welcomeFrame, err
 		return nil, welcomeFrame{}, err
 	}
 	v, err := decodeFrame(data)
+	transport.PutFrame(data) // decoded: the stream frame is spent
 	if err != nil {
 		_ = conn.Close()
 		return nil, welcomeFrame{}, err
@@ -461,6 +525,26 @@ func (c *Client) handshake(addr string) (transport.StreamConn, welcomeFrame, err
 	if !ok {
 		_ = conn.Close()
 		return nil, welcomeFrame{}, fmt.Errorf("service: unexpected handshake frame %T", v)
+	}
+	// Shard-count misconfiguration is terminal: shard counts are
+	// deployment-wide, so no gateway can ever serve this client — fail
+	// everything fast instead of reconnecting forever (out-of-range shard)
+	// or silently routing keys to the wrong groups (count mismatch).
+	if welcome.Shards > 0 {
+		var err error
+		switch {
+		case c.cfg.Shard >= welcome.Shards:
+			err = fmt.Errorf("service: shard %d out of range: gateway serves %d shard(s)",
+				c.cfg.Shard, welcome.Shards)
+		case c.cfg.ShardCount > 0 && c.cfg.ShardCount != welcome.Shards:
+			err = fmt.Errorf("service: client assumes %d shard(s), gateway serves %d",
+				c.cfg.ShardCount, welcome.Shards)
+		}
+		if err != nil {
+			_ = conn.Close()
+			c.failPermanent(err)
+			return nil, welcomeFrame{}, err
+		}
 	}
 	return conn, welcome, nil
 }
@@ -474,6 +558,7 @@ func (c *Client) recvLoop(conn transport.StreamConn, gen int) {
 			return
 		}
 		v, err := decodeFrame(data)
+		transport.PutFrame(data) // decoded: the stream frame is spent
 		if err != nil {
 			c.connBroken(gen)
 			return
@@ -482,6 +567,11 @@ func (c *Client) recvLoop(conn transport.StreamConn, gen int) {
 		case resFrame:
 			c.handleResponse(gen, f)
 		case pushFrame:
+			// Demotion push for another shard: this session's shard keeps
+			// its primary, so the connection stays useful — ignore.
+			if int(f.Shard) != c.cfg.Shard {
+				continue
+			}
 			// Demotion push: reconnect toward the new primary; pending
 			// operations are retransmitted there.
 			c.mu.Lock()

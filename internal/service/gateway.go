@@ -11,17 +11,41 @@ import (
 	"repro/internal/transport"
 )
 
+// Shard is one replicated group behind a gateway: the node's replica of
+// that group plus the read function over that shard's local state. A
+// gateway owns one Shard per replicated group of the deployment; requests
+// carry a shard ID and are routed to the matching replica handle.
+type Shard struct {
+	// Replica is this node's passive-replication replica of the shard;
+	// writes go through its RequestSession for exactly-once semantics.
+	Replica *replication.Passive
+	// Read serves read-only operations from the shard's local state (nil
+	// rejects reads on this shard).
+	Read func(op []byte) []byte
+}
+
 // GatewayConfig parameterises a Gateway.
 type GatewayConfig struct {
 	// Self is the identity of the node this gateway is embedded in.
 	Self proc.ID
 	// Replica is the node's passive-replication replica; writes go through
-	// its RequestSession for exactly-once semantics.
+	// its RequestSession for exactly-once semantics. Replica and Read are
+	// the single-shard configuration — they become shard 0. Multi-shard
+	// gateways set Shards instead.
 	Replica *replication.Passive
 	// Read serves read-only operations from local state (nil rejects reads).
 	Read func(op []byte) []byte
+	// Shards configures a sharded gateway: element k serves the requests
+	// tagged with shard k. Exactly one of Shards and Replica(/Read) must be
+	// set. Every gateway of the deployment must list the same number of
+	// shards in the same order (the shard map ShardOf is shared by all
+	// clients and nodes).
+	Shards []Shard
 	// Addrs maps every replica ID to its gateway's service address, used for
-	// NOT_PRIMARY redirect hints. Missing entries yield empty hints.
+	// NOT_PRIMARY redirect hints. Missing entries yield empty hints. The
+	// same map serves every shard: shard k's hint is the address of the node
+	// fronting shard k's primary, which diverges across shards after a
+	// partial failover.
 	Addrs map[proc.ID]string
 	// MaxInflight bounds each session's unanswered writes; beyond it the
 	// gateway stops reading from the session's connection (default 64).
@@ -68,9 +92,11 @@ type GatewayStats struct {
 }
 
 // Gateway accepts networked client sessions at one node of the group and
-// routes their operations into the replicated service.
+// routes their operations into the replicated service — into the matching
+// shard's replica when several replicated groups run side by side.
 type Gateway struct {
-	cfg GatewayConfig
+	cfg    GatewayConfig
+	shards []Shard
 
 	mu        sync.Mutex
 	sessions  map[string]*gwSession
@@ -94,6 +120,7 @@ type Gateway struct {
 // processed by the worker; beyond that the connection's read loop blocks.
 type gwSession struct {
 	id        string
+	shard     uint32        // the shard named in the session's hello
 	queue     chan reqFrame // pending writes; capacity = MaxInflight-1
 	stop      chan struct{} // closed when the session's lease expires
 	readSlots chan struct{} // waiting-read window; capacity = MaxInflight
@@ -180,25 +207,41 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.LeaseTTL < 0 {
 		cfg.LeaseTTL = 0
 	}
+	shards := cfg.Shards
+	if len(shards) == 0 {
+		if cfg.Replica == nil {
+			panic("service: gateway needs a Replica or Shards")
+		}
+		shards = []Shard{{Replica: cfg.Replica, Read: cfg.Read}}
+	} else if cfg.Replica != nil || cfg.Read != nil {
+		// With Shards, reads come from each Shard's own Read: a leftover
+		// top-level Read would be silently ignored, surfacing only as
+		// runtime NO_READS on shards missing their own — reject it here.
+		panic("service: gateway given both Replica/Read and Shards")
+	}
 	g := &Gateway{
 		cfg:      cfg,
+		shards:   shards,
 		sessions: make(map[string]*gwSession),
 		conns:    make(map[transport.StreamConn]bool),
 		done:     make(chan struct{}),
 	}
-	cfg.Replica.OnPrimaryChange(func(primary proc.ID, _ uint64) {
-		// Delivery goroutine: hand the pushes to a gateway goroutine.
-		select {
-		case <-g.done:
-			return
-		default:
-		}
-		if primary == cfg.Self {
-			return
-		}
-		hint := cfg.Addrs[primary]
-		go g.pushDemotion(hint)
-	})
+	for k := range shards {
+		shard := uint32(k)
+		shards[k].Replica.OnPrimaryChange(func(primary proc.ID, _ uint64) {
+			// Delivery goroutine: hand the pushes to a gateway goroutine.
+			select {
+			case <-g.done:
+				return
+			default:
+			}
+			if primary == cfg.Self {
+				return
+			}
+			hint := cfg.Addrs[primary]
+			go g.pushDemotion(shard, hint)
+		})
+	}
 	if cfg.SessionTTL > 0 {
 		g.wg.Add(1)
 		go g.expireLoop()
@@ -255,7 +298,9 @@ func (g *Gateway) Close() {
 		return
 	}
 	g.closed = true
-	g.cfg.Replica.OnPrimaryChange(nil)
+	for k := range g.shards {
+		g.shards[k].Replica.OnPrimaryChange(nil)
+	}
 	close(g.done)
 	conns := make([]transport.StreamConn, 0, len(g.conns))
 	for c := range g.conns {
@@ -288,30 +333,36 @@ func (g *Gateway) Stats() GatewayStats {
 	}
 }
 
-// hint returns the service address of the current primary, or "".
-func (g *Gateway) hint() string {
-	return g.cfg.Addrs[g.cfg.Replica.Primary()]
+// hint returns the service address of shard k's current primary, or "".
+func (g *Gateway) hint(shard uint32) string {
+	return g.cfg.Addrs[g.shards[shard].Replica.Primary()]
 }
 
-// pushDemotion sends a NOT_PRIMARY push to every attached session.
-func (g *Gateway) pushDemotion(hint string) {
+// pushDemotion sends a NOT_PRIMARY push naming the demoted shard to every
+// session bound to that shard (per-shard primaries legitimately diverge
+// after a partial failover; other shards' sessions are unaffected and are
+// not disturbed).
+func (g *Gateway) pushDemotion(shard uint32, hint string) {
 	g.mu.Lock()
 	sessions := make([]*gwSession, 0, len(g.sessions))
 	for _, s := range g.sessions {
-		sessions = append(sessions, s)
+		if s.shard == shard {
+			sessions = append(sessions, s)
+		}
 	}
 	g.mu.Unlock()
 	for _, s := range sessions {
 		g.redirects.Add(1)
-		s.send(pushFrame{Primary: hint})
+		s.send(pushFrame{Primary: hint, Shard: shard})
 	}
 }
 
 // session returns (creating if needed) the session with the given ID,
-// starting its worker on creation. The map only ever holds live sessions:
-// the expiry loop removes a session in the same critical section that marks
-// it expired.
-func (g *Gateway) session(id string) *gwSession {
+// starting its worker on creation; shard is the hello's shard binding
+// (scopes lease renewals and demotion pushes). The map only ever holds live
+// sessions: the expiry loop removes a session in the same critical section
+// that marks it expired.
+func (g *Gateway) session(id string, shard uint32) *gwSession {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if s, ok := g.sessions[id]; ok {
@@ -327,6 +378,7 @@ func (g *Gateway) session(id string) *gwSession {
 	}
 	s := &gwSession{
 		id:         id,
+		shard:      shard,
 		queue:      make(chan reqFrame, depth),
 		stop:       make(chan struct{}),
 		readSlots:  make(chan struct{}, g.cfg.MaxInflight),
@@ -388,28 +440,35 @@ func (g *Gateway) leaseLoop() {
 		case <-g.done:
 			return
 		case <-ticker.C:
-			sessions := g.attachedSessions()
-			if len(sessions) == 0 && g.cfg.Replica.Primary() != g.cfg.Self {
-				continue // nothing to renew and no clock to tick
+			// Each shard's lease clock is independent replicated state, so
+			// each shard gets its own ordered lease message, renewing only
+			// the sessions bound to it (the hello's shard binding) — a
+			// session's dedup records live solely in its own shard's table.
+			perShard := g.attachedSessions()
+			for k := range g.shards {
+				rep := g.shards[k].Replica
+				if len(perShard[k]) == 0 && rep.Primary() != g.cfg.Self {
+					continue // nothing to renew and no clock to tick
+				}
+				_ = rep.LeaseTick(perShard[k])
 			}
-			_ = g.cfg.Replica.LeaseTick(sessions)
 		}
 	}
 }
 
-// attachedSessions lists the sessions currently holding a connection (or
-// with work in flight) at this gateway — the ones whose replicated lease
-// this gateway keeps renewing.
-func (g *Gateway) attachedSessions() []string {
+// attachedSessions lists, per shard, the sessions currently holding a
+// connection (or with work in flight) at this gateway — the ones whose
+// replicated lease this gateway keeps renewing on their shard.
+func (g *Gateway) attachedSessions() [][]string {
+	out := make([][]string, len(g.shards))
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	out := make([]string, 0, len(g.sessions))
 	for id, s := range g.sessions {
 		s.mu.Lock()
 		live := s.conn != nil
 		s.mu.Unlock()
 		if live || s.inflight.Load() > 0 {
-			out = append(out, id)
+			out[s.shard] = append(out[s.shard], id)
 		}
 	}
 	return out
@@ -443,12 +502,13 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	g.active.Add(1)
 	defer g.active.Add(-1)
 
-	// Handshake: the first frame must be a hello.
+	// Handshake: the first frame must be a hello naming a served shard.
 	data, err := conn.Recv()
 	if err != nil {
 		return
 	}
 	v, err := decodeFrame(data)
+	transport.PutFrame(data) // decoded: the stream frame is spent
 	if err != nil {
 		return
 	}
@@ -456,11 +516,23 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	if !ok || hello.Session == "" {
 		return
 	}
+	if hello.Shard >= uint32(len(g.shards)) {
+		// Shard-count misconfiguration (client's Shards > ours). Answer with
+		// a welcome carrying OUR shard count — no primary, no session — so
+		// the client can diagnose and fail fast instead of reconnecting
+		// forever against silent closes.
+		if frame, err := encodeFrame(welcomeFrame{
+			Session: hello.Session, Shards: len(g.shards),
+		}); err == nil {
+			_ = conn.Send(frame)
+		}
+		return
+	}
 	// Retry on attach failure: the lease may expire a session between the
 	// map lookup and the attachment; the next lookup creates a fresh one.
 	var s *gwSession
 	for {
-		s = g.session(hello.Session)
+		s = g.session(hello.Session, hello.Shard)
 		if s.attach(conn) {
 			break
 		}
@@ -470,8 +542,9 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	welcome, err := encodeFrame(welcomeFrame{
 		Session:     hello.Session,
 		MaxInflight: g.cfg.MaxInflight,
-		Primary:     g.hint(),
-		IsPrimary:   g.cfg.Replica.Primary() == g.cfg.Self,
+		Primary:     g.hint(hello.Shard),
+		IsPrimary:   g.shards[hello.Shard].Replica.Primary() == g.cfg.Self,
+		Shards:      len(g.shards),
 	})
 	if err != nil || conn.Send(welcome) != nil {
 		return
@@ -483,6 +556,7 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 			return
 		}
 		v, err := decodeFrame(data)
+		transport.PutFrame(data) // decoded: the stream frame is spent
 		if err != nil {
 			return
 		}
@@ -491,6 +565,10 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 			continue
 		}
 		s.touch()
+		if req.Shard >= uint32(len(g.shards)) {
+			s.send(resFrame{Seq: req.Seq, Err: errBadShard})
+			continue
+		}
 		if req.Read {
 			g.serveRead(s, req)
 			continue
@@ -506,14 +584,15 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	}
 }
 
-// serveRead dispatches a read at its requested consistency level. Local
-// reads answer inline on the connection's read loop; waiting levels
-// (monotonic, linearizable) run on their own goroutine so a lagging replica
-// or an in-flight barrier never stalls the session's pipelined writes. An
-// unknown level is rejected with BAD_READ_LEVEL rather than silently
-// degraded to a weaker read.
+// serveRead dispatches a read at its requested consistency level against
+// its shard. Local reads answer inline on the connection's read loop;
+// waiting levels (monotonic, linearizable) run on their own goroutine so a
+// lagging replica or an in-flight barrier never stalls the session's
+// pipelined writes. An unknown level is rejected with BAD_READ_LEVEL rather
+// than silently degraded to a weaker read.
 func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
-	if g.cfg.Read == nil {
+	shard := &g.shards[req.Shard]
+	if shard.Read == nil {
 		s.send(resFrame{Seq: req.Seq, Err: errNoReads})
 		return
 	}
@@ -527,19 +606,19 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 		g.reads.Add(1)
 		s.send(resFrame{
 			Seq:    req.Seq,
-			Result: g.cfg.Read(req.Op),
-			Index:  g.cfg.Replica.CommitIndex(),
+			Result: shard.Read(req.Op),
+			Index:  shard.Replica.CommitIndex(),
 		})
 	case ReadMonotonic, ReadLinearizable:
-		// Monotonic fast path: when the replica has already reached the
-		// session's token — the steady-state case — the read is answered
-		// inline, as cheap as a local one.
-		if level == ReadMonotonic && g.cfg.Replica.CommitIndex() >= req.MinIndex {
+		// Monotonic fast path: when the shard's replica has already reached
+		// the session's token — the steady-state case — the read is
+		// answered inline, as cheap as a local one.
+		if level == ReadMonotonic && shard.Replica.CommitIndex() >= req.MinIndex {
 			g.reads.Add(1)
 			s.send(resFrame{
 				Seq:    req.Seq,
-				Result: g.cfg.Read(req.Op),
-				Index:  g.cfg.Replica.CommitIndex(),
+				Result: shard.Read(req.Op),
+				Index:  shard.Replica.CommitIndex(),
 			})
 			return
 		}
@@ -565,27 +644,30 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 	}
 }
 
-// processRead serves a waiting read level and builds its response frame.
+// processRead serves a waiting read level against its shard and builds its
+// response frame.
 func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
+	shard := &g.shards[req.Shard]
 	res := resFrame{Seq: req.Seq}
 	var err error
 	if level == ReadMonotonic {
 		// Any replica may answer once it has caught up to the session's
-		// last-seen commit index.
-		_, err = g.cfg.Replica.WaitCommit(req.MinIndex, g.cfg.RequestTimeout, g.done)
+		// last-seen commit index on this shard.
+		_, err = shard.Replica.WaitCommit(req.MinIndex, g.cfg.RequestTimeout, g.done)
 	} else {
-		// Linearizable: only the primary answers, behind an ordered no-op
-		// confirmed through the broadcast path (coalesced across readers).
-		_, err = g.cfg.Replica.ReadBarrier(g.cfg.RequestTimeout, g.done)
+		// Linearizable: only the shard's primary answers, behind an ordered
+		// no-op confirmed through the broadcast path (coalesced across
+		// readers of the same shard).
+		_, err = shard.Replica.ReadBarrier(g.cfg.RequestTimeout, g.done)
 	}
 	switch {
 	case err == nil:
-		res.Result = g.cfg.Read(req.Op)
-		res.Index = g.cfg.Replica.CommitIndex()
+		res.Result = shard.Read(req.Op)
+		res.Index = shard.Replica.CommitIndex()
 		g.reads.Add(1)
 	case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
 		res.Err = errNotPrimary
-		res.Redirect = g.hint()
+		res.Redirect = g.hint(req.Shard)
 		g.redirects.Add(1)
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout
@@ -595,23 +677,24 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 	return res
 }
 
-// processWrite routes one write into the replicated service and builds its
-// response frame.
+// processWrite routes one write into its shard's replicated group and
+// builds its response frame.
 func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
+	shard := &g.shards[req.Shard]
 	res := resFrame{Seq: req.Seq}
-	result, err := g.cfg.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
+	result, err := shard.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
 	switch {
 	case err == nil:
 		res.Result = result
 		// The local apply precedes RequestSession's return at the primary,
-		// so the current commit index covers this write (conservatively: it
-		// may also cover later ones, which only strengthens the client's
-		// monotonic token).
-		res.Index = g.cfg.Replica.CommitIndex()
+		// so the shard's current commit index covers this write
+		// (conservatively: it may also cover later ones, which only
+		// strengthens the client's monotonic token).
+		res.Index = shard.Replica.CommitIndex()
 		g.writes.Add(1)
 	case errors.Is(err, replication.ErrNotPrimary), errors.Is(err, replication.ErrDemoted):
 		res.Err = errNotPrimary
-		res.Redirect = g.hint()
+		res.Redirect = g.hint(req.Shard)
 		g.redirects.Add(1)
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout

@@ -45,6 +45,11 @@
 // (Config.MaxInflight). When the window is full the gateway stops reading
 // from the session's connection, which propagates to the client through the
 // stream, exactly like TCP flow control.
+//
+// Sharding: a gateway may front S parallel replicated groups
+// (GatewayConfig.Shards); requests carry a shard tag, all guarantees above
+// hold per shard, and ShardedClient routes operations by key hash — see
+// sharded.go.
 package service
 
 import (
@@ -55,16 +60,22 @@ import (
 
 // Protocol frames. All travel msg-encoded inside stream frames.
 type (
-	// helloFrame opens (or resumes) a session.
+	// helloFrame opens (or resumes) a session. Shard binds the session to
+	// one of the gateway's replicated groups (0 for single-shard gateways
+	// and pre-shard clients): the welcome's primary fields describe THAT
+	// shard, whose primary may differ from other shards' after a partial
+	// failover.
 	helloFrame struct {
 		Session string
+		Shard   uint32
 	}
 	// welcomeFrame acknowledges a hello.
 	welcomeFrame struct {
 		Session     string
 		MaxInflight int
-		Primary     string // service address of the believed primary ("" unknown)
-		IsPrimary   bool   // whether THIS gateway's replica is the primary
+		Primary     string // service address of the hello shard's believed primary ("" unknown)
+		IsPrimary   bool   // whether THIS gateway fronts the hello shard's primary
+		Shards      int    // number of shards served by this gateway
 	}
 	// reqFrame is one client operation.
 	reqFrame struct {
@@ -73,12 +84,22 @@ type (
 		Op   []byte
 		Read bool // read-only operation; Level selects its consistency
 
+		// Shard routes the operation to one of the gateway's replicated
+		// groups. The zero value is shard 0, so pre-shard clients keep
+		// working against single-shard gateways. Exactly-once state and
+		// commit indexes are per shard: a (session, seq) retry must carry
+		// the same Shard (guaranteed by deterministic key hashing), and a
+		// session's replicated lease renewals cover only its hello shard —
+		// ShardedClient binds one session per shard; raw-protocol sessions
+		// should not mix shards within one session.
+		Shard uint32
 		// Level is the read's consistency level (meaningful with Read; the
 		// zero value selects Local for wire compatibility with old clients).
 		Level ReadLevel
-		// MinIndex, with ReadMonotonic, is the commit index the serving
-		// replica must have reached before answering — the session's
-		// last-seen index, making reads monotonic across gateway failover.
+		// MinIndex, with ReadMonotonic, is the commit index SHARD's replica
+		// must have reached before answering — the session's last-seen
+		// index on that shard, making reads monotonic across gateway
+		// failover. Commit indexes of different shards are incomparable.
 		MinIndex uint64
 	}
 	// resFrame answers reqFrame with the same Seq.
@@ -86,15 +107,18 @@ type (
 		Seq      uint64
 		Result   []byte
 		Err      string // one of the err* codes, or a free-form message
-		Redirect string // with errNotPrimary: address of the new primary
-		// Index is the serving replica's commit index when the operation was
-		// answered; the client folds it into its monotonic-read token.
+		Redirect string // with errNotPrimary: address of the request shard's new primary
+		// Index is the serving shard replica's commit index when the
+		// operation was answered; the client folds it into that shard's
+		// monotonic-read token.
 		Index uint64
 	}
-	// pushFrame is unsolicited: the gateway's replica was demoted and
-	// clients should reconnect to the new primary.
+	// pushFrame is unsolicited: the named shard's replica was demoted at
+	// this gateway and its clients should reconnect to the new primary.
+	// Sessions bound to other shards ignore it.
 	pushFrame struct {
 		Primary string
+		Shard   uint32
 	}
 )
 
@@ -145,6 +169,7 @@ const (
 	errPruned       = "PRUNED"
 	errNoReads      = "NO_READS"
 	errBadReadLevel = "BAD_READ_LEVEL"
+	errBadShard     = "BAD_SHARD"
 )
 
 func init() {

@@ -1,0 +1,160 @@
+package service
+
+// Key-space sharding across parallel replicated groups.
+//
+// One totally ordered command sequence caps write throughput at whatever a
+// single consensus pipeline can commit. Sharding runs S complete,
+// independent passive-replication stacks on the same node set — each with
+// its own epoch, primary, batcher, commit index and lease clock — and
+// partitions the key space across them by hash, so shards commit in
+// parallel and aggregate throughput scales with S.
+//
+// The shard map is the deterministic function ShardOf(key, S): every client
+// and every gateway agree on it by construction (same hash, same S), which
+// is what keeps the per-shard exactly-once guarantee intact — a retry of a
+// write hashes to the same shard and meets its own (session, seq) record.
+//
+// Consistency is strictly PER SHARD. Each shard's commit index counts only
+// its own command sequence, so a ShardedClient holds a vector of monotonic
+// read tokens (one per shard) rather than a single index, and a
+// linearizable read is linearizable with respect to the writes of its shard
+// only. Nothing is promised ACROSS shards: there are no multi-key
+// transactions, and two writes to different shards acknowledged in some
+// order may be observed by readers in the other order.
+//
+// Wiring: the ShardedClient owns one plain Client per shard, each bound to
+// its shard with its own wire session ("<session>/<shard>"), its own
+// connection (per-shard primaries diverge after a partial failover, so each
+// shard follows its own redirect trail) and its own seq/ack frontier.
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ShardOf maps a key to a shard in [0, shards). Every client and gateway
+// of a deployment must agree on the shard count.
+func ShardOf(key []byte, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	_, _ = h.Write(key)
+	return int(h.Sum32() % uint32(shards))
+}
+
+// ShardedClientConfig parameterises a ShardedClient. The embedded
+// ClientConfig applies to every per-shard client (Session becomes the base
+// of the per-shard wire sessions; Shard is assigned internally).
+type ShardedClientConfig struct {
+	ClientConfig
+	// Shards is the number of replicated groups the gateways serve (≥ 1).
+	Shards int
+	// ShardKey extracts the routing key from an operation. Nil uses the
+	// whole op as the key — correct whenever equal ops touch equal state,
+	// e.g. opaque single-key commands. Applications whose ops embed a key
+	// plus a payload supply the extractor so all ops on one key colocate.
+	ShardKey func(op []byte) []byte
+}
+
+// ShardedClient is the networked client of a sharded service: it routes
+// every operation to its key's shard and delegates to that shard's Client,
+// preserving all single-shard guarantees (exactly-once writes, per-shard
+// monotonic and linearizable reads) shard-wise.
+type ShardedClient struct {
+	session  string
+	clients  []*Client
+	shardKey func(op []byte) []byte
+	shards   int
+}
+
+// NewShardedClient creates one Client per shard over the given gateways.
+func NewShardedClient(cfg ShardedClientConfig) (*ShardedClient, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: shard count %d < 1", cfg.Shards)
+	}
+	session := cfg.Session
+	if session == "" {
+		var err error
+		if session, err = newSessionID(); err != nil {
+			return nil, err
+		}
+	}
+	sc := &ShardedClient{
+		session:  session,
+		shardKey: cfg.ShardKey,
+		shards:   cfg.Shards,
+	}
+	for k := 0; k < cfg.Shards; k++ {
+		sub := cfg.ClientConfig
+		sub.Session = fmt.Sprintf("%s/%d", session, k)
+		sub.Shard = k
+		// Handshakes verify the deployment serves exactly this many shards;
+		// assuming fewer would silently route keys to the wrong groups.
+		sub.ShardCount = cfg.Shards
+		cl, err := NewClient(sub)
+		if err != nil {
+			sc.Close()
+			return nil, err
+		}
+		sc.clients = append(sc.clients, cl)
+	}
+	return sc, nil
+}
+
+// Session returns the base session ID (shard k's wire session is
+// "<session>/<k>").
+func (sc *ShardedClient) Session() string { return sc.session }
+
+// Shards returns the shard count.
+func (sc *ShardedClient) Shards() int { return sc.shards }
+
+// Shard returns the per-shard client serving shard k (for tests and
+// advanced callers; most code uses Call/Read).
+func (sc *ShardedClient) Shard(k int) *Client { return sc.clients[k] }
+
+// shardFor routes an op to its shard.
+func (sc *ShardedClient) shardFor(op []byte) *Client {
+	key := op
+	if sc.shardKey != nil {
+		key = sc.shardKey(op)
+	}
+	return sc.clients[ShardOf(key, sc.shards)]
+}
+
+// Call executes a write on the op's shard with exactly-once semantics.
+func (sc *ShardedClient) Call(op []byte) ([]byte, error) {
+	return sc.shardFor(op).Call(op)
+}
+
+// Read executes a read-only operation on the op's shard at the configured
+// read level. Monotonic reads use that shard's token — the client's
+// per-shard commit index vector — so read-your-writes holds per shard even
+// when shards fail over independently.
+func (sc *ShardedClient) Read(op []byte) ([]byte, error) {
+	return sc.shardFor(op).Read(op)
+}
+
+// ReadAt is Read at an explicit consistency level.
+func (sc *ShardedClient) ReadAt(op []byte, level ReadLevel) ([]byte, error) {
+	return sc.shardFor(op).ReadAt(op, level)
+}
+
+// Indexes returns the per-shard monotonic-read token vector: element k is
+// the highest commit index this session has observed on shard k.
+func (sc *ShardedClient) Indexes() []uint64 {
+	out := make([]uint64, len(sc.clients))
+	for k, cl := range sc.clients {
+		out[k] = cl.LastIndex()
+	}
+	return out
+}
+
+// Close closes every per-shard client.
+func (sc *ShardedClient) Close() {
+	for _, cl := range sc.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package transport
+
+import "sync"
+
+// Frame buffer pool, shared by the transport read/write paths.
+//
+// Every packet that crosses a transport lives in a []byte that used to be
+// allocated fresh per frame: the TCP read loop allocated one per inbound
+// frame, the simulated network one per Send (the copy that keeps processes
+// from aliasing state), and the TCP write path one per outbound frame. All
+// of these are transient — the consumer decodes (or the write loop flushes)
+// and the buffer is garbage. GetFrame/PutFrame recycle them.
+//
+// Ownership is linear and recycling is strictly opt-in: a buffer obtained
+// from GetFrame is owned by whoever holds it, and only the FINAL consumer of
+// a frame may PutFrame it (the reliable channel does so after decoding a
+// packet, the service gateway and client after decoding a stream frame). A
+// consumer that retains a frame simply never returns it — the pool loses a
+// buffer to the GC, never correctness. PutFrame accepts any buffer, pooled
+// origin or not.
+
+// maxPooledFrame bounds the capacity kept in the pool so one huge frame
+// (state snapshots, oversized batches) does not pin memory forever.
+const maxPooledFrame = 1 << 20
+
+var framePool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetFrame returns a length-n buffer, reusing pooled capacity when it fits.
+func GetFrame(n int) []byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) >= n {
+		return (*bp)[:n]
+	}
+	// Too small for this frame: drop it (the pool refills with buffers sized
+	// by actual traffic) and allocate one that fits.
+	return make([]byte, n)
+}
+
+// PutFrame recycles a frame buffer. The caller must own the buffer
+// exclusively and must not touch it afterwards.
+func PutFrame(buf []byte) {
+	if cap(buf) == 0 || cap(buf) > maxPooledFrame {
+		return
+	}
+	buf = buf[:0]
+	framePool.Put(&buf)
+}

@@ -276,14 +276,23 @@ var _ Transport = (*memEndpoint)(nil)
 func (e *memEndpoint) Self() proc.ID { return e.self }
 
 func (e *memEndpoint) Send(to proc.ID, data []byte) {
-	dst, delay, ok := e.net.route(e.self, to, len(data))
+	e.sendPrefixed(to, nil, data)
+}
+
+// sendPrefixed is Send with an optional payload prefix (the group mux's
+// tag), folded into the single copy Send makes anyway (prefixSender fast
+// path).
+func (e *memEndpoint) sendPrefixed(to proc.ID, prefix, data []byte) {
+	dst, delay, ok := e.net.route(e.self, to, len(prefix)+len(data))
 	if !ok {
 		return
 	}
 	// Copy the payload so the caller may reuse its buffer, as with a real
-	// network write.
-	buf := make([]byte, len(data))
-	copy(buf, data)
+	// network write. The copy lives in a pooled frame buffer; the final
+	// consumer recycles it (see framebuf.go).
+	buf := GetFrame(len(prefix) + len(data))
+	copy(buf, prefix)
+	copy(buf[len(prefix):], data)
 	pkt := Packet{From: e.self, Data: buf}
 	if delay <= 0 {
 		dst.enqueue(pkt)
@@ -292,6 +301,7 @@ func (e *memEndpoint) Send(to proc.ID, data []byte) {
 	time.AfterFunc(delay, func() {
 		if e.net.isCrashed(dst.self) {
 			e.net.stats.addDropped()
+			PutFrame(pkt.Data)
 			return
 		}
 		dst.enqueue(pkt)
@@ -303,14 +313,18 @@ func (e *memEndpoint) enqueue(pkt Packet) {
 	defer e.mu.Unlock()
 	if e.closed {
 		e.net.stats.addDropped()
+		PutFrame(pkt.Data)
 		return
 	}
 	select {
 	case e.inbox <- pkt:
 		e.net.stats.addDelivered()
 	default:
-		// Queue overflow: the unreliable transport drops the packet.
+		// Queue overflow: the unreliable transport drops the packet —
+		// recycling its buffer, which drops would otherwise leak to the GC
+		// exactly under the overload scenarios the pool exists for.
 		e.net.stats.addDropped()
+		PutFrame(pkt.Data)
 	}
 }
 

@@ -268,6 +268,7 @@ func (l *tcpStreamListener) Accept() (StreamConn, error) {
 	if err != nil {
 		return nil, err
 	}
+	setNoDelay(c)
 	return &tcpStreamConn{c: c}, nil
 }
 
@@ -291,5 +292,6 @@ func DialStreamTCP(addr string) (StreamConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("stream dial %s: %w", addr, err)
 	}
+	setNoDelay(c)
 	return &tcpStreamConn{c: c}, nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -12,6 +13,15 @@ import (
 
 const maxFrame = 16 << 20 // 16 MiB, sanity bound on frame length
 
+// outQueue bounds the frames parked at one connection's write loop; beyond
+// it Send drops, per the unreliable contract (the reliable channel above
+// retransmits).
+const outQueue = 1024
+
+// tcpWriteBuffer sizes each connection's bufio writer — the coalescing
+// window of the flush loop.
+const tcpWriteBuffer = 64 << 10
+
 // TCPTransport carries packets over TCP connections between real processes.
 // It still presents the *unreliable* transport contract: a connection error
 // simply drops the packet (the reliable channel layer above retransmits).
@@ -19,6 +29,15 @@ const maxFrame = 16 << 20 // 16 MiB, sanity bound on frame length
 // Framing: every frame is a 4-byte big-endian length followed by that many
 // bytes. The first frame on an outbound connection carries the sender's
 // process ID so the receiver can attribute packets.
+//
+// Writes are serialized per connection through a single write loop: Send
+// packs header+payload into one pooled buffer and hands it to the
+// connection's queue, so concurrent Sends can never interleave partial
+// frames on the wire. The loop drains whatever is queued into a buffered
+// writer and flushes once per drain — under bursty load (a broadcast fanning
+// out, a retransmission sweep) many frames leave in one syscall instead of
+// two syscalls per frame. TCP_NODELAY is set on every connection so a flush
+// is a wire-visible packet boundary, not a Nagle gamble.
 type TCPTransport struct {
 	self  proc.ID
 	peers map[proc.ID]string
@@ -26,9 +45,25 @@ type TCPTransport struct {
 	inbox chan Packet
 
 	mu     sync.Mutex
-	conns  map[proc.ID]net.Conn
+	conns  map[proc.ID]*tcpConn
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// tcpConn is one outbound connection and its write pipeline.
+type tcpConn struct {
+	c    net.Conn
+	out  chan []byte // packed frames (pooled buffers), consumed by writeLoop
+	done chan struct{}
+	once sync.Once
+}
+
+// retire closes the connection and releases its write loop exactly once.
+func (tc *tcpConn) retire() {
+	tc.once.Do(func() {
+		close(tc.done)
+		_ = tc.c.Close()
+	})
 }
 
 var _ Transport = (*TCPTransport)(nil)
@@ -49,7 +84,7 @@ func NewTCP(self proc.ID, listenAddr string, peers map[proc.ID]string) (*TCPTran
 		peers: peerCopy,
 		ln:    ln,
 		inbox: make(chan Packet, defaultQueue),
-		conns: make(map[proc.ID]net.Conn),
+		conns: make(map[proc.ID]*tcpConn),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -62,12 +97,26 @@ func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
 func (t *TCPTransport) Self() proc.ID { return t.self }
 
 func (t *TCPTransport) Send(to proc.ID, data []byte) {
-	conn, err := t.conn(to)
+	t.sendPrefixed(to, nil, data)
+}
+
+// sendPrefixed is Send with an optional payload prefix (the group mux's
+// tag), folded into the single copy Send makes anyway (prefixSender fast
+// path).
+func (t *TCPTransport) sendPrefixed(to proc.ID, prefix, data []byte) {
+	tc, err := t.conn(to)
 	if err != nil {
 		return // unreliable: drop
 	}
-	if err := writeFrame(conn, data); err != nil {
-		t.dropConn(to, conn)
+	// Pack into one pooled buffer: the write loop owns it from here (and
+	// returns it to the pool), the caller keeps its own.
+	frame := packFrame2(prefix, data)
+	select {
+	case tc.out <- frame:
+	case <-tc.done:
+		PutFrame(frame)
+	default:
+		PutFrame(frame) // queue overflow: drop, per the unreliable contract
 	}
 }
 
@@ -80,28 +129,31 @@ func (t *TCPTransport) Close() {
 		return
 	}
 	t.closed = true
-	conns := make([]net.Conn, 0, len(t.conns))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, tc := range t.conns {
+		conns = append(conns, tc)
 	}
 	t.mu.Unlock()
 	_ = t.ln.Close()
-	for _, c := range conns {
-		_ = c.Close()
+	for _, tc := range conns {
+		tc.retire()
 	}
 	t.wg.Wait()
 	close(t.inbox)
 }
 
-func (t *TCPTransport) conn(to proc.ID) (net.Conn, error) {
+// conn returns (establishing if needed) the outbound connection to a peer.
+// The handshake frame is queued ahead of any data frame, so the write loop
+// preserves the wire protocol's first-frame-is-identity rule.
+func (t *TCPTransport) conn(to proc.ID) (*tcpConn, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return nil, fmt.Errorf("tcp transport closed")
 	}
-	if c, ok := t.conns[to]; ok {
+	if tc, ok := t.conns[to]; ok {
 		t.mu.Unlock()
-		return c, nil
+		return tc, nil
 	}
 	addr, ok := t.peers[to]
 	t.mu.Unlock()
@@ -112,29 +164,70 @@ func (t *TCPTransport) conn(to proc.ID) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial %s: %w", to, err)
 	}
-	if err := writeFrame(c, []byte(t.self)); err != nil {
-		_ = c.Close()
-		return nil, fmt.Errorf("handshake %s: %w", to, err)
-	}
+	setNoDelay(c)
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.closed {
+		t.mu.Unlock()
 		_ = c.Close()
 		return nil, fmt.Errorf("tcp transport closed")
 	}
 	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
 		_ = c.Close()
 		return existing, nil
 	}
-	t.conns[to] = c
-	return c, nil
+	tc := &tcpConn{
+		c:    c,
+		out:  make(chan []byte, outQueue),
+		done: make(chan struct{}),
+	}
+	// Handshake first: pack it like any frame so it rides the same loop.
+	tc.out <- packFrame([]byte(t.self))
+	t.conns[to] = tc
+	t.wg.Add(1)
+	go t.writeLoop(to, tc)
+	t.mu.Unlock()
+	return tc, nil
 }
 
-func (t *TCPTransport) dropConn(to proc.ID, c net.Conn) {
-	_ = c.Close()
+// writeLoop is the single writer of one connection: it drains queued frames
+// into the buffered writer and flushes once the queue runs dry, coalescing
+// bursts into few syscalls while keeping per-frame latency at one select.
+func (t *TCPTransport) writeLoop(to proc.ID, tc *tcpConn) {
+	defer t.wg.Done()
+	bw := bufio.NewWriterSize(tc.c, tcpWriteBuffer)
+	for {
+		var frame []byte
+		select {
+		case frame = <-tc.out:
+		case <-tc.done:
+			return
+		}
+		for frame != nil {
+			_, err := bw.Write(frame)
+			PutFrame(frame)
+			if err != nil {
+				t.dropConn(to, tc)
+				return
+			}
+			select {
+			case frame = <-tc.out:
+			default:
+				frame = nil
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			t.dropConn(to, tc)
+			return
+		}
+	}
+}
+
+func (t *TCPTransport) dropConn(to proc.ID, tc *tcpConn) {
+	tc.retire()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.conns[to] == c {
+	if t.conns[to] == tc {
 		delete(t.conns, to)
 	}
 }
@@ -146,6 +239,7 @@ func (t *TCPTransport) acceptLoop() {
 		if err != nil {
 			return
 		}
+		setNoDelay(c)
 		t.wg.Add(1)
 		go t.readLoop(c)
 	}
@@ -158,7 +252,8 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 	if err != nil {
 		return
 	}
-	from := proc.ID(idFrame)
+	from := proc.ID(idFrame) // string conversion copies; the frame is ours
+	PutFrame(idFrame)
 	for {
 		data, err := readFrame(c)
 		if err != nil {
@@ -174,20 +269,53 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 		case t.inbox <- Packet{From: from, Data: data}:
 		default:
 			// Queue overflow: drop, per the unreliable contract.
+			PutFrame(data)
 		}
 	}
 }
 
+// setNoDelay disables Nagle on TCP connections: the transport does its own
+// coalescing (buffered write loop), so delaying small frames in the kernel
+// only adds latency to acks and heartbeats.
+func setNoDelay(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+}
+
+// packFrame copies payload into a pooled buffer behind its 4-byte length
+// prefix — the wire format of readFrame. The caller owns the result (the
+// write loop returns it to the pool after flushing).
+func packFrame(payload []byte) []byte {
+	return packFrame2(nil, payload)
+}
+
+// packFrame2 is packFrame for a payload in two parts (prefix + rest),
+// avoiding an intermediate concatenation buffer.
+func packFrame2(prefix, payload []byte) []byte {
+	n := len(prefix) + len(payload)
+	frame := GetFrame(4 + n)
+	binary.BigEndian.PutUint32(frame, uint32(n))
+	copy(frame[4:], prefix)
+	copy(frame[4+len(prefix):], payload)
+	return frame
+}
+
+// writeFrame writes one length-prefixed frame as a single vectored write
+// (net.Buffers → writev), so callers that share a connection under a lock
+// never issue two syscalls — or two interleavable writes — per frame. Used
+// by the stream (service session) conns; the group transport's own traffic
+// goes through the per-connection write loop instead.
 func writeFrame(c net.Conn, data []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(data)))
-	if _, err := c.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := c.Write(data)
+	bufs := net.Buffers{hdr[:], data}
+	_, err := bufs.WriteTo(c)
 	return err
 }
 
+// readFrame reads one length-prefixed frame into a pooled buffer. The final
+// consumer of the frame may recycle it with PutFrame.
 func readFrame(c net.Conn) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(c, hdr[:]); err != nil {
@@ -197,8 +325,9 @@ func readFrame(c net.Conn) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("frame too large: %d", n)
 	}
-	buf := make([]byte, n)
+	buf := GetFrame(int(n))
 	if _, err := io.ReadFull(c, buf); err != nil {
+		PutFrame(buf)
 		return nil, err
 	}
 	return buf, nil
