@@ -19,6 +19,9 @@
 //	gcsbench service-shards  E14: key space sharded across S parallel
 //	                         replicated groups on one node set (group mux,
 //	                         batching on) — aggregate write scaling (JSON)
+//	gcsbench recovery        E15: follower recovery time vs state size —
+//	                         snapshot state transfer + catch-up cursor
+//	                         (JSON rows)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -59,6 +62,8 @@ func run(cmd string) error {
 		return experimentServiceReads()
 	case "service-shards":
 		return experimentServiceShards()
+	case "recovery":
+		return experimentRecovery()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -69,6 +74,7 @@ func run(cmd string) error {
 			experimentService,
 			experimentServiceReads,
 			experimentServiceShards,
+			experimentRecovery,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -77,6 +83,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|all)", cmd)
 	}
 }

@@ -28,6 +28,13 @@
 // protocol stacks multiplexed over its single TCP endpoint (group mux), the
 // per-shard primaries are spread across the members, and clients route each
 // operation to its key's shard (gcs.DialSharded with kvdemo.Key).
+//
+// With -join, the process attaches to a RUNNING deployment as a catch-up
+// follower instead of a full member: it installs a replica snapshot from
+// the group (state transfer) and then follows the delivered-command log,
+// serving reads at backup parity through its gateway while writes redirect
+// to the primaries. A member that crashed and lost its disk rejoins this
+// way under its old ID with a higher -incarnation.
 package main
 
 import (
@@ -64,15 +71,17 @@ func main() {
 		svcShards    = flag.Int("service-shards", 1, "shard the key space across this many parallel replicated groups (all members must agree)")
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
+		join         = flag.Bool("join", false, "join a RUNNING service deployment as a catch-up follower: install a replica snapshot from the group and follow its command log, serving reads at backup parity (requires -service-listen; -peers lists the full members)")
+		incarnation  = flag.Uint64("incarnation", 1, "with -join: this process's incarnation; increase it on every restart that lost local state")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -80,7 +89,10 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	if err != nil {
 		return err
 	}
-	if _, ok := peers[gcs.ID(self)]; !ok {
+	if _, ok := peers[gcs.ID(self)]; !ok && !join {
+		// A joining follower is NOT a member: its -peers lists the running
+		// members (the donors) only; they learn its dial-back address from
+		// the transport handshake.
 		return fmt.Errorf("self %q not in peer map", self)
 	}
 	universe := make([]gcs.ID, 0, len(peers))
@@ -109,6 +121,78 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		return err
 	}
 
+	if join {
+		// Catch-up follower: no vote, no broadcast — install a snapshot
+		// from the running group, then follow its command log forever,
+		// serving reads at backup parity through the local gateway.
+		if !serviceMode {
+			return fmt.Errorf("-join requires -service-listen (followers exist to serve the KV service)")
+		}
+		donors := make([]gcs.ID, 0, len(universe))
+		for _, id := range universe {
+			if id != gcs.ID(self) {
+				donors = append(donors, id)
+			}
+		}
+		if len(donors) == 0 {
+			return fmt.Errorf("-join needs at least one donor in -peers")
+		}
+		mux := gcs.NewGroupMux(tr, svcShards)
+		defer mux.Close()
+		svcAddrs, err := parseOptionalPeers(svcPeersSpec)
+		if err != nil {
+			return fmt.Errorf("service peers: %w", err)
+		}
+		var shards []gcs.ServiceShard
+		var followers []*gcs.Follower
+		for k := 0; k < svcShards; k++ {
+			store := kvdemo.New()
+			f := gcs.NewFollowerNode(mux.Group(k), store, gcs.FollowerConfig{
+				Self:         gcs.ID(self),
+				Donors:       donors,
+				Incarnation:  incarnation,
+				Snapshot:     store.Snapshot,
+				Restore:      store.Restore,
+				RTO:          50 * time.Millisecond,
+				PullInterval: 20 * time.Millisecond,
+				PullTimeout:  2 * time.Second,
+			})
+			defer f.Stop()
+			followers = append(followers, f)
+			shards = append(shards, gcs.ServiceShard{Replica: f.Replica, Read: store.Read})
+		}
+		l, err := gcs.ListenServiceTCP(svcListen)
+		if err != nil {
+			return err
+		}
+		gw := gcs.Serve(gcs.ServiceGatewayConfig{
+			Self:   gcs.ID(self),
+			Shards: shards,
+			Addrs:  svcAddrs,
+			// Same lease knobs as a member gateway: with LeaseTTL set, the
+			// follower's janitor forwards its sessions' renewals to the
+			// primary (replication.LeaseRenew), so clients attached HERE
+			// keep their replicated dedup records alive.
+			SessionTTL: svcTTL,
+			LeaseTTL:   svcLease,
+		}, l)
+		defer gw.Close()
+		fmt.Printf("gcsnode %s joining as follower (incarnation %d); donors %v; %d shard(s); gateway on %s\n",
+			self, incarnation, donors, svcShards, l.Addr())
+		go func() {
+			for k, f := range followers {
+				<-f.Installed()
+				fmt.Printf("[join] shard %d installed (commit index %d)\n", k, f.Replica.CommitIndex())
+			}
+			fmt.Println("[join] caught up on every shard; serving reads at backup parity")
+		}()
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
+		fmt.Println("shutting down")
+		return nil
+	}
+
 	var node *gcs.Node // demo-mode broadcaster (nil in service mode)
 	if serviceMode {
 		// One replicated group per shard, every group's full protocol stack
@@ -117,21 +201,23 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		// across the node set.
 		mux := gcs.NewGroupMux(tr, svcShards)
 		defer mux.Close()
-		svcAddrs := make(map[gcs.ID]string)
-		if svcPeersSpec != "" {
-			svcPeers, err := parsePeers(svcPeersSpec)
-			if err != nil {
-				return fmt.Errorf("service peers: %w", err)
-			}
-			svcAddrs = svcPeers
+		svcAddrs, err := parseOptionalPeers(svcPeersSpec)
+		if err != nil {
+			return fmt.Errorf("service peers: %w", err)
 		}
 		var shards []gcs.ServiceShard
 		for k := 0; k < svcShards; k++ {
 			store := kvdemo.New()
 			view := append(append([]gcs.ID{}, universe[k%len(universe):]...), universe[:k%len(universe)]...)
 			replica := gcs.NewPassiveReplica(store, view)
+			replica.SetSnapshotter(gcs.ReplicaSnapshotter{Snapshot: store.Snapshot, Restore: store.Restore})
 			cfg := baseCfg
 			cfg.Relation = gcs.PassiveRelation()
+			// State transfer for mid-life joiners (gcsnode -join): the hook
+			// captures the replica snapshot at the ordered join's delivery
+			// point.
+			cfg.Snapshot = replica.EncodeSnapshot
+			cfg.Restore = func(b []byte) { _ = replica.InstallSnapshot(b) }
 			shardNode, err := gcs.NewNode(mux.Group(k), cfg, replica.DeliverFunc())
 			if err != nil {
 				return fmt.Errorf("shard %d: %w", k, err)
@@ -141,6 +227,9 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 					fmt.Printf("[view] %v\n", v)
 				})
 			}
+			// Donor side of the follower state-transfer protocol; must be
+			// registered before the stack starts.
+			gcs.ServeReplicaSync(shardNode, replica)
 			// Bind before Start: deliveries may arrive as soon as the stack
 			// runs.
 			replica.Bind(shardNode)
@@ -216,6 +305,14 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			}
 		}
 	}
+}
+
+// parseOptionalPeers parses an id=addr list, returning an empty map for "".
+func parseOptionalPeers(spec string) (map[gcs.ID]string, error) {
+	if spec == "" {
+		return make(map[gcs.ID]string), nil
+	}
+	return parsePeers(spec)
 }
 
 func parsePeers(spec string) (map[gcs.ID]string, error) {

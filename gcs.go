@@ -10,6 +10,7 @@ import (
 	"repro/internal/monitoring"
 	"repro/internal/msg"
 	"repro/internal/proc"
+	"repro/internal/rchannel"
 	"repro/internal/replication"
 	"repro/internal/service"
 	"repro/internal/transport"
@@ -95,7 +96,21 @@ type (
 	StreamListener = transport.StreamListener
 	// StreamConn is one framed client connection.
 	StreamConn = transport.StreamConn
+
+	// ReplicaSnapshotter supplies/restores the application state machine's
+	// state for replica snapshots (crash recovery & mid-life join).
+	ReplicaSnapshotter = replication.Snapshotter
+	// ServiceReplica is the replica handle a gateway drives — satisfied by
+	// both full passive replicas and catch-up followers, so a gateway's
+	// shard can be re-pointed at a rebuilt replica (ReplaceShard).
+	ServiceReplica = service.Replica
 )
+
+// ErrServiceUnavailable is the typed error a service client returns when an
+// operation exhausts its OpTimeout without any gateway serving it (e.g. the
+// entire primary set briefly unreachable): errors.Is(err,
+// ErrServiceUnavailable) distinguishes "retry later" from terminal errors.
+var ErrServiceUnavailable = service.ErrUnavailable
 
 // Read consistency levels of the service client (see service.ReadLevel).
 const (
@@ -178,6 +193,103 @@ func NewPassiveReplica(sm PassiveStateMachine, replicas []ID) *PassiveReplica {
 // replication (updates fast, primary changes ordered).
 func PassiveRelation() *Relation {
 	return replication.PassiveRelation()
+}
+
+// ServeReplicaSync registers the donor side of the replica state-transfer
+// protocol on a node: followers (NewFollowerNode, gcsnode -join) pull
+// snapshots and the delivered-command log from it, and a follower's HELLO
+// triggers the ordered membership join (whose state transfer ships the
+// replica snapshot captured at the join's position in the total order).
+// Call BETWEEN NewNode and Start — like every endpoint handler. Every full
+// replica of a deployment should serve sync so followers can fail over
+// between donors.
+func ServeReplicaSync(node *Node, rep *PassiveReplica) {
+	replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
+}
+
+// FollowerConfig parameterises NewFollowerNode.
+type FollowerConfig struct {
+	// Self is the follower's process identity (a spare ID, or a wiped
+	// member's old ID).
+	Self ID
+	// Donors are the full replicas to pull from.
+	Donors []ID
+	// Incarnation must strictly increase across restarts of the same ID
+	// that lost their state (reliable-channel incarnation handshake).
+	Incarnation uint64
+	// Snapshot/Restore are the application state hooks.
+	Snapshot func() []byte
+	Restore  func([]byte)
+	// RTO is the reliable channel retransmission timeout (default 25ms).
+	RTO time.Duration
+	// PullInterval is the catch-up cadence — the follower's staleness bound
+	// (default 5ms). PullTimeout bounds one pull before rotating donors
+	// (default 250ms).
+	PullInterval time.Duration
+	PullTimeout  time.Duration
+}
+
+// Follower is a running catch-up replica over one transport endpoint: it
+// installs a snapshot from the group (via the membership join path or the
+// pull protocol), then follows the delivered-command log forever. Its
+// Replica serves reads at full backup parity (Monotonic locally,
+// Linearizable via a read-index barrier at the primary) and answers writes
+// with redirects — hand it to a service gateway as a Shard handle.
+type Follower struct {
+	// Replica is the follower's replica handle (for gateways and reads).
+	Replica *PassiveReplica
+	ep      *rchannel.Endpoint
+	syncer  *replication.Syncer
+}
+
+// noGB is the membership broadcaster stub of a follower (receive-only).
+type noGB struct{}
+
+func (noGB) Broadcast(string, any) error {
+	return fmt.Errorf("gcs: a follower is not a group member")
+}
+
+// NewFollowerNode assembles and starts a catch-up replica over tr — the
+// recovery/join path of a deployment: a crashed member that lost its state
+// (or a brand-new read replica) rejoins the running group without replaying
+// history, via snapshot state transfer plus the catch-up cursor. The
+// follower owns tr; Stop releases it.
+func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) *Follower {
+	rep := replication.NewFollower(sm, cfg.Self)
+	rep.SetSnapshotter(replication.Snapshotter{Snapshot: cfg.Snapshot, Restore: cfg.Restore})
+	var opts []rchannel.Option
+	if cfg.RTO > 0 {
+		opts = append(opts, rchannel.WithRTO(cfg.RTO))
+	}
+	if cfg.Incarnation > 0 {
+		opts = append(opts, rchannel.WithIncarnation(cfg.Incarnation))
+	}
+	ep := rchannel.New(tr, opts...)
+	syncer := replication.NewSyncer(rep, ep, replication.SyncerConfig{
+		Donors:   cfg.Donors,
+		Interval: cfg.PullInterval,
+		Timeout:  cfg.PullTimeout,
+		Announce: true,
+	})
+	// Receiver half of the membership join path: the donor's HELLO handler
+	// requests the ordered join, and the membership primary ships the
+	// snapshot here.
+	membership.New(noGB{}, ep, proc.NewView(cfg.Self), membership.Snapshotter{
+		Restore: func(b []byte) { _ = rep.InstallSnapshot(b) },
+	})
+	ep.Start()
+	syncer.Start()
+	return &Follower{Replica: rep, ep: ep, syncer: syncer}
+}
+
+// Installed is closed once the follower has caught up to a donor for the
+// first time — from then on it serves reads at full backup parity.
+func (f *Follower) Installed() <-chan struct{} { return f.syncer.Installed() }
+
+// Stop halts the follower and releases its transport.
+func (f *Follower) Stop() {
+	f.syncer.Stop()
+	f.ep.Stop()
 }
 
 // Serve embeds a service gateway in a node: it accepts networked client

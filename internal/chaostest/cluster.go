@@ -1,0 +1,524 @@
+package chaostest
+
+import (
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/membership"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+	"repro/internal/replication"
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// coreNode is one full member: S complete protocol stacks multiplexed over
+// one memnet endpoint, a passive replica per shard, and a service gateway.
+type coreNode struct {
+	id   proc.ID
+	dead bool // wiped (rejoined as follower, tracked in cluster.extras)
+	mux  *transport.GroupMux
+	sms  []*chaosSM
+	reps []*replication.Passive
+	nds  []*core.Node
+	gw   *service.Gateway
+}
+
+// edgeNode is a follower node — the wipe/rejoin target: a follower replica
+// per shard, fed by a Syncer over a fresh muxed endpoint, plus a gateway
+// fronting the followers. Rebuilt from nothing (higher incarnation) on
+// every rejoin. The same shape serves a wiped CORE rejoining under its old
+// ID (rejoinCoreAsFollower).
+type edgeNode struct {
+	id      proc.ID
+	inc     uint64
+	tr      transport.Transport // the physical endpoint under the mux
+	mux     *transport.GroupMux
+	sms     []*chaosSM
+	reps    []*replication.Passive
+	eps     []*rchannel.Endpoint
+	syncers []*replication.Syncer
+	gw      *service.Gateway
+}
+
+// cluster is the chaos harness's world.
+type cluster struct {
+	t       *testing.T
+	network *transport.Network
+	shards  int
+	ids     []proc.ID // core member IDs (the consensus universe)
+	edgeID  proc.ID
+	addrs   map[proc.ID]string // service addresses (memnet: the ID itself)
+	cores   []*coreNode
+	edge    *edgeNode
+	edgeInc uint64
+	extras  []*edgeNode // wiped cores reborn as followers
+}
+
+// rotated returns ids rotated left by k — shard k's replica list, spreading
+// initial primaries across the member set.
+func rotated(ids []proc.ID, k int) []proc.ID {
+	k = k % len(ids)
+	out := make([]proc.ID, 0, len(ids))
+	out = append(out, ids[k:]...)
+	out = append(out, ids[:k]...)
+	return out
+}
+
+func buildCluster(t *testing.T, shards int, seed int64) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:       t,
+		network: transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(seed)),
+		shards:  shards,
+		ids:     proc.IDs("r1", "r2", "r3"),
+		edgeID:  "e1",
+		addrs:   make(map[proc.ID]string),
+	}
+	for _, id := range append(append([]proc.ID{}, c.ids...), c.edgeID) {
+		c.addrs[id] = string(id)
+	}
+	for _, id := range c.ids {
+		c.cores = append(c.cores, c.buildCore(id))
+	}
+	c.buildEdge()
+	t.Cleanup(c.teardown)
+	return c
+}
+
+// buildCore assembles one full member and starts it.
+func (c *cluster) buildCore(id proc.ID) *coreNode {
+	n := &coreNode{id: id, mux: transport.NewGroupMux(c.network.Endpoint(id), c.shards)}
+	for k := 0; k < c.shards; k++ {
+		sm := newChaosSM()
+		rep := replication.NewPassive(sm, rotated(c.ids, k))
+		rep.SetSnapshotter(sm.snapshotter())
+		node, err := core.NewNode(n.mux.Group(k), core.Config{
+			Self:     id,
+			Universe: c.ids,
+			Relation: replication.PassiveRelation(),
+			// The race detector slows the stacks several-fold; unscaled
+			// heartbeat/suspicion timing livelocks consensus on small CI
+			// machines with this many stacks (see race_off.go).
+			RTO:              20 * raceScale * time.Millisecond,
+			HeartbeatEvery:   5 * raceScale * time.Millisecond,
+			FDCheckEvery:     2 * raceScale * time.Millisecond,
+			SuspicionTimeout: 50 * raceScale * time.Millisecond,
+			// The membership join path's state transfer is the replica
+			// snapshot, captured by the hook AT the ordered join's delivery
+			// point (a delivery boundary identical at every member).
+			Snapshot: rep.EncodeSnapshot,
+			Restore:  func(b []byte) { _ = rep.InstallSnapshot(b) },
+		}, rep.DeliverFunc())
+		if err != nil {
+			c.t.Fatal(err)
+		}
+		rep.Bind(node)
+		// Donor side of the state-transfer protocol: registered before the
+		// stack starts (rchannel handlers are pre-start only).
+		replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
+		n.sms = append(n.sms, sm)
+		n.reps = append(n.reps, rep)
+		n.nds = append(n.nds, node)
+	}
+	for _, nd := range n.nds {
+		nd.Start()
+	}
+	for _, rep := range n.reps {
+		rep.StartFailover(60 * raceScale * time.Millisecond)
+	}
+	n.gw = c.newGateway(id, n.shardTable())
+	return n
+}
+
+func (n *coreNode) shardTable() []service.Shard {
+	out := make([]service.Shard, 0, len(n.reps))
+	for k := range n.reps {
+		out = append(out, service.Shard{Replica: n.reps[k], Read: n.sms[k].read})
+	}
+	return out
+}
+
+// newGateway creates and serves a gateway for id over the given shards.
+func (c *cluster) newGateway(id proc.ID, shards []service.Shard) *service.Gateway {
+	gw := service.NewGateway(service.GatewayConfig{
+		Self:           id,
+		Shards:         shards,
+		Addrs:          c.addrs,
+		RequestTimeout: 3 * raceScale * time.Second,
+	})
+	l, err := c.network.ListenStream(id)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	gw.Serve(l)
+	return gw
+}
+
+// buildFollowerNode assembles a follower node from nothing under a fresh
+// incarnation: follower replicas fed by syncers, the membership
+// state-transfer receiver, and a gateway fronting the followers.
+func (c *cluster) buildFollowerNode(id proc.ID, inc uint64, donors []proc.ID) *edgeNode {
+	tr := c.network.Endpoint(id)
+	e := &edgeNode{id: id, inc: inc, tr: tr, mux: transport.NewGroupMux(tr, c.shards)}
+	for k := 0; k < c.shards; k++ {
+		sm := newChaosSM()
+		f := replication.NewFollower(sm, id)
+		f.SetSnapshotter(sm.snapshotter())
+		ep := rchannel.New(e.mux.Group(k),
+			rchannel.WithRTO(10*raceScale*time.Millisecond),
+			rchannel.WithIncarnation(inc))
+		syncer := replication.NewSyncer(f, ep, replication.SyncerConfig{
+			Donors:   donors,
+			Interval: 2 * raceScale * time.Millisecond,
+			// Generous under race: the detector inflates dispatch latency, and
+			// a pull that merely takes long must not be treated as donor loss
+			// (rotating donors on queueing delay only adds load).
+			Timeout:  150 * raceScale * raceScale * time.Millisecond,
+			Announce: true,
+		})
+		// Receiver half of the membership join path: a donor requests the
+		// ordered join for us; the membership primary ships the snapshot.
+		membership.New(noBroadcast{}, ep, proc.NewView(id), membership.Snapshotter{
+			Restore: func(b []byte) { _ = f.InstallSnapshot(b) },
+		})
+		ep.Start()
+		syncer.Start()
+		e.sms = append(e.sms, sm)
+		e.reps = append(e.reps, f)
+		e.eps = append(e.eps, ep)
+		e.syncers = append(e.syncers, syncer)
+	}
+	shards := make([]service.Shard, 0, c.shards)
+	for k := 0; k < c.shards; k++ {
+		shards = append(shards, service.Shard{Replica: e.reps[k], Read: e.sms[k].read})
+	}
+	e.gw = c.newGateway(id, shards)
+	return e
+}
+
+// buildEdge (re)creates the dedicated edge follower node.
+func (c *cluster) buildEdge() {
+	c.edgeInc++
+	c.edge = c.buildFollowerNode(c.edgeID, c.edgeInc, c.ids)
+}
+
+// stopFollowerNode tears a follower node down completely.
+func (c *cluster) stopFollowerNode(e *edgeNode) {
+	e.gw.Close()
+	for _, s := range e.syncers {
+		s.Stop()
+	}
+	for _, ep := range e.eps {
+		ep.Stop()
+	}
+	e.mux.Close()
+}
+
+// wipeEdge crash-stops the edge node and destroys ALL its state — the
+// process is gone; nothing survives but its ID.
+func (c *cluster) wipeEdge() {
+	c.network.Crash(c.edgeID)
+	c.stopFollowerNode(c.edge)
+	c.edge = nil
+	c.network.Restart(c.edgeID)
+}
+
+// wipeCore crash-stops core i and destroys its ENTIRE stack and state —
+// unlike killRestartCore, nothing survives but the ID. The member's vote is
+// gone for good (f < n/2 now has zero slack), so callers must not crash any
+// other core afterwards; the wiped member can come back as a read-serving
+// follower via rejoinCoreAsFollower.
+func (c *cluster) wipeCore(i int) {
+	n := c.cores[i]
+	c.network.Crash(n.id)
+	n.gw.Close()
+	for _, rep := range n.reps {
+		rep.StopFailover()
+	}
+	for _, nd := range n.nds {
+		nd.Stop()
+	}
+	n.mux.Close()
+	n.dead = true
+	c.network.Restart(n.id)
+}
+
+// rejoinCoreAsFollower brings a wiped core back under its OLD ID as a
+// follower node — the same-identity crash-recovery: peers still hold
+// reliable-channel state about the old incarnation, which the incarnation
+// handshake resets on first contact.
+func (c *cluster) rejoinCoreAsFollower(i int, inc uint64, timeout time.Duration) *edgeNode {
+	c.t.Helper()
+	n := c.cores[i]
+	donors := make([]proc.ID, 0, len(c.ids)-1)
+	for _, id := range c.ids {
+		if id != n.id {
+			donors = append(donors, id)
+		}
+	}
+	e := c.buildFollowerNode(n.id, inc, donors)
+	c.extras = append(c.extras, e)
+	deadline := time.After(timeout * raceScale)
+	for _, s := range e.syncers {
+		select {
+		case <-s.Installed():
+		case <-deadline:
+			c.t.Fatalf("core %s rejoin: follower not installed within %v", n.id, timeout*raceScale)
+		}
+	}
+	return e
+}
+
+// rejoinEdge rebuilds the edge from nothing and waits until every shard's
+// follower has installed state and caught up to a donor.
+func (c *cluster) rejoinEdge(timeout time.Duration) {
+	c.buildEdge()
+	deadline := time.After(timeout * raceScale)
+	for k, s := range c.edge.syncers {
+		select {
+		case <-s.Installed():
+		case <-deadline:
+			for _, n := range c.liveCores() {
+				c.t.Logf("shard %d: core %s at index %d", k, n.id, n.reps[k].CommitIndex())
+			}
+			c.t.Logf("shard %d: edge follower at index %d, syncer stats %+v",
+				k, c.edge.reps[k].CommitIndex(), c.edge.syncers[k].Stats())
+			for _, n := range c.liveCores() {
+				c.t.Logf("shard %d: core %s rchannel backlog to edge: %d unacked",
+					k, n.id, n.nds[k].Endpoint().PendingTo(c.edgeID))
+			}
+			c.t.Logf("edge endpoint still registered: %v", c.network.Endpoint(c.edgeID) == c.edge.tr)
+			c.t.Logf("edge shard %d channel stats: %+v", k, c.edge.eps[k].Stats())
+			for _, n := range c.liveCores() {
+				on, un, ie, oob := c.edge.eps[k].PeerState(n.id)
+				don, dun, die, doob := n.nds[k].Endpoint().PeerState(c.edgeID)
+				c.t.Logf("  edge<->%s: edge[outNext=%d unacked=%d inExpected=%d oob=%d peerInc=%d] donor[outNext=%d unacked=%d inExpected=%d oob=%d peerInc=%d] donorStats=%+v",
+					n.id, on, un, ie, oob, c.edge.eps[k].PeerIncarnation(n.id),
+					don, dun, die, doob, n.nds[k].Endpoint().PeerIncarnation(c.edgeID), n.nds[k].Endpoint().Stats())
+			}
+			before := c.network.Stats()
+			time.Sleep(1 * time.Second)
+			after := c.network.Stats()
+			c.t.Logf("network delta over 1s: sent %d delivered %d dropped %d",
+				after.Sent-before.Sent, after.Delivered-before.Delivered, after.Dropped-before.Dropped)
+			_ = pprof.Lookup("goroutine").WriteTo(os.Stderr, 1)
+			c.t.Fatalf("edge rejoin: shard %d follower not installed within %v (incarnation %d)",
+				k, timeout*raceScale, c.edge.inc)
+		}
+	}
+}
+
+// killRestartCore crash-stops core i at the network level for d (state
+// preserved — the crash-stop model's short outage, healed by channel
+// retransmission when the packets flow again).
+func (c *cluster) killRestartCore(i int, d time.Duration) {
+	id := c.ids[i]
+	c.network.Crash(id)
+	time.Sleep(d)
+	c.network.Restart(id)
+}
+
+// bounceGateway replaces core i's gateway mid-life: attached sessions are
+// dropped with their connections and re-attach (same session IDs, same
+// replicated dedup state) at the replacement.
+func (c *cluster) bounceGateway(i int) {
+	n := c.cores[i]
+	n.gw.Close()
+	n.gw = c.newGateway(n.id, n.shardTable())
+}
+
+func (c *cluster) teardown() {
+	if c.edge != nil {
+		c.stopFollowerNode(c.edge)
+	}
+	for _, e := range c.extras {
+		c.stopFollowerNode(e)
+	}
+	for _, n := range c.cores {
+		if n.dead {
+			continue
+		}
+		n.gw.Close()
+		for _, rep := range n.reps {
+			rep.StopFailover()
+		}
+		for _, nd := range n.nds {
+			nd.Stop()
+		}
+		n.mux.Close()
+	}
+	c.network.Shutdown()
+}
+
+// liveCores returns the cores still running their full stacks.
+func (c *cluster) liveCores() []*coreNode {
+	out := make([]*coreNode, 0, len(c.cores))
+	for _, n := range c.cores {
+		if !n.dead {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// followNodes returns every follower node currently alive (edge + reborn
+// cores).
+func (c *cluster) followNodes() []*edgeNode {
+	out := append([]*edgeNode{}, c.extras...)
+	if c.edge != nil {
+		out = append(out, c.edge)
+	}
+	return out
+}
+
+// addrList returns the gateway addresses clients dial (cores + edge).
+func (c *cluster) addrList(includeEdge bool) []string {
+	out := make([]string, 0, len(c.ids)+1)
+	for _, id := range c.ids {
+		out = append(out, c.addrs[id])
+	}
+	if includeEdge {
+		out = append(out, c.addrs[c.edgeID])
+	}
+	return out
+}
+
+func (c *cluster) newShardedClient(addrs []string, opTimeout time.Duration, sticky bool) *service.ShardedClient {
+	cl, err := service.NewShardedClient(service.ShardedClientConfig{
+		ClientConfig: service.ClientConfig{
+			Addrs: addrs,
+			Dial: func(addr string) (transport.StreamConn, error) {
+				return c.network.DialStream(proc.ID(addr))
+			},
+			RetryBackoff: 3 * time.Millisecond,
+			OpTimeout:    opTimeout,
+			Sticky:       sticky,
+		},
+		Shards: c.shards,
+	})
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.t.Cleanup(cl.Close)
+	return cl
+}
+
+// converge waits until every core replica of every shard sits at the same
+// commit index (the maximum over cores) and the edge followers have caught
+// up, then returns the per-shard target indexes. Must be called after all
+// client traffic has stopped.
+func (c *cluster) converge(timeout time.Duration) []uint64 {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout * raceScale)
+	targets := make([]uint64, c.shards)
+	for k := 0; k < c.shards; k++ {
+		for {
+			var target uint64
+			for _, n := range c.liveCores() {
+				if idx := n.reps[k].CommitIndex(); idx > target {
+					target = idx
+				}
+			}
+			settled := true
+			for _, n := range c.liveCores() {
+				if n.reps[k].CommitIndex() != target {
+					settled = false
+				}
+			}
+			for _, e := range c.followNodes() {
+				if e.reps[k].CommitIndex() < target {
+					settled = false
+				}
+			}
+			if settled {
+				targets[k] = target
+				break
+			}
+			if time.Now().After(deadline) {
+				for _, n := range c.liveCores() {
+					c.t.Logf("shard %d: core %s at index %d", k, n.id, n.reps[k].CommitIndex())
+				}
+				for _, e := range c.followNodes() {
+					c.t.Logf("shard %d: follower %s at index %d", k, e.id, e.reps[k].CommitIndex())
+				}
+				c.t.Fatalf("shard %d never converged on a commit index (target %d)", k, target)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	return targets
+}
+
+// checkDigests asserts byte-identical replica state per shard across every
+// core and the edge follower. Call after converge.
+func (c *cluster) checkDigests() {
+	c.t.Helper()
+	live := c.liveCores()
+	for k := 0; k < c.shards; k++ {
+		ref := live[0]
+		want := ref.reps[k].StateDigest()
+		for _, n := range live[1:] {
+			if got := n.reps[k].StateDigest(); string(got) != string(want) {
+				c.t.Errorf("shard %d: state digest of %s differs from %s (%d vs %d bytes)",
+					k, n.id, ref.id, len(got), len(want))
+			}
+		}
+		for _, e := range c.followNodes() {
+			if got := e.reps[k].StateDigest(); string(got) != string(want) {
+				c.t.Errorf("shard %d: follower %s digest differs from %s (%d vs %d bytes)",
+					k, e.id, ref.id, len(got), len(want))
+			}
+		}
+	}
+}
+
+// auditExactlyOnce asserts every acked op applied exactly once on its shard
+// at every core replica and at the edge follower, and that no replica
+// applied ANY op twice.
+func (c *cluster) auditExactlyOnce(acked []string) {
+	c.t.Helper()
+	bad := 0
+	for _, op := range acked {
+		k := service.ShardOf([]byte(op), c.shards)
+		for _, n := range c.liveCores() {
+			if got := n.sms[k].count(op); got != 1 {
+				c.t.Errorf("acked op %q: applied %d times at %s shard %d", op, got, n.id, k)
+				if bad++; bad > 10 {
+					c.t.Fatal("too many exactly-once violations")
+				}
+			}
+		}
+		for _, e := range c.followNodes() {
+			if got := e.sms[k].count(op); got != 1 {
+				c.t.Errorf("acked op %q: applied %d times at follower %s shard %d", op, got, e.id, k)
+				if bad++; bad > 10 {
+					c.t.Fatal("too many exactly-once violations")
+				}
+			}
+		}
+	}
+	for _, n := range c.liveCores() {
+		for k, sm := range n.sms {
+			if dups := sm.duplicated(); len(dups) > 0 {
+				c.t.Errorf("%s shard %d duplicated applications: %v", n.id, k, dups)
+			}
+		}
+	}
+	for _, e := range c.followNodes() {
+		for k, sm := range e.sms {
+			if dups := sm.duplicated(); len(dups) > 0 {
+				c.t.Errorf("follower %s shard %d duplicated applications: %v", e.id, k, dups)
+			}
+		}
+	}
+}
+
+// opName builds the unique chaos op for client ci's n-th operation.
+func opName(ci, n int) string {
+	return fmt.Sprintf("c%d-%06d", ci, n)
+}

@@ -1,0 +1,13 @@
+//go:build !race
+
+package chaostest
+
+// raceEnabled reports whether the race detector is compiled in. The chaos
+// harness scales its timeouts by raceScale when it is: the detector slows
+// the stacks several-fold, and on small CI machines (this repo's experiment
+// logs are from a 1-CPU container) unscaled suspicion and RPC timeouts
+// starve systematically rather than expose real bugs.
+const raceEnabled = false
+
+// raceScale multiplies the harness's timing knobs.
+const raceScale = 1

@@ -1,0 +1,8 @@
+//go:build race
+
+package chaostest
+
+// See race_off.go.
+const raceEnabled = true
+
+const raceScale = 5

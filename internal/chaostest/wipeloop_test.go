@@ -1,0 +1,47 @@
+package chaostest
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEdgeWipeRejoinLoop isolates the wipe/rejoin cycle from the full
+// chaos schedule: the edge node is repeatedly destroyed and rebuilt under
+// client load, with no other fault classes. Every incarnation must install
+// within its window — the fast repro for rejoin wedges that the full
+// schedule would only hit after minutes.
+func TestEdgeWipeRejoinLoop(t *testing.T) {
+	const shards = 4
+	c := buildCluster(t, shards, 3)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	st := &clientStats{}
+	cl := c.newShardedClient(c.addrList(true), 30*time.Second, false)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runClient(c, cl, 5, stop, st)
+	}()
+
+	for i := 0; i < 8; i++ {
+		// Interleave a core crash/restart with the wipe — the combination
+		// the full schedule hits (a donor may be dark while the follower
+		// rejoins).
+		c.killRestartCore(i%len(c.ids), 60*raceScale*time.Millisecond)
+		c.wipeEdge()
+		c.rejoinEdge(20 * time.Second)
+	}
+
+	close(stop)
+	wg.Wait()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, f := range st.fails {
+		t.Errorf("client: %s", f)
+	}
+	if len(st.acked) == 0 {
+		t.Fatal("no acked writes")
+	}
+}

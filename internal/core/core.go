@@ -53,6 +53,14 @@ type Config struct {
 	Snapshot func() []byte
 	Restore  func([]byte)
 
+	// Incarnation is this process's reliable-channel incarnation number. A
+	// node restarted WITHOUT its previous state (crash recovery) must use a
+	// strictly higher incarnation than its previous life so peers reset
+	// their per-peer channel state instead of discarding its fresh sequence
+	// numbers as duplicates (rchannel.WithIncarnation). Zero for processes
+	// that never lose state.
+	Incarnation uint64
+
 	// Timing. Zero values select defaults suited to the in-memory network.
 	RTO              time.Duration // reliable channel retransmission (20ms)
 	HeartbeatEvery   time.Duration // failure detector emission (5ms)
@@ -145,6 +153,9 @@ func NewNode(tr transport.Transport, cfg Config, deliver DeliverFunc) (*Node, er
 	epOpts = append(epOpts, rchannel.WithRTO(cfg.RTO))
 	if cfg.StuckAfter > 0 {
 		epOpts = append(epOpts, rchannel.WithStuckAfter(cfg.StuckAfter))
+	}
+	if cfg.Incarnation > 0 {
+		epOpts = append(epOpts, rchannel.WithIncarnation(cfg.Incarnation))
 	}
 	n.ep = rchannel.New(tr, epOpts...)
 

@@ -9,6 +9,9 @@
 package kvdemo
 
 import (
+	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -84,6 +87,53 @@ func Key(op []byte) []byte {
 		return op
 	}
 	return []byte(fields[1])
+}
+
+// Snapshot encodes the full store canonically (sorted "k<TAB>v" lines plus
+// the applied counter) for replica state transfer. Deterministic: equal
+// stores produce equal bytes.
+func (s *Store) Snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "#applied %d\n", s.applied)
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\t')
+		b.WriteString(s.data[k])
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Restore replaces the store's state with a Snapshot's encoding — the
+// install half of replica state transfer at a joining/recovering node.
+func (s *Store) Restore(data []byte) {
+	m := make(map[string]string)
+	applied := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		if n, ok := strings.CutPrefix(line, "#applied "); ok {
+			if v, err := strconv.Atoi(n); err == nil {
+				applied = v
+			}
+			continue
+		}
+		if k, v, ok := strings.Cut(line, "\t"); ok {
+			m[k] = v
+		}
+	}
+	s.mu.Lock()
+	s.data = m
+	s.applied = applied
+	s.mu.Unlock()
 }
 
 // Get returns the value of k ("" if absent).

@@ -174,14 +174,19 @@ func (s *Service) Apply(op Op) {
 	isPrimary := installed.Primary() == s.self
 	s.mu.Unlock()
 
-	if !changed {
-		return
-	}
 	// State transfer: the primary ships a snapshot to a joiner (the paper's
 	// "costly state transfer" of Section 4.3; its cost is what makes
-	// exclusion expensive in traditional stacks).
+	// exclusion expensive in traditional stacks). Deliberately NOT gated on
+	// the view having changed: a process that crashed, lost its state and
+	// re-requests a join is already a member — the re-join is a view no-op
+	// but the joiner still needs the state, captured here at the join's
+	// position in the total order (the Snapshot hook runs on the delivery
+	// goroutine, i.e. at a delivery boundary identical at every member).
 	if op.Kind == opJoin && isPrimary && op.P != s.self && s.snap.Snapshot != nil {
 		_ = s.ep.Send(op.P, StateProto, stateMsg{ViewSeq: installed.Seq, Data: s.snap.Snapshot()})
+	}
+	if !changed {
+		return
 	}
 	for _, fn := range viewers {
 		fn(installed)

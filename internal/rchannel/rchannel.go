@@ -41,6 +41,22 @@ type wire struct {
 	Ack   uint64 // cumulative acknowledgement
 	Proto string // demultiplexing key for the layer above
 	Body  any
+
+	// Incarnation handshake (crash recovery): Inc is the sender's
+	// incarnation, PInc the sender's view of the receiver's. A process that
+	// restarts with fresh channel state announces a higher incarnation; on
+	// first contact each side drops all per-peer state about the other's
+	// previous life (sequence numbers AND the unacknowledged backlog), and
+	// frames addressed to a stale incarnation are discarded instead of
+	// corrupting the fresh sequence space. The reliable-delivery obligation
+	// is therefore per ESTABLISHED incarnation pair: frames a side sends
+	// before it has observed the peer's current incarnation may be lost in
+	// the transition window (its callers retry, exactly as for a message
+	// sent to a process that has not come up yet). Zero values reproduce
+	// the pre-incarnation wire format, so never-restarting processes are
+	// unaffected.
+	Inc  uint64
+	PInc uint64
 }
 
 // RegisterWireTypes registers the channel's frame type with the codec.
@@ -73,6 +89,17 @@ func WithStuckAfter(d time.Duration) Option {
 	return func(e *Endpoint) { e.stuckAfter = d }
 }
 
+// WithIncarnation sets this endpoint's incarnation number. A process that
+// restarts WITHOUT its channel state (sequence numbers, buffers) must come
+// back with a strictly higher incarnation than any previous life under the
+// same ID; peers then reset their per-peer channel state for it instead of
+// discarding its fresh sequence numbers as duplicates, and drop the
+// undeliverable backlog addressed to the dead incarnation. The default 0
+// is what every never-restarting process runs with.
+func WithIncarnation(inc uint64) Option {
+	return func(e *Endpoint) { e.inc = inc }
+}
+
 // WithLogger sets a logger for diagnostics; by default logs are discarded.
 func WithLogger(l *slog.Logger) Option {
 	return func(e *Endpoint) { e.log = l }
@@ -85,6 +112,7 @@ type Endpoint struct {
 	self       proc.ID
 	rto        time.Duration
 	stuckAfter time.Duration
+	inc        uint64 // this endpoint's incarnation (WithIncarnation)
 	log        *slog.Logger
 
 	mu       sync.Mutex
@@ -92,7 +120,15 @@ type Endpoint struct {
 	onStuck  StuckFunc
 	out      map[proc.ID]*outState
 	in       map[proc.ID]*inState
+	peerInc  map[proc.ID]uint64 // highest incarnation seen per peer
 	started  bool
+
+	// Incarnation-handshake accounting (ChannelStats).
+	statAdmitted uint64
+	statGhost    uint64 // frames from a dead incarnation of the peer
+	statStale    uint64 // frames addressed to a previous life of this endpoint
+	statResets   uint64 // per-peer channel resets (peer restarted fresh)
+	statBad      uint64 // undecodable / unexpected frames
 
 	loopback chan wire // local deliveries, so handlers always run on dispatch
 
@@ -109,6 +145,7 @@ type pending struct {
 	frame     []byte
 	firstSent time.Time
 	lastSent  time.Time
+	attempts  int // retransmissions so far (drives exponential backoff)
 	notified  bool
 }
 
@@ -127,6 +164,7 @@ func New(tr transport.Transport, opts ...Option) *Endpoint {
 		handlers: make(map[string]Handler),
 		out:      make(map[proc.ID]*outState),
 		in:       make(map[proc.ID]*inState),
+		peerInc:  make(map[proc.ID]uint64),
 		loopback: make(chan wire, defaultLoopback),
 		stop:     make(chan struct{}),
 	}
@@ -205,7 +243,8 @@ func (e *Endpoint) Send(to proc.ID, proto string, body any) error {
 	e.mu.Lock()
 	out := e.outLocked(to)
 	out.nextSeq++
-	w := wire{Kind: kindData, Seq: out.nextSeq, Ack: e.inAckLocked(to), Proto: proto, Body: body}
+	w := wire{Kind: kindData, Seq: out.nextSeq, Ack: e.inAckLocked(to), Proto: proto, Body: body,
+		Inc: e.inc, PInc: e.peerInc[to]}
 	frame, err := msg.Encode(w)
 	if err != nil {
 		out.nextSeq--
@@ -223,10 +262,12 @@ func (e *Endpoint) Send(to proc.ID, proto string, body any) error {
 // The failure detector uses this path for heartbeats so that heartbeats are
 // never artificially "repaired" by retransmission.
 func (e *Endpoint) SendDatagram(to proc.ID, proto string, body any) error {
-	w := wire{Kind: kindDgram, Proto: proto, Body: body}
 	if to == e.self {
-		return e.sendLocal(w)
+		return e.sendLocal(wire{Kind: kindDgram, Proto: proto, Body: body})
 	}
+	e.mu.Lock()
+	w := wire{Kind: kindDgram, Proto: proto, Body: body, Inc: e.inc, PInc: e.peerInc[to]}
+	e.mu.Unlock()
 	// Datagrams are never retransmitted, so the frame can live in a pooled
 	// buffer: the transport copies on Send and the buffer is reused.
 	frame, release, err := msg.EncodeTransient(w)
@@ -324,12 +365,21 @@ func (e *Endpoint) handlePacket(pkt transport.Packet) {
 	// regardless of what happens to the decoded value.
 	transport.PutFrame(pkt.Data)
 	if err != nil {
+		e.mu.Lock()
+		e.statBad++
+		e.mu.Unlock()
 		e.log.Warn("rchannel: undecodable packet", "from", pkt.From, "err", err)
 		return
 	}
 	w, ok := decoded.(wire)
 	if !ok {
+		e.mu.Lock()
+		e.statBad++
+		e.mu.Unlock()
 		e.log.Warn("rchannel: unexpected frame type", "from", pkt.From, "type", fmt.Sprintf("%T", decoded))
+		return
+	}
+	if !e.admit(pkt.From, w) {
 		return
 	}
 	switch w.Kind {
@@ -343,6 +393,73 @@ func (e *Endpoint) handlePacket(pkt transport.Packet) {
 	default:
 		e.log.Warn("rchannel: unknown frame kind", "kind", w.Kind)
 	}
+}
+
+// admit runs the incarnation handshake on one inbound frame: it learns the
+// peer's incarnation (resetting both directions of the channel when the
+// peer has restarted fresh), drops ghosts of the peer's previous lives, and
+// drops frames addressed to a previous life of THIS endpoint — answering
+// those with a bare identifying ack so the sender learns the current
+// incarnation and its retransmissions resume correctly addressed.
+func (e *Endpoint) admit(from proc.ID, w wire) bool {
+	e.mu.Lock()
+	cur := e.peerInc[from] // an unheard-from peer is incarnation 0
+	if w.Inc < cur {
+		e.statGhost++
+		e.mu.Unlock()
+		return false // ghost of a dead incarnation
+	}
+	if w.Inc > cur {
+		// The peer restarted without its channel state: its old sequence
+		// space is void, and so is our unacknowledged backlog toward it —
+		// those frames (including any sent before first hearing from the
+		// peer, stamped with its old incarnation) are DROPPED, not
+		// re-stamped; reliability is per established incarnation pair and
+		// single-shot senders must tolerate the transition window.
+		delete(e.out, from)
+		delete(e.in, from)
+		e.statResets++
+	}
+	e.peerInc[from] = w.Inc
+	stale := w.PInc != e.inc
+	if stale {
+		e.statStale++
+	} else {
+		e.statAdmitted++
+	}
+	e.mu.Unlock()
+	if stale {
+		if w.Kind == kindData {
+			e.sendAck(from, 0, w.Inc)
+		}
+		return false
+	}
+	return true
+}
+
+// ChannelStats is the incarnation handshake's accounting.
+type ChannelStats struct {
+	Admitted uint64 // frames accepted
+	Ghost    uint64 // dropped: sent by a dead incarnation of the peer
+	Stale    uint64 // dropped: addressed to a previous life of this endpoint
+	Resets   uint64 // per-peer channel resets (peer restarted fresh)
+	Bad      uint64 // dropped: undecodable or unexpected frames
+}
+
+// Stats returns the endpoint's channel accounting.
+func (e *Endpoint) Stats() ChannelStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return ChannelStats{Admitted: e.statAdmitted, Ghost: e.statGhost, Stale: e.statStale,
+		Resets: e.statResets, Bad: e.statBad}
+}
+
+// PeerIncarnation returns the highest incarnation this endpoint has
+// observed for peer (0 if never heard from).
+func (e *Endpoint) PeerIncarnation(peer proc.ID) uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.peerInc[peer]
 }
 
 func (e *Endpoint) applyAck(from proc.ID, ack uint64) {
@@ -392,18 +509,23 @@ func (e *Endpoint) handleData(from proc.ID, w wire) {
 		}
 	}
 	ack := in.expected - 1
+	pinc := e.peerInc[from]
 	e.mu.Unlock()
 
-	e.sendAck(from, ack)
+	e.sendAck(from, ack, pinc)
 	for _, d := range deliveries {
 		e.dispatch(from, d.proto, d.body)
 	}
 }
 
-func (e *Endpoint) sendAck(to proc.ID, ack uint64) {
-	// Acks are the highest-frequency frame on the wire and are never
-	// retained, so they use the pooled transient encode path.
-	frame, release, err := msg.EncodeTransient(wire{Kind: kindAck, Ack: ack})
+// sendAck emits a cumulative ack. pinc is the peer's incarnation, captured
+// by the caller inside an already-held critical section — acks are the
+// highest-frequency frame on the wire, so they must not pay an extra lock
+// round-trip of their own.
+func (e *Endpoint) sendAck(to proc.ID, ack, pinc uint64) {
+	w := wire{Kind: kindAck, Ack: ack, Inc: e.inc, PInc: pinc}
+	// Never retained, so acks use the pooled transient encode path.
+	frame, release, err := msg.EncodeTransient(w)
 	if err != nil {
 		e.log.Warn("rchannel: encode ack", "err", err)
 		return
@@ -458,8 +580,15 @@ func (e *Endpoint) retransmitPass() {
 	for to, out := range e.out {
 		var oldest *pending
 		for _, p := range out.unacked {
-			if now.Sub(p.lastSent) >= e.rto {
+			// Exponential backoff per frame (capped at 32×RTO): a fixed
+			// retransmission interval MULTIPLIES offered load exactly when
+			// the network is congested or the peer is slow/dead, which can
+			// lock the system into a retransmission storm. Backing off
+			// preserves eventual delivery while letting congestion drain.
+			interval := e.rto << min(p.attempts, 5)
+			if now.Sub(p.lastSent) >= interval {
 				p.lastSent = now
+				p.attempts++
 				resends = append(resends, resend{to: to, frame: p.frame})
 			}
 			if oldest == nil || p.firstSent.Before(oldest.firstSent) {
@@ -483,6 +612,22 @@ func (e *Endpoint) retransmitPass() {
 			onStuck(peer, ages[i])
 		}
 	}
+}
+
+// PeerState reports the channel's sequence state toward/from one peer —
+// diagnostic surface for recovery debugging: the next outbound sequence,
+// the unacknowledged count, the next inbound sequence expected, and how
+// many frames sit buffered out of order.
+func (e *Endpoint) PeerState(peer proc.ID) (outNext uint64, unacked int, inExpected uint64, oob int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if o, ok := e.out[peer]; ok {
+		outNext, unacked = o.nextSeq, len(o.unacked)
+	}
+	if i, ok := e.in[peer]; ok {
+		inExpected, oob = i.expected, len(i.oob)
+	}
+	return
 }
 
 // PendingTo reports how many messages to peer are still unacknowledged,

@@ -426,8 +426,12 @@ func (p *Passive) onUpdateBatch(u pUpdateBatch) {
 			}
 		}
 		// Only after every entry's apply: a monotonic reader woken at this
-		// index reads local state lock-free.
-		p.advanceCommit(uint64(len(u.Entries)))
+		// index reads local state lock-free. One log record covers the whole
+		// batch (the index advances by its entry count).
+		p.mu.Lock()
+		p.advanceCommitLocked(uint64(len(u.Entries)))
+		p.logAppendLocked(u)
+		p.mu.Unlock()
 	}
 	for _, g := range gates {
 		p.resolve(g.key, g.w, g.result, nil)

@@ -75,13 +75,48 @@ func (p *Passive) LeaseStats() LeaseStats {
 // primaries). The service gateway embeds the call in its lease janitor.
 func (p *Passive) LeaseTick(sessions []string) error {
 	p.mu.Lock()
-	tick := p.replicas.Primary() == p.self
+	tick := p.replicas.Primary() == p.self && !p.follower
 	epoch := p.epoch
+	proxy := p.leaseProxy
 	p.mu.Unlock()
+	if p.follower {
+		// A follower cannot broadcast; its gateway's renewals are forwarded
+		// to the primary as renewal-only messages (never ticking the clock —
+		// only the primary's own gateway does, so forwarding gateways cannot
+		// make the replicated clock run fast).
+		if proxy == nil {
+			return fmt.Errorf("replication: follower lease tick without a syncer")
+		}
+		return proxy(sessions)
+	}
 	if err := p.node.Gbcast(ClassLease, pLease{Epoch: epoch, Tick: tick, Sessions: sessions}); err != nil {
 		return fmt.Errorf("replication: lease tick: %w", err)
 	}
 	return nil
+}
+
+// LeaseRenew broadcasts a renewal-only lease message (no clock tick) for
+// sessions attached elsewhere — the donor half of a follower gateway's
+// forwarded renewals.
+func (p *Passive) LeaseRenew(sessions []string) error {
+	if len(sessions) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	epoch := p.epoch
+	p.mu.Unlock()
+	if err := p.node.Gbcast(ClassLease, pLease{Epoch: epoch, Sessions: sessions}); err != nil {
+		return fmt.Errorf("replication: lease renew: %w", err)
+	}
+	return nil
+}
+
+// SetLeaseProxy installs the follower's lease forwarding hook (called by
+// the Syncer).
+func (p *Passive) SetLeaseProxy(fn func(sessions []string) error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.leaseProxy = fn
 }
 
 func (p *Passive) onLease(l pLease) {
@@ -106,6 +141,7 @@ func (p *Passive) onLease(l pLease) {
 		p.ignored++ // deposed primary's tick: void everywhere
 	}
 	// No state-machine apply is involved, so advancing under the lock is
-	// safe (see advanceCommit).
+	// safe (see advanceCommitLocked).
 	p.advanceCommitLocked(1)
+	p.logAppendLocked(l)
 }

@@ -178,6 +178,25 @@ type Passive struct {
 	failover     *fd.Subscription
 	stopFailover chan struct{}
 	failoverDone sync.WaitGroup
+
+	// Snapshot / state-transfer machinery (snapshot.go, sync.go).
+	//
+	// deliverMu is held for the whole processing of one delivered command
+	// (DeliverFunc wraps the handlers) and by snapshot capture/install and
+	// log replay: a "delivery boundary" is precisely a point where deliverMu
+	// is free. It nests OUTSIDE p.mu and is uncontended on the hot path —
+	// deliveries already run on a single goroutine.
+	deliverMu sync.Mutex
+	snap      Snapshotter // application state hooks for snapshots
+	follower  bool        // catch-up replica: no node, log-driven deliveries
+	logBase   uint64      // commit index preceding the first retained log entry
+	log       []LogRec    // delivered commands covering (logBase, commitIdx]
+	logCap    int         // retained-entry bound (see DefaultLogCap)
+
+	// Follower proxies, installed by the Syncer: the read-index barrier
+	// (linearizable reads at a follower) and lease renewal forwarding.
+	barrierProxy func(timeout time.Duration, abort <-chan struct{}) (uint64, error)
+	leaseProxy   func(sessions []string) error
 }
 
 // sessionRecord is one client session's slice of the replicated dedup table.
@@ -220,24 +239,36 @@ func NewPassive(sm PassiveStateMachine, replicas []proc.ID) *Passive {
 		inflight:       make(map[sessKey]*sessWaiter),
 		batchWaiters:   make(map[uint64]chan pUpdateBatch),
 		barrierWaiters: make(map[uint64]chan pBarrier),
+		logCap:         DefaultLogCap,
 	}
 }
 
-// DeliverFunc returns the node delivery callback.
+// DeliverFunc returns the node delivery callback. Each delivered command is
+// processed under deliverMu so snapshot capture can interpose only at
+// delivery boundaries (snapshot.go).
 func (p *Passive) DeliverFunc() core.DeliverFunc {
 	return func(d gbcast.Delivery) {
-		switch m := d.Body.(type) {
-		case pUpdate:
-			p.onUpdate(m)
-		case pUpdateBatch:
-			p.onUpdateBatch(m)
-		case pChange:
-			p.onChange(m)
-		case pBarrier:
-			p.onBarrier(m)
-		case pLease:
-			p.onLease(m)
-		}
+		p.deliverMu.Lock()
+		defer p.deliverMu.Unlock()
+		p.applyDelivered(d.Body)
+	}
+}
+
+// applyDelivered routes one delivered command to its handler. It is the
+// single entry point for BOTH real deliveries (DeliverFunc) and log replay
+// at a follower (ApplySyncEntries); the caller holds deliverMu.
+func (p *Passive) applyDelivered(body any) {
+	switch m := body.(type) {
+	case pUpdate:
+		p.onUpdate(m)
+	case pUpdateBatch:
+		p.onUpdateBatch(m)
+	case pChange:
+		p.onChange(m)
+	case pBarrier:
+		p.onBarrier(m)
+	case pLease:
+		p.onLease(m)
 	}
 }
 
@@ -249,7 +280,11 @@ func (p *Passive) Bind(node *core.Node) {
 
 // StartFailover begins monitoring the primary with the given suspicion
 // timeout; a backup that suspects the primary requests a primary change.
+// A follower has no failure detector (and no vote): no-op.
 func (p *Passive) StartFailover(timeout time.Duration) {
+	if p.follower || p.node == nil {
+		return
+	}
 	p.failover = p.node.FailureDetector().Subscribe(timeout)
 	p.stopFailover = make(chan struct{})
 	p.failoverDone.Add(1)
@@ -287,11 +322,22 @@ func (p *Passive) failoverLoop() {
 	}
 }
 
-// Primary returns the current primary.
+// Primary returns the current primary. A follower never reports ITSELF as
+// the primary, even while an installed snapshot's view still lists its ID
+// at the head (a wiped member rejoining before failover rotated it out):
+// gateways build redirect hints and the welcome's IsPrimary from this, and
+// a self-hint would bounce clients off a replica that rejects every write.
 func (p *Passive) Primary() proc.ID {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.replicas.Primary()
+	primary := p.replicas.Primary()
+	if p.follower && primary == p.self {
+		if len(p.replicas.Members) > 1 {
+			return p.replicas.Members[1]
+		}
+		return ""
+	}
+	return primary
 }
 
 // Epoch returns the number of primary changes delivered.
@@ -380,21 +426,13 @@ func (p *Passive) WaitCommit(index uint64, timeout time.Duration, abort <-chan s
 	return 0, ErrTimeout
 }
 
-// advanceCommit moves the commit index forward by n and wakes matured index
-// waiters. For deliveries that mutate the state machine it MUST be called
-// only after ApplyUpdate has run: a monotonic reader woken at index N reads
-// local state without any lock, so the index may never get ahead of the
-// applies it stands for. (Deliveries are serialized on the stack's delivery
-// goroutine, so deferring the advance past the unlocked apply section cannot
-// reorder it against other deliveries.)
-func (p *Passive) advanceCommit(n uint64) {
-	p.mu.Lock()
-	p.advanceCommitLocked(n)
-	p.mu.Unlock()
-}
-
-// advanceCommitLocked is advanceCommit for delivery paths that touch no
-// state outside p.mu; the same apply-before-advance rule applies.
+// advanceCommitLocked moves the commit index forward by n and wakes matured
+// index waiters. For deliveries that mutate the state machine it MUST be
+// called only after ApplyUpdate has run: a monotonic reader woken at index N
+// reads local state without any lock, so the index may never get ahead of
+// the applies it stands for. (Deliveries are serialized under deliverMu, so
+// deferring the advance past the unlocked apply section cannot reorder it
+// against other deliveries.)
 func (p *Passive) advanceCommitLocked(n uint64) {
 	p.commitIdx += n
 	if len(p.idxWaiters) == 0 {
@@ -447,7 +485,18 @@ func (p *Passive) RequestTimeout(op []byte, timeout time.Duration) ([]byte, erro
 	return p.request(op, timeout)
 }
 
+// notPrimaryErr builds the ErrNotPrimary redirect for a follower. The
+// never-points-to-self fallback lives in Primary() so every consumer
+// (redirect hints, gateway welcomes, the syncer's donor choice) shares one
+// policy.
+func (p *Passive) notPrimaryErr() error {
+	return fmt.Errorf("%w (primary is %s)", ErrNotPrimary, p.Primary())
+}
+
 func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
+	if p.follower {
+		return nil, p.notPrimaryErr()
+	}
 	p.mu.Lock()
 	if p.replicas.Primary() != p.self {
 		p.mu.Unlock()
@@ -508,6 +557,9 @@ func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
 func (p *Passive) RequestSession(session string, seq, ack uint64, op []byte, timeout time.Duration) ([]byte, error) {
 	if session == "" {
 		return nil, fmt.Errorf("replication: RequestSession with empty session")
+	}
+	if p.follower {
+		return nil, p.notPrimaryErr()
 	}
 	key := sessKey{session: session, seq: seq}
 	p.mu.Lock()
@@ -714,8 +766,12 @@ func (p *Passive) onUpdate(u pUpdate) {
 		p.sm.ApplyUpdate(u.Update)
 	}
 	if !stale {
-		// Only after the apply: the index stands for applied state.
-		p.advanceCommit(1)
+		// Only after the apply: the index stands for applied state. The
+		// delivered command is logged at its index for joiner catch-up.
+		p.mu.Lock()
+		p.advanceCommitLocked(1)
+		p.logAppendLocked(u)
+		p.mu.Unlock()
 	}
 	if applyGate != nil {
 		p.resolve(key, applyGate, u.Result, nil)
@@ -737,6 +793,7 @@ func (p *Passive) onChange(c pChange) {
 	// delivery (even a no-op rotation — that decision is replicated state)
 	// keeps the commit index identical everywhere.
 	p.advanceCommitLocked(1)
+	p.logAppendLocked(c)
 	next := p.replicas.RotatePast(c.Old)
 	if next.Seq != p.replicas.Seq {
 		p.replicas = next

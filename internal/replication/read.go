@@ -69,6 +69,9 @@ type barrierGroup struct {
 // send the caller to the new primary, ErrTimeout (e.g. partitioned from the
 // quorum, or abort closed — nil = never) lets it retry elsewhere.
 func (p *Passive) ReadBarrier(timeout time.Duration, abort <-chan struct{}) (uint64, error) {
+	if p.follower {
+		return p.followerBarrier(timeout, abort)
+	}
 	p.mu.Lock()
 	if p.replicas.Primary() != p.self {
 		primary := p.replicas.Primary()
@@ -163,6 +166,44 @@ func (p *Passive) driveBarriers() {
 	}
 }
 
+// followerBarrier is the follower's linearizable read point: the read-index
+// protocol. The Syncer's proxy asks the current primary to run a real
+// ReadBarrier (an ordered no-op confirming it is still the primary) and
+// returns the primary's post-barrier commit index; waiting until the local
+// log catches up to that index makes a local read reflect every write
+// acknowledged before the barrier began — linearizable, without the
+// follower ever broadcasting.
+func (p *Passive) followerBarrier(timeout time.Duration, abort <-chan struct{}) (uint64, error) {
+	p.mu.Lock()
+	proxy := p.barrierProxy
+	p.mu.Unlock()
+	if proxy == nil {
+		return 0, p.notPrimaryErr()
+	}
+	start := time.Now()
+	idx, err := proxy(timeout, abort)
+	if err != nil {
+		return 0, err
+	}
+	// The caller's timeout bounds the WHOLE barrier: the local catch-up
+	// wait gets only what the proxy RPC left over.
+	if timeout > 0 {
+		if timeout -= time.Since(start); timeout <= 0 {
+			return 0, ErrTimeout
+		}
+	}
+	return p.WaitCommit(idx, timeout, abort)
+}
+
+// SetBarrierProxy installs the follower's read-index RPC (called by the
+// Syncer). fn must return the primary's commit index after a confirmed
+// barrier, or a typed replication error.
+func (p *Passive) SetBarrierProxy(fn func(timeout time.Duration, abort <-chan struct{}) (uint64, error)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.barrierProxy = fn
+}
+
 func (p *Passive) onBarrier(b pBarrier) {
 	p.mu.Lock()
 	stale := b.Epoch != p.epoch
@@ -170,6 +211,7 @@ func (p *Passive) onBarrier(b pBarrier) {
 		p.ignored++
 	} else {
 		p.advanceCommitLocked(1)
+		p.logAppendLocked(b)
 	}
 	b.idx = p.commitIdx
 	var ch chan pBarrier

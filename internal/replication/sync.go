@@ -1,0 +1,478 @@
+package replication
+
+// State-transfer protocol: how a follower (NewFollower) becomes and stays a
+// replica of a running group without replaying history from the beginning.
+//
+// The protocol runs over the reliable channel (rchannel), point to point,
+// outside the broadcast substrate — a follower holds no vote and sends no
+// broadcast, so the group's f < n/2 crash budget is untouched by followers
+// joining, dying and rejoining.
+//
+//	follower                         donor (any full replica)
+//	  | HELLO{joiner}                   |  donor requests an ordered
+//	  |------------------------------->|  membership join for the joiner;
+//	  |                                |  the membership primary ships a
+//	  |        (membership state xfer) |  snapshot captured AT the join's
+//	  |<- - - - - - - - - - - - - - - -|  position in the total order
+//	  | PULL{reqid, from}              |
+//	  |------------------------------->|  catch-up cursor: the donor answers
+//	  |   STATE{reqid, entries | snap} |  with log entries after `from`, or
+//	  |<-------------------------------|  a fresh snapshot if `from` is out
+//	  | BARRIER{reqid}                 |  of the retained window
+//	  |------------------------------->|  read-index: the donor (if primary)
+//	  |      BARRIER_RESP{reqid, idx}  |  runs a real ReadBarrier and
+//	  |<-------------------------------|  returns its post-barrier index
+//	  | RENEW{sessions}                |  forwarded lease renewals (never
+//	  |------------------------------->|  tick the replicated clock)
+//
+// The pull loop never stops: a follower is a permanently catching-up
+// replica whose staleness is bounded by the pull interval; Monotonic reads
+// wait on the commit index exactly as at any backup, and Linearizable reads
+// use the read-index barrier, so an installed follower serves reads at full
+// backup parity.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/msg"
+	"repro/internal/proc"
+	"repro/internal/rchannel"
+)
+
+// SyncProto is the rchannel protocol name of the state-transfer traffic.
+const SyncProto = "repl.sync"
+
+// Wire messages of the sync protocol.
+type (
+	sHello struct{ Joiner proc.ID }
+	sPull  struct {
+		ReqID uint64
+		From  uint64
+		// Snap forces a full snapshot regardless of the donor's retained
+		// log: a fresh follower's first pull needs the complete state (view,
+		// dedup table, lease clock) even when the commit-index gap alone
+		// could be covered by entry replay.
+		Snap bool
+		// T0 is the sender's clock at send time (unix nanos) — echoed back
+		// with the donor's receive/serve times so recovery diagnostics can
+		// attribute RPC latency to the request path, the donor, or the
+		// response path (meaningful within one process, i.e. in tests).
+		T0 int64
+	}
+	sState struct {
+		ReqID    uint64
+		From     uint64 // echo of the pull cursor (entry replay base)
+		Index    uint64 // donor's commit index when answering
+		Snapshot []byte // set when From precedes the donor's retained log
+		Entries  []LogRec
+		T0       int64 // echoed request timestamp
+		T1       int64 // donor clock when the pull was handled
+		T2       int64 // donor clock when the response was sent
+	}
+	sBarrier     struct{ ReqID uint64 }
+	sBarrierResp struct {
+		ReqID   uint64
+		Index   uint64
+		Code    uint8
+		Primary proc.ID // redirect hint with syncNotPrimary
+	}
+	sRenew struct{ Sessions []string }
+)
+
+// sBarrierResp codes.
+const (
+	syncOK uint8 = iota
+	syncNotPrimary
+	syncTimeout
+)
+
+func init() {
+	msg.Register(sHello{})
+	msg.Register(sPull{})
+	msg.Register(sState{})
+	msg.Register(sBarrier{})
+	msg.Register(sBarrierResp{})
+	msg.Register(sRenew{})
+}
+
+// SyncConfig parameterises the donor side.
+type SyncConfig struct {
+	// MaxEntries bounds one pull response (default 512 entries).
+	MaxEntries int
+	// BarrierTimeout bounds a proxied read barrier at the donor (default 5s).
+	BarrierTimeout time.Duration
+	// Join, when set, is invoked (on its own goroutine) with a HELLO's
+	// joiner ID — wired to the node's membership Join so a hello triggers
+	// the ordered membership join path and its snapshot state transfer.
+	Join func(proc.ID) error
+}
+
+// ServeSync registers the donor side of the state-transfer protocol on the
+// node's endpoint. Call between core.NewNode and Start (rchannel handlers
+// must be registered before the endpoint starts). Every full replica of the
+// group should serve sync, so followers can fail over between donors.
+func ServeSync(ep *rchannel.Endpoint, p *Passive, cfg SyncConfig) {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 512
+	}
+	if cfg.BarrierTimeout <= 0 {
+		cfg.BarrierTimeout = 5 * time.Second
+	}
+	ep.Handle(SyncProto, func(from proc.ID, body any) {
+		// The dispatch goroutine must not block: everything that can wait
+		// (snapshot capture, barriers, broadcasts) runs on its own goroutine.
+		switch m := body.(type) {
+		case sHello:
+			if cfg.Join != nil && m.Joiner != "" {
+				go func(j proc.ID) { _ = cfg.Join(j) }(m.Joiner)
+			}
+		case sPull:
+			go servePull(ep, p, from, m, cfg.MaxEntries)
+		case sBarrier:
+			go serveBarrier(ep, p, from, m, cfg.BarrierTimeout)
+		case sRenew:
+			go func(sessions []string) { _ = p.LeaseRenew(sessions) }(m.Sessions)
+		}
+	})
+}
+
+func servePull(ep *rchannel.Endpoint, p *Passive, from proc.ID, m sPull, maxEntries int) {
+	resp := sState{ReqID: m.ReqID, From: m.From, T0: m.T0, T1: time.Now().UnixNano()}
+	if entries, ok := p.SyncSince(m.From, maxEntries); ok && !m.Snap {
+		resp.Entries = entries
+	} else {
+		resp.Snapshot = p.EncodeSnapshot()
+	}
+	resp.Index = p.CommitIndex()
+	resp.T2 = time.Now().UnixNano()
+	_ = ep.Send(from, SyncProto, resp)
+}
+
+func serveBarrier(ep *rchannel.Endpoint, p *Passive, from proc.ID, m sBarrier, timeout time.Duration) {
+	resp := sBarrierResp{ReqID: m.ReqID}
+	idx, err := p.ReadBarrier(timeout, nil)
+	switch {
+	case err == nil:
+		resp.Code, resp.Index = syncOK, idx
+	case isNotPrimary(err):
+		resp.Code, resp.Primary = syncNotPrimary, p.Primary()
+	default:
+		resp.Code = syncTimeout
+	}
+	_ = ep.Send(from, SyncProto, resp)
+}
+
+func isNotPrimary(err error) bool {
+	return errors.Is(err, ErrNotPrimary) || errors.Is(err, ErrDemoted)
+}
+
+// SyncerConfig parameterises a follower's catch-up loop.
+type SyncerConfig struct {
+	// Donors are the full replicas the follower may pull from (rotated on
+	// failure; barriers and lease renewals target the current primary).
+	Donors []proc.ID
+	// Interval is the pull cadence — the follower's staleness bound
+	// (default 5ms, suited to the in-memory network).
+	Interval time.Duration
+	// Timeout bounds one pull RPC before rotating donors (default 250ms).
+	Timeout time.Duration
+	// Announce sends a HELLO on start so a donor requests the ordered
+	// membership join (and its snapshot state transfer) for this follower.
+	Announce bool
+}
+
+// Syncer drives a follower replica: it announces the join, pulls the
+// delivered-command log (or a snapshot) from donors on a fixed cadence, and
+// provides the follower's barrier/lease proxies.
+type Syncer struct {
+	p   *Passive
+	ep  *rchannel.Endpoint
+	cfg SyncerConfig
+
+	mu      sync.Mutex
+	nextReq uint64
+	waiters map[uint64]chan any
+	rr      int
+
+	installed     chan struct{}
+	installedOnce sync.Once
+	synced        bool // a snapshot has been installed (first pull done)
+	stats         SyncerStats
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      sync.WaitGroup
+}
+
+// NewSyncer wires a syncer onto the follower's endpoint. Call before
+// ep.Start (it registers the SyncProto handler); then Start the endpoint
+// and the syncer.
+func NewSyncer(p *Passive, ep *rchannel.Endpoint, cfg SyncerConfig) *Syncer {
+	if len(cfg.Donors) == 0 {
+		panic("replication: syncer needs at least one donor")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 5 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 250 * time.Millisecond
+	}
+	s := &Syncer{
+		p:         p,
+		ep:        ep,
+		cfg:       cfg,
+		waiters:   make(map[uint64]chan any),
+		installed: make(chan struct{}),
+		stop:      make(chan struct{}),
+	}
+	ep.Handle(SyncProto, s.onNet)
+	p.SetBarrierProxy(s.barrier)
+	p.SetLeaseProxy(s.renew)
+	return s
+}
+
+// Start launches the pull loop.
+func (s *Syncer) Start() {
+	s.startOnce.Do(func() {
+		s.done.Add(1)
+		go s.loop()
+	})
+}
+
+// Stop halts the pull loop.
+func (s *Syncer) Stop() {
+	select {
+	case <-s.stop:
+		return
+	default:
+		close(s.stop)
+	}
+	s.done.Wait()
+}
+
+// Installed is closed once the follower has caught up to a donor's commit
+// index for the first time — the point from which it serves reads at full
+// backup parity.
+func (s *Syncer) Installed() <-chan struct{} { return s.installed }
+
+// SyncerStats is the catch-up loop's accounting.
+type SyncerStats struct {
+	Pulls     uint64 // pull RPCs attempted
+	Failures  uint64 // pull RPCs that timed out or failed to send
+	Snapshots uint64 // snapshots installed
+	Entries   uint64 // log entries applied
+
+	// Latency attribution of the last completed pull (including ones whose
+	// waiter had already timed out), from the timing echoes: request
+	// transit, donor handling, response transit.
+	LastReqMS   float64
+	LastDonorMS float64
+	LastRespMS  float64
+}
+
+// Stats returns a snapshot of the syncer's counters.
+func (s *Syncer) Stats() SyncerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Syncer) loop() {
+	defer s.done.Done()
+	if s.cfg.Announce {
+		_ = s.ep.Send(s.pickDonor(), SyncProto, sHello{Joiner: s.p.Self()})
+	}
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.pull()
+		}
+	}
+}
+
+// pull performs one catch-up round: repeated pulls against one donor until
+// the follower has drained the donor's log (full responses mean more is
+// waiting, so it pulls again immediately rather than sleeping an interval).
+func (s *Syncer) pull() {
+	for {
+		donor := s.pickDonor()
+		s.mu.Lock()
+		first := !s.synced
+		s.stats.Pulls++
+		s.mu.Unlock()
+		v, err := s.rpc(donor, s.cfg.Timeout, func(id uint64) any {
+			return sPull{ReqID: id, From: s.p.CommitIndex(), Snap: first, T0: time.Now().UnixNano()}
+		})
+		if err != nil {
+			s.mu.Lock()
+			s.stats.Failures++
+			s.mu.Unlock()
+			s.rotateDonor()
+			return
+		}
+		st, ok := v.(sState)
+		if !ok {
+			return
+		}
+		if st.Snapshot != nil {
+			if err := s.p.InstallSnapshot(st.Snapshot); err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.synced = true
+			s.stats.Snapshots++
+			s.mu.Unlock()
+		}
+		if len(st.Entries) > 0 {
+			s.p.ApplySyncEntries(st.From, st.Entries)
+			s.mu.Lock()
+			s.stats.Entries += uint64(len(st.Entries))
+			s.mu.Unlock()
+		}
+		if s.p.CommitIndex() >= st.Index {
+			s.installedOnce.Do(func() { close(s.installed) })
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// pickDonor returns the follower's current pull target.
+func (s *Syncer) pickDonor() proc.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Donors[s.rr%len(s.cfg.Donors)]
+}
+
+func (s *Syncer) rotateDonor() {
+	s.mu.Lock()
+	s.rr++
+	s.mu.Unlock()
+}
+
+// primaryDonor targets the current primary (for barriers and renewals),
+// falling back to the rotation cursor while the view is unknown.
+func (s *Syncer) primaryDonor() proc.ID {
+	primary := s.p.Primary()
+	for _, d := range s.cfg.Donors {
+		if d == primary {
+			return d
+		}
+	}
+	return s.pickDonor()
+}
+
+// rpc sends one correlated request and waits for its response.
+func (s *Syncer) rpc(donor proc.ID, timeout time.Duration, mk func(id uint64) any) (any, error) {
+	s.mu.Lock()
+	s.nextReq++
+	id := s.nextReq
+	ch := make(chan any, 1)
+	s.waiters[id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.waiters, id)
+		s.mu.Unlock()
+	}()
+	if err := s.ep.Send(donor, SyncProto, mk(id)); err != nil {
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-timer.C:
+		return nil, ErrTimeout
+	case <-s.stop:
+		return nil, ErrTimeout
+	}
+}
+
+func (s *Syncer) onNet(_ proc.ID, body any) {
+	var id uint64
+	switch m := body.(type) {
+	case sState:
+		id = m.ReqID
+		if m.T0 != 0 {
+			now := time.Now().UnixNano()
+			s.mu.Lock()
+			s.stats.LastReqMS = float64(m.T1-m.T0) / 1e6
+			s.stats.LastDonorMS = float64(m.T2-m.T1) / 1e6
+			s.stats.LastRespMS = float64(now-m.T2) / 1e6
+			s.mu.Unlock()
+		}
+	case sBarrierResp:
+		id = m.ReqID
+	default:
+		return
+	}
+	s.mu.Lock()
+	ch := s.waiters[id]
+	delete(s.waiters, id)
+	s.mu.Unlock()
+	if ch != nil {
+		ch <- body
+	}
+}
+
+// barrier is the follower's read-index proxy (SetBarrierProxy). If the
+// targeted donor turns out not to be the primary (the follower's view can
+// lag mid-failover), it follows the donor's hint for one hop.
+func (s *Syncer) barrier(timeout time.Duration, abort <-chan struct{}) (uint64, error) {
+	if timeout <= 0 || timeout > s.cfg.Timeout*20 {
+		timeout = s.cfg.Timeout * 20
+	}
+	donor := s.primaryDonor()
+	for hop := 0; ; hop++ {
+		v, err := s.rpc(donor, timeout, func(id uint64) any { return sBarrier{ReqID: id} })
+		if err != nil {
+			return 0, err
+		}
+		resp, ok := v.(sBarrierResp)
+		if !ok {
+			return 0, ErrTimeout
+		}
+		switch resp.Code {
+		case syncOK:
+			return resp.Index, nil
+		case syncNotPrimary:
+			if hop == 0 && resp.Primary != "" && resp.Primary != donor && s.isDonor(resp.Primary) {
+				donor = resp.Primary
+				continue
+			}
+			return 0, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, resp.Primary)
+		default:
+			return 0, ErrTimeout
+		}
+	}
+}
+
+func (s *Syncer) isDonor(id proc.ID) bool {
+	for _, d := range s.cfg.Donors {
+		if d == id {
+			return true
+		}
+	}
+	return false
+}
+
+// renew is the follower's lease forwarding proxy (SetLeaseProxy).
+func (s *Syncer) renew(sessions []string) error {
+	if len(sessions) == 0 {
+		return nil
+	}
+	return s.ep.Send(s.primaryDonor(), SyncProto, sRenew{Sessions: sessions})
+}

@@ -54,10 +54,25 @@ type ClientConfig struct {
 	// shards than the deployment would silently route keys to the wrong
 	// groups. ShardedClient always sets it.
 	ShardCount int
+	// Sticky disables the handshake's primary-hint chase: the client stays
+	// with the first gateway that answers instead of reconnecting toward
+	// the primary. This is the follower/backup-read mode — Monotonic reads
+	// are then served by that gateway's local replica (e.g. a rejoined
+	// catch-up follower) and Linearizable reads through its read-index
+	// barrier. Writes still follow NOT_PRIMARY redirects when they occur.
+	Sticky bool
 }
 
 // ErrClosed is returned by operations on a closed client.
 var ErrClosed = errors.New("service: client closed")
+
+// ErrUnavailable is the typed error of an operation that exhausted its
+// OpTimeout without any gateway serving it — e.g. the entire primary set
+// unreachable for longer than the timeout. The client keeps its jittered,
+// bounded reconnect backoff running throughout; shorter outages are healed
+// transparently by retry, and only the timeout surfaces, wrapped so
+// errors.Is(err, ErrUnavailable) holds.
+var ErrUnavailable = errors.New("service: unavailable")
 
 // newSessionID generates a fresh random session identifier (shared by
 // Client and ShardedClient so the wire format cannot drift).
@@ -307,8 +322,8 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 		return cl.result, cl.err
 	case <-timer.C:
 		c.abandon(cl.seq)
-		return nil, fmt.Errorf("service: %s op %d timed out after %v",
-			map[bool]string{false: "write", true: "read"}[read], cl.seq, c.cfg.OpTimeout)
+		return nil, fmt.Errorf("%w: %s op %d timed out after %v",
+			ErrUnavailable, map[bool]string{false: "write", true: "read"}[read], cl.seq, c.cfg.OpTimeout)
 	case <-c.done:
 		return nil, c.err()
 	}
@@ -483,8 +498,8 @@ func (c *Client) attemptConnect() (transport.StreamConn, string, bool) {
 				c.hint = welcome.Primary
 			}
 			c.mu.Unlock()
-			if welcome.IsPrimary || welcome.Primary == "" || welcome.Primary == addr ||
-				tried[welcome.Primary] || hop >= 2 {
+			if c.cfg.Sticky || welcome.IsPrimary || welcome.Primary == "" ||
+				welcome.Primary == addr || tried[welcome.Primary] || hop >= 2 {
 				return conn, addr, true
 			}
 			// This gateway fronts a backup: chase its hint.
@@ -601,10 +616,10 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 		if stillPending {
 			c.connBroken(gen)
 		}
-	case errTimeout:
-		// The gateway could not get the write delivered in time (e.g. its
-		// replica is cut off). Reconnect — possibly to another gateway — and
-		// retry under the same seq.
+	case errTimeout, errUnavailable:
+		// The gateway could not get the operation served (its replica is cut
+		// off, shutting down, or being replaced). Reconnect — possibly to
+		// another gateway — and retry under the same seq.
 		c.connBroken(gen)
 	default:
 		// Terminal server-side error (PRUNED, NO_READS, BAD_READ_LEVEL,

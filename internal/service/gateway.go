@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,14 +12,33 @@ import (
 	"repro/internal/transport"
 )
 
+// Replica is the slice of the replication layer a gateway drives: writes
+// with exactly-once session semantics, the read-consistency machinery
+// (commit index, waiters, barriers), primary tracking and lease renewal.
+// Both a full passive replica (*replication.Passive bound to a node) and a
+// catch-up follower (replication.NewFollower fed by a Syncer) satisfy it,
+// so a gateway's replica handle can be replaced mid-life — e.g. after a
+// crash-recovery, when a node rejoins as a follower (ReplaceShard).
+type Replica interface {
+	RequestSession(session string, seq, ack uint64, op []byte, timeout time.Duration) ([]byte, error)
+	Primary() proc.ID
+	CommitIndex() uint64
+	WaitCommit(index uint64, timeout time.Duration, abort <-chan struct{}) (uint64, error)
+	ReadBarrier(timeout time.Duration, abort <-chan struct{}) (uint64, error)
+	OnPrimaryChange(fn func(primary proc.ID, epoch uint64))
+	LeaseTick(sessions []string) error
+}
+
+var _ Replica = (*replication.Passive)(nil)
+
 // Shard is one replicated group behind a gateway: the node's replica of
 // that group plus the read function over that shard's local state. A
 // gateway owns one Shard per replicated group of the deployment; requests
 // carry a shard ID and are routed to the matching replica handle.
 type Shard struct {
-	// Replica is this node's passive-replication replica of the shard;
-	// writes go through its RequestSession for exactly-once semantics.
-	Replica *replication.Passive
+	// Replica is this node's replica handle of the shard; writes go through
+	// its RequestSession for exactly-once semantics.
+	Replica Replica
 	// Read serves read-only operations from the shard's local state (nil
 	// rejects reads on this shard).
 	Read func(op []byte) []byte
@@ -28,11 +48,11 @@ type Shard struct {
 type GatewayConfig struct {
 	// Self is the identity of the node this gateway is embedded in.
 	Self proc.ID
-	// Replica is the node's passive-replication replica; writes go through
-	// its RequestSession for exactly-once semantics. Replica and Read are
-	// the single-shard configuration — they become shard 0. Multi-shard
+	// Replica is the node's replica handle; writes go through its
+	// RequestSession for exactly-once semantics. Replica and Read are the
+	// single-shard configuration — they become shard 0. Multi-shard
 	// gateways set Shards instead.
-	Replica *replication.Passive
+	Replica Replica
 	// Read serves read-only operations from local state (nil rejects reads).
 	Read func(op []byte) []byte
 	// Shards configures a sharded gateway: element k serves the requests
@@ -95,8 +115,12 @@ type GatewayStats struct {
 // routes their operations into the replicated service — into the matching
 // shard's replica when several replicated groups run side by side.
 type Gateway struct {
-	cfg    GatewayConfig
-	shards []Shard
+	cfg GatewayConfig
+	// shards is the current shard table, swapped atomically so a shard's
+	// replica handle can be replaced mid-life (ReplaceShard) without
+	// stalling the request paths. The shard COUNT is fixed for the
+	// gateway's lifetime — only handles change.
+	shards atomic.Pointer[[]Shard]
 
 	mu        sync.Mutex
 	sessions  map[string]*gwSession
@@ -221,26 +245,13 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	}
 	g := &Gateway{
 		cfg:      cfg,
-		shards:   shards,
 		sessions: make(map[string]*gwSession),
 		conns:    make(map[transport.StreamConn]bool),
 		done:     make(chan struct{}),
 	}
+	g.shards.Store(&shards)
 	for k := range shards {
-		shard := uint32(k)
-		shards[k].Replica.OnPrimaryChange(func(primary proc.ID, _ uint64) {
-			// Delivery goroutine: hand the pushes to a gateway goroutine.
-			select {
-			case <-g.done:
-				return
-			default:
-			}
-			if primary == cfg.Self {
-				return
-			}
-			hint := cfg.Addrs[primary]
-			go g.pushDemotion(shard, hint)
-		})
+		g.wireShard(uint32(k), shards[k].Replica)
 	}
 	if cfg.SessionTTL > 0 {
 		g.wg.Add(1)
@@ -298,8 +309,8 @@ func (g *Gateway) Close() {
 		return
 	}
 	g.closed = true
-	for k := range g.shards {
-		g.shards[k].Replica.OnPrimaryChange(nil)
+	for _, sh := range g.shardList() {
+		sh.Replica.OnPrimaryChange(nil)
 	}
 	close(g.done)
 	conns := make([]transport.StreamConn, 0, len(g.conns))
@@ -333,9 +344,65 @@ func (g *Gateway) Stats() GatewayStats {
 	}
 }
 
+// shardList returns the current shard table (atomic snapshot).
+func (g *Gateway) shardList() []Shard {
+	return *g.shards.Load()
+}
+
+// wireShard subscribes the gateway's demotion pushes to one shard's replica
+// handle.
+func (g *Gateway) wireShard(shard uint32, rep Replica) {
+	rep.OnPrimaryChange(func(primary proc.ID, _ uint64) {
+		// Delivery goroutine: hand the pushes to a gateway goroutine.
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		if primary == g.cfg.Self {
+			return
+		}
+		hint := g.cfg.Addrs[primary]
+		go g.pushDemotion(shard, hint)
+	})
+}
+
+// ReplaceShard swaps shard k's handle for a new one — the recovery path: a
+// node whose replica stack died (or was wiped and rebuilt as a catch-up
+// follower) re-points its gateway at the replacement without dropping the
+// attached sessions. Their exactly-once state lives in the REPLICATED
+// session table, so in-flight and future writes retried through the new
+// handle still deduplicate correctly; the shard's sessions get a refresh
+// push so clients re-discover the primary instead of erroring forever.
+func (g *Gateway) ReplaceShard(k int, sh Shard) {
+	g.mu.Lock()
+	cur := *g.shards.Load()
+	if k < 0 || k >= len(cur) {
+		g.mu.Unlock()
+		panic(fmt.Sprintf("service: ReplaceShard(%d) of %d shards", k, len(cur)))
+	}
+	old := cur[k]
+	next := make([]Shard, len(cur))
+	copy(next, cur)
+	next[k] = sh
+	g.shards.Store(&next)
+	// (Un)wiring happens under g.mu so ReplaceShard cannot race Close into
+	// re-registering a callback on a replica after Close unhooked
+	// everything — a closed gateway must stay unreachable from replicas.
+	old.Replica.OnPrimaryChange(nil)
+	closed := g.closed
+	if !closed {
+		g.wireShard(uint32(k), sh.Replica)
+	}
+	g.mu.Unlock()
+	if !closed {
+		go g.pushDemotion(uint32(k), g.hint(uint32(k)))
+	}
+}
+
 // hint returns the service address of shard k's current primary, or "".
 func (g *Gateway) hint(shard uint32) string {
-	return g.cfg.Addrs[g.shards[shard].Replica.Primary()]
+	return g.cfg.Addrs[g.shardList()[shard].Replica.Primary()]
 }
 
 // pushDemotion sends a NOT_PRIMARY push naming the demoted shard to every
@@ -445,8 +512,8 @@ func (g *Gateway) leaseLoop() {
 			// the sessions bound to it (the hello's shard binding) — a
 			// session's dedup records live solely in its own shard's table.
 			perShard := g.attachedSessions()
-			for k := range g.shards {
-				rep := g.shards[k].Replica
+			for k, sh := range g.shardList() {
+				rep := sh.Replica
 				if len(perShard[k]) == 0 && rep.Primary() != g.cfg.Self {
 					continue // nothing to renew and no clock to tick
 				}
@@ -460,7 +527,7 @@ func (g *Gateway) leaseLoop() {
 // connection (or with work in flight) at this gateway — the ones whose
 // replicated lease this gateway keeps renewing on their shard.
 func (g *Gateway) attachedSessions() [][]string {
-	out := make([][]string, len(g.shards))
+	out := make([][]string, len(g.shardList()))
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for id, s := range g.sessions {
@@ -516,13 +583,14 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 	if !ok || hello.Session == "" {
 		return
 	}
-	if hello.Shard >= uint32(len(g.shards)) {
+	shards := g.shardList()
+	if hello.Shard >= uint32(len(shards)) {
 		// Shard-count misconfiguration (client's Shards > ours). Answer with
 		// a welcome carrying OUR shard count — no primary, no session — so
 		// the client can diagnose and fail fast instead of reconnecting
 		// forever against silent closes.
 		if frame, err := encodeFrame(welcomeFrame{
-			Session: hello.Session, Shards: len(g.shards),
+			Session: hello.Session, Shards: len(shards),
 		}); err == nil {
 			_ = conn.Send(frame)
 		}
@@ -543,8 +611,8 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 		Session:     hello.Session,
 		MaxInflight: g.cfg.MaxInflight,
 		Primary:     g.hint(hello.Shard),
-		IsPrimary:   g.shards[hello.Shard].Replica.Primary() == g.cfg.Self,
-		Shards:      len(g.shards),
+		IsPrimary:   shards[hello.Shard].Replica.Primary() == g.cfg.Self,
+		Shards:      len(shards),
 	})
 	if err != nil || conn.Send(welcome) != nil {
 		return
@@ -565,7 +633,7 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 			continue
 		}
 		s.touch()
-		if req.Shard >= uint32(len(g.shards)) {
+		if req.Shard >= uint32(len(shards)) {
 			s.send(resFrame{Seq: req.Seq, Err: errBadShard})
 			continue
 		}
@@ -591,7 +659,7 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 // pipelined writes. An unknown level is rejected with BAD_READ_LEVEL rather
 // than silently degraded to a weaker read.
 func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
-	shard := &g.shards[req.Shard]
+	shard := g.shardList()[req.Shard]
 	if shard.Read == nil {
 		s.send(resFrame{Seq: req.Seq, Err: errNoReads})
 		return
@@ -647,7 +715,7 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 // processRead serves a waiting read level against its shard and builds its
 // response frame.
 func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
-	shard := &g.shards[req.Shard]
+	shard := g.shardList()[req.Shard]
 	res := resFrame{Seq: req.Seq}
 	var err error
 	if level == ReadMonotonic {
@@ -672,7 +740,10 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout
 	default:
-		res.Err = err.Error()
+		// Infrastructure failure below the gateway (e.g. a dying replica
+		// stack): retryable, not terminal — the client reconnects and
+		// retries elsewhere instead of surfacing a fatal server error.
+		res.Err = errUnavailable
 	}
 	return res
 }
@@ -680,7 +751,7 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 // processWrite routes one write into its shard's replicated group and
 // builds its response frame.
 func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
-	shard := &g.shards[req.Shard]
+	shard := g.shardList()[req.Shard]
 	res := resFrame{Seq: req.Seq}
 	result, err := shard.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
 	switch {
@@ -701,7 +772,10 @@ func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
 	case errors.Is(err, replication.ErrPruned):
 		res.Err = errPruned
 	default:
-		res.Err = err.Error()
+		// See processRead: infrastructure errors are retryable. The write's
+		// (session, seq) name makes the retry exactly-once regardless of
+		// whether this attempt executed.
+		res.Err = errUnavailable
 	}
 	return res
 }

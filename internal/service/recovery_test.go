@@ -1,0 +1,140 @@
+package service
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/transport"
+)
+
+// countingDialer wraps the cluster dialer and counts attempts.
+type countingDialer struct {
+	inner    Dialer
+	attempts atomic.Int64
+}
+
+func (d *countingDialer) dial(addr string) (transport.StreamConn, error) {
+	d.attempts.Add(1)
+	return d.inner(addr)
+}
+
+// TestClientWholeGroupUnreachable is the regression test for the untested
+// failure mode "the entire primary set is briefly unreachable": the client
+// must (a) keep its jittered reconnect backoff bounded — neither giving up
+// nor stampeding the dead gateways with unbounded retry rates — (b) fail
+// the operation with the TYPED ErrUnavailable once OpTimeout expires, and
+// (c) recover transparently once gateways return.
+func TestClientWholeGroupUnreachable(t *testing.T) {
+	c := buildService(t, 3, nil)
+	dialer := &countingDialer{inner: c.dialer()}
+	const backoff = 4 * time.Millisecond
+	client := c.newClient(t, func(cfg *ClientConfig) {
+		cfg.Dial = dialer.dial
+		cfg.OpTimeout = 700 * time.Millisecond
+		cfg.RetryBackoff = backoff
+	})
+
+	// Sanity write while everybody is up.
+	if _, err := client.Call([]byte("w1")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The whole primary set vanishes.
+	for _, id := range c.ids {
+		c.network.Crash(id)
+	}
+	dialer.attempts.Store(0)
+	start := time.Now()
+	_, err := client.Call([]byte("w2"))
+	outage := time.Since(start)
+	if err == nil {
+		t.Fatal("write succeeded with every gateway down")
+	}
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("error %v is not typed ErrUnavailable", err)
+	}
+	if outage < 600*time.Millisecond {
+		t.Fatalf("gave up after %v, before OpTimeout", outage)
+	}
+
+	// Bounded backoff: with base b doubling to at most 32b (jittered to at
+	// least b/2 per sweep), the attempt count over the outage has a hard
+	// ceiling of roughly 3·outage/(b/2) dials (3 addresses per sweep) plus
+	// slack for the first fast sweeps — far below an unthrottled spin,
+	// which would rack up orders of magnitude more on memnet.
+	attempts := dialer.attempts.Load()
+	ceiling := int64(3*int(outage/(backoff/2))) + 64
+	if attempts == 0 {
+		t.Fatal("client never retried during the outage")
+	}
+	if attempts > ceiling {
+		t.Fatalf("%d dial attempts in %v — backoff not bounded (ceiling %d)", attempts, outage, ceiling)
+	}
+
+	// Heal: the client recovers on its own (the reconnect loop must have
+	// survived the failure) and the retried op is exactly-once.
+	for _, id := range c.ids {
+		c.network.Restart(id)
+	}
+	if _, err := client.Call([]byte("w3")); err != nil {
+		t.Fatalf("write after heal: %v", err)
+	}
+	for i := range c.sms {
+		if n := c.sms[i].count("w3"); n > 1 {
+			t.Fatalf("node %d applied w3 %d times", i, n)
+		}
+	}
+}
+
+// TestGatewayReplaceShard: a gateway's replica handle is replaced mid-life
+// — the crash-recovery path where a node's replica stack is swapped for a
+// rebuilt one — and the attached session keeps working: in-flight dedup
+// state is replicated, so writes retried through the new handle stay
+// exactly-once, and clients are refreshed instead of erroring forever.
+func TestGatewayReplaceShard(t *testing.T) {
+	c := buildService(t, 3, nil)
+	client := c.newClient(t, nil)
+
+	if _, err := client.Call([]byte("before")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stand up a follower fed from the group and swap it into EVERY
+	// gateway's shard 0 on the backup nodes (the primary keeps its real
+	// replica so writes still commit). Sessions attached to those gateways
+	// must transparently continue.
+	sm := newLedgerSM()
+	follower := replication.NewFollower(sm, "f1")
+	// A follower without a syncer still serves: Primary() redirects writes.
+	// Install the current state so reads would be sane.
+	if err := follower.InstallSnapshot(c.reps[1].EncodeSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	c.gws[1].ReplaceShard(0, Shard{Replica: follower, Read: sm.read})
+
+	// The replaced gateway answers writes with a redirect (its handle is a
+	// follower now); clients chase it and writes still succeed exactly-once.
+	for i := 0; i < 5; i++ {
+		if _, err := client.Call([]byte("after")); err != nil {
+			t.Fatalf("write %d after replace: %v", i, err)
+		}
+	}
+	if n := c.sms[0].count("before"); n != 1 {
+		t.Fatalf("before applied %d times", n)
+	}
+	if n := c.sms[0].count("after"); n != 5 {
+		t.Fatalf("after applied %d times, want 5", n)
+	}
+
+	// Swapping in a handle for a shard out of range must panic loudly (a
+	// wiring bug, not a runtime condition).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ReplaceShard out of range did not panic")
+		}
+	}()
+	c.gws[1].ReplaceShard(7, Shard{Replica: follower, Read: sm.read})
+}

@@ -170,6 +170,11 @@ const (
 	errNoReads      = "NO_READS"
 	errBadReadLevel = "BAD_READ_LEVEL"
 	errBadShard     = "BAD_SHARD"
+	// errUnavailable marks an infrastructure failure below the gateway (a
+	// replica stack shutting down or being replaced): retryable — the
+	// client reconnects and retries, like TIMEOUT, rather than failing the
+	// operation terminally.
+	errUnavailable = "UNAVAILABLE"
 )
 
 func init() {

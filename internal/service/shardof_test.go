@@ -1,0 +1,85 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestShardOfStableGolden pins the shard map to known values: ShardOf is
+// deployment-wide configuration — every client and every gateway, across
+// processes, releases and restarts, must route a key identically, or
+// (session, seq) retries would meet the wrong shard's dedup table and keys
+// would silently migrate between groups. Any change to the hash is a
+// breaking protocol change and must fail this test loudly.
+func TestShardOfStableGolden(t *testing.T) {
+	golden := []struct {
+		key    string
+		shards int
+		want   int
+	}{
+		// fnv-1a 32-bit sums mod shards, computed once and FROZEN. Do not
+		// "fix" these numbers to make the test pass: changing the map
+		// strands every deployment's keys on the wrong shards.
+		{"user:42", 2, 0}, {"user:42", 4, 2}, {"user:42", 16, 2},
+		{"user:43", 4, 1}, {"user:43", 8, 5},
+		{"payments", 3, 0}, {"payments", 8, 6},
+		{"k", 3, 0}, {"k", 16, 10},
+		{"alpha", 2, 1}, {"alpha", 4, 3}, {"alpha", 16, 11},
+		{"", 4, 1}, {"", 8, 5},
+		{"anything", 1, 0}, // single shard swallows everything
+	}
+	for _, g := range golden {
+		for run := 0; run < 3; run++ {
+			if got := ShardOf([]byte(g.key), g.shards); got != g.want {
+				t.Fatalf("ShardOf(%q, %d) = %d, want frozen %d — the shard map is wire/deployment contract",
+					g.key, g.shards, got, g.want)
+			}
+		}
+	}
+}
+
+// TestShardOfProperties is the property-style guard of the routing
+// contract ShardedClient depends on: for every shard count S in 1..16,
+// ShardOf is total (in range), deterministic (same key, same shard —
+// byte-content, not slice identity), and usefully uniform (no shard
+// starves or hogs across a large keyspace).
+func TestShardOfProperties(t *testing.T) {
+	// Determinism & range over random keys, via testing/quick.
+	prop := func(key []byte, sRaw uint8) bool {
+		s := int(sRaw%16) + 1
+		a := ShardOf(key, s)
+		b := ShardOf(append([]byte(nil), key...), s) // fresh backing array
+		return a == b && a >= 0 && a < s
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uniformity: over N realistic keys, every shard's share must be within
+	// a generous band of N/S (fnv-1a is not cryptographic; the band guards
+	// against catastrophic skew such as "everything mod 2 lands on 0", not
+	// against statistical perfection).
+	const n = 8192
+	for s := 1; s <= 16; s++ {
+		counts := make([]int, s)
+		for i := 0; i < n; i++ {
+			counts[ShardOf([]byte(fmt.Sprintf("key-%d", i)), s)]++
+		}
+		want := float64(n) / float64(s)
+		for shard, got := range counts {
+			if dev := math.Abs(float64(got) - want); dev > want/2 {
+				t.Errorf("S=%d: shard %d holds %d of %d keys (expected ≈ %.0f ± %.0f)",
+					s, shard, got, n, want, want/2)
+			}
+		}
+	}
+
+	// Degenerate shard counts collapse to shard 0 instead of crashing.
+	for _, s := range []int{0, -1, 1} {
+		if got := ShardOf([]byte("x"), s); got != 0 {
+			t.Fatalf("ShardOf(x, %d) = %d, want 0", s, got)
+		}
+	}
+}

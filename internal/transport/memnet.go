@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"container/heap"
 	"math/rand"
 	"sync"
 	"time"
@@ -33,7 +34,42 @@ type Network struct {
 	listeners  map[proc.ID]*memStreamListener // service stream listeners
 	pipes      []*memPipe                     // open service streams
 
+	// Delayed-delivery scheduler: ONE goroutine owns a timer heap of
+	// in-flight packets instead of one time.AfterFunc goroutine per packet.
+	// Under load (retransmission storms, many stacks on few cores) the
+	// per-packet-goroutine design convoyed tens of thousands of timer
+	// callbacks on n.mu and delivery latency exploded; a single scheduler
+	// keeps exactly one waiter on the lock and bounded goroutine count.
+	schedMu   sync.Mutex
+	schedHeap delayHeap
+	schedKick chan struct{}
+	schedStop chan struct{}
+	schedOnce sync.Once
+	schedDone sync.WaitGroup
+
 	stats Stats
+}
+
+// delayedPkt is one in-flight packet awaiting its delivery time.
+type delayedPkt struct {
+	at  time.Time
+	dst *memEndpoint
+	pkt Packet
+}
+
+// delayHeap is a min-heap of delayedPkt by delivery time.
+type delayHeap []delayedPkt
+
+func (h delayHeap) Len() int           { return len(h) }
+func (h delayHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h delayHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)        { *h = append(*h, x.(delayedPkt)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
 }
 
 type link struct{ a, b proc.ID }
@@ -82,11 +118,15 @@ func NewNetwork(opts ...NetOption) *Network {
 	return n
 }
 
-// Endpoint returns (creating if needed) the transport endpoint for id.
+// Endpoint returns (creating if needed) the transport endpoint for id. A
+// closed endpoint is replaced by a fresh one, so a process that stopped its
+// stack can restart on the same network under the same ID (crash-recovery
+// experiments); packets in flight toward the dead endpoint are dropped, not
+// delivered to its successor.
 func (n *Network) Endpoint(id proc.ID) Transport {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if ep, ok := n.endpoints[id]; ok {
+	if ep, ok := n.endpoints[id]; ok && !ep.isClosed() {
 		return ep
 	}
 	ep := &memEndpoint{
@@ -214,6 +254,12 @@ func (n *Network) Shutdown() {
 	for _, l := range listeners {
 		_ = l.Close()
 	}
+	// Stop the delayed-delivery scheduler, if it ever started.
+	n.schedOnce.Do(func() {}) // from here on the scheduler can no longer start
+	if n.schedStop != nil {
+		close(n.schedStop)
+		n.schedDone.Wait()
+	}
 }
 
 // route decides the fate of a packet at send time. It returns the delivery
@@ -298,14 +344,106 @@ func (e *memEndpoint) sendPrefixed(to proc.ID, prefix, data []byte) {
 		dst.enqueue(pkt)
 		return
 	}
-	time.AfterFunc(delay, func() {
-		if e.net.isCrashed(dst.self) {
-			e.net.stats.addDropped()
-			PutFrame(pkt.Data)
-			return
-		}
-		dst.enqueue(pkt)
+	e.net.schedule(delayedPkt{at: time.Now().Add(delay), dst: dst, pkt: pkt})
+}
+
+// maxScheduled bounds the delivery scheduler's queue. An unbounded queue
+// is bufferbloat: under overload (retransmission storms on a slow machine)
+// the backlog — and with it every packet's latency — grows without limit,
+// timeouts fire, senders retransmit harder, and the network livelocks at
+// utilization 1. A real network's buffers are finite; past the bound we
+// drop (unreliable contract), which backs the load off through the
+// retransmission layers above.
+const maxScheduled = 8192
+
+// schedule hands a delayed packet to the network's delivery scheduler.
+func (n *Network) schedule(d delayedPkt) {
+	n.schedOnce.Do(func() {
+		n.schedKick = make(chan struct{}, 1)
+		n.schedStop = make(chan struct{})
+		n.schedDone.Add(1)
+		go n.deliverLoop()
 	})
+	n.schedMu.Lock()
+	if len(n.schedHeap) >= maxScheduled {
+		n.schedMu.Unlock()
+		n.stats.addDropped()
+		PutFrame(d.pkt.Data)
+		return
+	}
+	heap.Push(&n.schedHeap, d)
+	next := n.schedHeap[0].at
+	n.schedMu.Unlock()
+	if next.Equal(d.at) {
+		// The new packet is (or ties) the earliest: wake the scheduler so it
+		// re-arms its timer.
+		select {
+		case n.schedKick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// deliverLoop is the single goroutine delivering delayed packets in
+// delivery-time order (crash state is re-checked at delivery time, so
+// packets in flight at crash time are lost, as before).
+func (n *Network) deliverLoop() {
+	defer n.schedDone.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		now := time.Now()
+		var due []delayedPkt
+		n.schedMu.Lock()
+		for len(n.schedHeap) > 0 && !n.schedHeap[0].at.After(now) {
+			due = append(due, heap.Pop(&n.schedHeap).(delayedPkt))
+		}
+		var wait time.Duration = time.Hour
+		if len(n.schedHeap) > 0 {
+			wait = time.Until(n.schedHeap[0].at)
+		}
+		n.schedMu.Unlock()
+
+		if len(due) > 0 {
+			// One crash-state read per batch: the scheduler must not queue
+			// on n.mu once per packet while senders hammer the same lock.
+			n.mu.Lock()
+			crashed := make(map[proc.ID]bool, len(n.crashed))
+			for id := range n.crashed {
+				crashed[id] = true
+			}
+			n.mu.Unlock()
+			for _, d := range due {
+				if crashed[d.dst.self] {
+					n.stats.addDropped()
+					PutFrame(d.pkt.Data)
+					continue
+				}
+				d.dst.enqueue(d.pkt)
+			}
+		}
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-n.schedStop:
+			// Drain: recycle whatever never got delivered.
+			n.schedMu.Lock()
+			for _, d := range n.schedHeap {
+				PutFrame(d.pkt.Data)
+			}
+			n.schedHeap = nil
+			n.schedMu.Unlock()
+			return
+		case <-n.schedKick:
+		case <-timer.C:
+		}
+	}
 }
 
 func (e *memEndpoint) enqueue(pkt Packet) {
@@ -329,6 +467,12 @@ func (e *memEndpoint) enqueue(pkt Packet) {
 }
 
 func (e *memEndpoint) Receive() <-chan Packet { return e.inbox }
+
+func (e *memEndpoint) isClosed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
 
 func (e *memEndpoint) Close() {
 	e.mu.Lock()

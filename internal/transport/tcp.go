@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/proc"
@@ -28,7 +29,10 @@ const tcpWriteBuffer = 64 << 10
 //
 // Framing: every frame is a 4-byte big-endian length followed by that many
 // bytes. The first frame on an outbound connection carries the sender's
-// process ID so the receiver can attribute packets.
+// identity — "id" or "id\n<listen-addr>" — so the receiver can attribute
+// packets AND learn how to dial back a peer absent from its static peer map
+// (a recovering follower joining a running deployment announces itself this
+// way; see cmd/gcsnode -join).
 //
 // Writes are serialized per connection through a single write loop: Send
 // packs header+payload into one pooled buffer and hands it to the
@@ -44,10 +48,12 @@ type TCPTransport struct {
 	ln    net.Listener
 	inbox chan Packet
 
-	mu     sync.Mutex
-	conns  map[proc.ID]*tcpConn
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[proc.ID]*tcpConn
+	inbound map[net.Conn]bool  // accepted connections, closed on shutdown
+	learned map[proc.ID]string // dial-back addresses announced by inbound peers
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // tcpConn is one outbound connection and its write pipeline.
@@ -133,10 +139,20 @@ func (t *TCPTransport) Close() {
 	for _, tc := range t.conns {
 		conns = append(conns, tc)
 	}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
 	t.mu.Unlock()
 	_ = t.ln.Close()
 	for _, tc := range conns {
 		tc.retire()
+	}
+	// Accepted connections must be closed too, or their read loops — blocked
+	// in readFrame on peers that stay up — would park wg.Wait forever when
+	// only THIS side shuts down (a restarting node among survivors).
+	for _, c := range inbound {
+		_ = c.Close()
 	}
 	t.wg.Wait()
 	close(t.inbox)
@@ -156,6 +172,12 @@ func (t *TCPTransport) conn(to proc.ID) (*tcpConn, error) {
 		return tc, nil
 	}
 	addr, ok := t.peers[to]
+	if !ok {
+		// Fall back to the address the peer announced in its handshake —
+		// how processes outside the static map (joining followers) are
+		// answered.
+		addr, ok = t.learned[to]
+	}
 	t.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("unknown peer %q", to)
@@ -182,7 +204,9 @@ func (t *TCPTransport) conn(to proc.ID) (*tcpConn, error) {
 		done: make(chan struct{}),
 	}
 	// Handshake first: pack it like any frame so it rides the same loop.
-	tc.out <- packFrame([]byte(t.self))
+	// It announces our listen address so the peer can dial back even if we
+	// are not in its static peer map.
+	tc.out <- packFrame([]byte(string(t.self) + "\n" + t.ln.Addr().String()))
 	t.conns[to] = tc
 	t.wg.Add(1)
 	go t.writeLoop(to, tc)
@@ -240,20 +264,57 @@ func (t *TCPTransport) acceptLoop() {
 			return
 		}
 		setNoDelay(c)
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		if t.inbound == nil {
+			t.inbound = make(map[net.Conn]bool)
+		}
+		t.inbound[c] = true
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go t.readLoop(c)
 	}
 }
 
 func (t *TCPTransport) readLoop(c net.Conn) {
 	defer t.wg.Done()
-	defer c.Close()
+	defer func() {
+		_ = c.Close()
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+	}()
 	idFrame, err := readFrame(c)
 	if err != nil {
 		return
 	}
-	from := proc.ID(idFrame) // string conversion copies; the frame is ours
+	id, dialBack, _ := strings.Cut(string(idFrame), "\n") // copies; the frame is ours
+	from := proc.ID(id)
 	PutFrame(idFrame)
+	if dialBack != "" {
+		// A peer bound to a wildcard announces an undialable host
+		// ("0.0.0.0:p", "[::]:p"): substitute the connection's observed
+		// source IP, which IS routable from here, keeping the announced port.
+		if host, port, err := net.SplitHostPort(dialBack); err == nil {
+			if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+				if rhost, _, err := net.SplitHostPort(c.RemoteAddr().String()); err == nil {
+					dialBack = net.JoinHostPort(rhost, port)
+				}
+			}
+		}
+		t.mu.Lock()
+		if _, static := t.peers[from]; !static {
+			if t.learned == nil {
+				t.learned = make(map[proc.ID]string)
+			}
+			t.learned[from] = dialBack
+		}
+		t.mu.Unlock()
+	}
 	for {
 		data, err := readFrame(c)
 		if err != nil {
