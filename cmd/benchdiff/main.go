@@ -29,6 +29,7 @@ var metrics = map[string]bool{
 	"mean_us": true, "p50_us": true, "p99_us": true,
 	"batches": true, "max_batch": true,
 	"barriers": true, "barrier_reads": true, "max_coalesced": true,
+	"overhead_pct": true, "hist_record_ns": true,
 }
 
 // headline metrics shown in the diff, in order, with direction of "better".
@@ -40,6 +41,7 @@ var headline = []struct {
 	{"reads_per_s", true},
 	{"p50_us", false},
 	{"p99_us", false},
+	{"hist_record_ns", false},
 }
 
 func load(path string) (map[string]map[string]float64, []string, error) {

@@ -22,6 +22,9 @@
 //	gcsbench recovery        E15: follower recovery time vs state size —
 //	                         snapshot state transfer + catch-up cursor
 //	                         (JSON rows)
+//	gcsbench overhead        E16: telemetry overhead — batched write path
+//	                         with full instrumentation + scraping vs nil
+//	                         instruments (JSON rows)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -64,6 +67,8 @@ func run(cmd string) error {
 		return experimentServiceShards()
 	case "recovery":
 		return experimentRecovery()
+	case "overhead":
+		return experimentOverhead()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -75,6 +80,7 @@ func run(cmd string) error {
 			experimentServiceReads,
 			experimentServiceShards,
 			experimentRecovery,
+			experimentOverhead,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -83,6 +89,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|overhead|all)", cmd)
 	}
 }

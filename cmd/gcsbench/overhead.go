@@ -1,0 +1,237 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// ---- E16: telemetry overhead ---------------------------------------------
+//
+// Cost of full instrumentation on the hottest path we have: the batched
+// service write path of E12. Each row pair runs the identical workload
+// twice — once with no registry wired (every instrument pointer nil: one
+// atomic load and branch per hook), once with the full wiring a production
+// node gets from gcsnode -admin-listen (transport, protocol stack, replica,
+// gateway, plus a scraper rendering the exposition every second — an
+// aggressive Prometheus cadence — plus op tracing at the default 1/256
+// sampling). The acceptance bar is ≤5% ops/s regression; hist_record_ns is
+// the micro-cost of one histogram observation for context.
+//
+// The benchmark host is a single CPU shared with all three node stacks, so
+// scrape-time work competes directly with the ordered path: an isolation
+// matrix (hooks only / scrape only) showed the hot-path hooks alone cost
+// ~1%, while rendering the full exposition at an unrealistic 10Hz cost
+// ~10%. The realistic 1s cadence keeps scrape work in the noise.
+
+// scrapeEvery is the exposition-render cadence during instrumented runs —
+// one second, the aggressive end of real scrape intervals.
+const scrapeEvery = time.Second
+
+// overheadRecord is the JSON shape of one measurement row.
+type overheadRecord struct {
+	Experiment   string  `json:"experiment"`
+	Instrumented bool    `json:"instrumented"`
+	Sessions     int     `json:"sessions"`
+	DurationS    float64 `json:"duration_s"`
+	Ops          uint64  `json:"ops"`
+	OpsPerSec    float64 `json:"ops_per_s"`
+	MeanUS       float64 `json:"mean_us"`
+	P99US        float64 `json:"p99_us"`
+	OverheadPct  float64 `json:"overhead_pct"`   // vs the uninstrumented pair row (0 on baselines)
+	HistRecordNS float64 `json:"hist_record_ns"` // micro-cost of one histogram Observe
+}
+
+func experimentOverhead() error {
+	fmt.Println("== E16 — telemetry overhead: batched write path, instrumentation off vs on ==")
+	fmt.Println("   full registry + tracer + 1s scraper vs nil instruments")
+	histNS := measureHistRecordNS()
+	fmt.Printf("   histogram record micro-cost: %.1f ns/op\n", histNS)
+	fmt.Printf("%-8s %-10s %10s %12s %10s %10s %10s\n",
+		"metrics", "sessions", "ops", "ops/s", "mean", "p99", "overhead")
+
+	// A short closed-loop trial is ±10% noisy on the simulated network,
+	// and the noise is time-correlated (host load drifts across the
+	// experiment). Each trial therefore runs the off/on pair back to back —
+	// ALTERNATING which of the two goes first, so drift within a pair
+	// cannot systematically penalize one side — and the reported row is the
+	// MEDIAN pair by overhead: paired differences cancel what best-of-N
+	// over independent runs cannot.
+	const runFor = 2 * time.Second
+	const trials = 8
+	for _, sessions := range []int{16, 64} {
+		type pair struct{ off, on overheadRecord }
+		pairs := make([]pair, 0, trials)
+		for t := 0; t < trials; t++ {
+			var off, on overheadRecord
+			var err error
+			run := func(instrumented bool) error {
+				r, e := runOverhead(sessions, instrumented, runFor)
+				if instrumented {
+					on = r
+				} else {
+					off = r
+				}
+				return e
+			}
+			first := t%2 == 0
+			if err = run(first); err != nil {
+				return err
+			}
+			if err = run(!first); err != nil {
+				return err
+			}
+			on.OverheadPct = (off.OpsPerSec - on.OpsPerSec) / off.OpsPerSec * 100
+			pairs = append(pairs, pair{off, on})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i].on.OverheadPct < pairs[j].on.OverheadPct
+		})
+		median := pairs[len(pairs)/2]
+		for _, rec := range []overheadRecord{median.off, median.on} {
+			rec.HistRecordNS = histNS
+			fmt.Printf("%-8v %-10d %10d %12.0f %10v %10v %9.1f%%\n",
+				rec.Instrumented, rec.Sessions, rec.Ops, rec.OpsPerSec,
+				time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond),
+				rec.OverheadPct)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		}
+	}
+	return nil
+}
+
+// measureHistRecordNS times one histogram observation in isolation.
+func measureHistRecordNS() float64 {
+	h := telemetry.NewHistogram()
+	const n = 1_000_000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+	return float64(time.Since(start)) / n
+}
+
+// instrument wires the full observability stack onto a running harness —
+// the same hookups gcsnode -admin-listen performs — and starts a scraper
+// rendering the exposition at scrapeEvery. The returned stop function halts
+// the scraper.
+func (h *svcHarness) instrument(reg *telemetry.Registry) (stop func()) {
+	tracer := telemetry.NewTracer(telemetry.TracerConfig{})
+	h.network.RegisterMetrics(reg.Scope(telemetry.L("node", "net")))
+	for i, nd := range h.nodes {
+		scope := reg.Scope(telemetry.L("node", string(nd.Self())))
+		nd.RegisterMetrics(scope)
+		h.reps[i].RegisterMetrics(scope)
+		h.reps[i].SetTracer(tracer)
+		h.gws[i].RegisterMetrics(scope)
+		h.gws[i].SetTracer(tracer)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ticker := time.NewTicker(scrapeEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				_ = reg.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// runOverhead is runService's workload (batched writes, closed-loop
+// sessions) with the instrumentation toggle.
+func runOverhead(sessions int, instrumented bool, runFor time.Duration) (overheadRecord, error) {
+	h, err := buildSvcHarness(int64(1600+sessions), true)
+	if err != nil {
+		return overheadRecord{}, err
+	}
+	defer h.stop()
+	if instrumented {
+		stopScrape := h.instrument(telemetry.NewRegistry())
+		defer stopScrape()
+	}
+	warm(h.network)
+
+	dial := h.dialer()
+	addrList := []string{"s0", "s1", "s2"}
+
+	var (
+		wg      sync.WaitGroup
+		hist    = telemetry.NewHistogram()
+		ops     atomic.Uint64
+		stop    = make(chan struct{})
+		downErr atomic.Value
+	)
+	clients := make([]*service.Client, sessions)
+	for i := range clients {
+		cl, err := service.NewClient(service.ClientConfig{
+			Addrs: addrList,
+			Dial:  dial,
+		})
+		if err != nil {
+			return overheadRecord{}, err
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *service.Client) {
+			defer wg.Done()
+			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := cl.Call(op); err != nil {
+					downErr.Store(err)
+					return
+				}
+				ops.Add(1)
+				hist.Observe(time.Since(t0))
+			}
+		}(cl)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := downErr.Load().(error); ok && err != nil {
+		return overheadRecord{}, err
+	}
+
+	return overheadRecord{
+		Experiment:   "overhead",
+		Instrumented: instrumented,
+		Sessions:     sessions,
+		DurationS:    elapsed.Seconds(),
+		Ops:          ops.Load(),
+		OpsPerSec:    float64(ops.Load()) / elapsed.Seconds(),
+		MeanUS:       float64(hist.Mean()) / float64(time.Microsecond),
+		P99US:        float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+	}, nil
+}

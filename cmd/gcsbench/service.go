@@ -11,7 +11,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/replication"
 	"repro/internal/service"
-	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -161,8 +161,7 @@ func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, erro
 
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex
-		hist    = sim.NewHistogram()
+		hist    = telemetry.NewHistogram()
 		ops     atomic.Uint64
 		stop    = make(chan struct{})
 		downErr atomic.Value
@@ -199,9 +198,7 @@ func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, erro
 				}
 				d := time.Since(t0)
 				ops.Add(1)
-				mu.Lock()
-				hist.Add(d)
-				mu.Unlock()
+				hist.Observe(d)
 			}
 		}(cl)
 	}
@@ -304,8 +301,7 @@ func runServiceReads(name string, level service.ReadLevel, sessions int, runFor 
 
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex
-		hist    = sim.NewHistogram()
+		hist    = telemetry.NewHistogram()
 		reads   atomic.Uint64
 		stop    = make(chan struct{})
 		downErr atomic.Value
@@ -374,9 +370,7 @@ func runServiceReads(name string, level service.ReadLevel, sessions int, runFor 
 				}
 				d := time.Since(t0)
 				reads.Add(1)
-				mu.Lock()
-				hist.Add(d)
-				mu.Unlock()
+				hist.Observe(d)
 			}
 		}(cl)
 	}

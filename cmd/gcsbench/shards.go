@@ -12,7 +12,7 @@ import (
 	"repro/internal/proc"
 	"repro/internal/replication"
 	"repro/internal/service"
-	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -242,8 +242,7 @@ func runServiceShards(prof shardProfile, shards, sessions int, runFor time.Durat
 
 	var (
 		wg      sync.WaitGroup
-		mu      sync.Mutex
-		hist    = sim.NewHistogram()
+		hist    = telemetry.NewHistogram()
 		ops     atomic.Uint64
 		stop    = make(chan struct{})
 		downErr atomic.Value
@@ -285,9 +284,7 @@ func runServiceShards(prof shardProfile, shards, sessions int, runFor time.Durat
 					}
 					d := time.Since(t0)
 					ops.Add(1)
-					mu.Lock()
-					hist.Add(d)
-					mu.Unlock()
+					hist.Observe(d)
 				}
 			}(cl, uint64(ci*64+w+1))
 		}

@@ -40,10 +40,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -73,15 +77,95 @@ func main() {
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
 		join         = flag.Bool("join", false, "join a RUNNING service deployment as a catch-up follower: install a replica snapshot from the group and follow its command log, serving reads at backup parity (requires -service-listen; -peers lists the full members)")
 		incarnation  = flag.Uint64("incarnation", 1, "with -join: this process's incarnation; increase it on every restart that lost local state")
+		adminListen  = flag.String("admin-listen", "", "expose the admin/debug HTTP endpoint on this address: /metrics (Prometheus), /healthz, /debug/traces, /debug/pprof")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation, *adminListen); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64) error {
+// admin bundles the optional observability wiring of one gcsnode process:
+// nil when -admin-listen is absent, in which case every hookup below is a
+// no-op (the instruments stay unregistered and the hot paths pay a single
+// nil-check).
+type admin struct {
+	reg    *gcs.MetricsRegistry
+	tracer *gcs.OpTracer
+	scope  *gcs.MetricsScope // node=<self>
+	health []gcs.AdminHealthCheck
+}
+
+// newAdmin builds the registry/tracer pair for one node.
+func newAdmin(self string) *admin {
+	reg := gcs.NewMetricsRegistry()
+	return &admin{
+		reg:    reg,
+		tracer: gcs.NewOpTracer(gcs.OpTracerConfig{}),
+		scope:  reg.Scope(gcs.Label("node", self)),
+	}
+}
+
+// shardScope returns the node scope narrowed to one shard.
+func (a *admin) shardScope(k int) *gcs.MetricsScope {
+	if a == nil {
+		return nil
+	}
+	return a.scope.With(gcs.Label("shard", strconv.Itoa(k)))
+}
+
+// check appends a /healthz probe.
+func (a *admin) check(name string, fn func() (bool, string)) {
+	if a != nil {
+		a.health = append(a.health, gcs.AdminHealthCheck{Name: name, Check: fn})
+	}
+}
+
+// freshnessCheck appends a commit-freshness probe for one shard: the
+// replicated lease ticks the commit index LeaseTTLTicks times per TTL, so
+// an index that has not moved for 2×TTL means the shard's ordered path has
+// stalled (no quorum, partitioned primary). Only meaningful with the lease
+// enabled — an idle deployment without it legitimately never advances.
+func (a *admin) freshnessCheck(k int, lease time.Duration, commitIndex func() uint64) {
+	if a == nil || lease <= 0 {
+		return
+	}
+	var mu sync.Mutex
+	lastIdx := uint64(0)
+	lastMove := time.Now()
+	stale := 2 * lease
+	a.check(fmt.Sprintf("shard%d_commit_fresh", k), func() (bool, string) {
+		idx := commitIndex()
+		mu.Lock()
+		defer mu.Unlock()
+		if idx > lastIdx {
+			lastIdx = idx
+			lastMove = time.Now()
+		}
+		age := time.Since(lastMove)
+		return age < stale, fmt.Sprintf("commit=%d last_advance=%s ago", idx, age.Round(time.Millisecond))
+	})
+}
+
+// serve binds the admin endpoint and starts serving; the returned closer
+// stops it.
+func (a *admin) serve(addr string) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("admin listen: %w", err)
+	}
+	srv := &http.Server{Handler: gcs.NewAdminHandler(gcs.AdminConfig{
+		Registry: a.reg,
+		Tracer:   a.tracer,
+		Health:   a.health,
+	})}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Printf("admin endpoint on http://%s/ (/metrics /healthz /debug/traces /debug/pprof)\n", ln.Addr())
+	return func() { _ = srv.Close() }, nil
+}
+
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64, adminListen string) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -119,6 +203,12 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	tr, err := gcs.NewTCPTransport(gcs.ID(self), listen, peers)
 	if err != nil {
 		return err
+	}
+
+	var adm *admin
+	if adminListen != "" {
+		adm = newAdmin(self)
+		gcs.RegisterTransportMetrics(tr, adm.scope)
 	}
 
 	if join {
@@ -160,6 +250,19 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			defer f.Stop()
 			followers = append(followers, f)
 			shards = append(shards, gcs.ServiceShard{Replica: f.Replica, Read: store.Read})
+			if adm != nil {
+				f.RegisterMetrics(adm.shardScope(k))
+				k, f := k, f
+				adm.check(fmt.Sprintf("shard%d_installed", k), func() (bool, string) {
+					select {
+					case <-f.Installed():
+						return true, fmt.Sprintf("commit=%d", f.Replica.CommitIndex())
+					default:
+						return false, "catching up"
+					}
+				})
+				adm.freshnessCheck(k, svcLease, f.Replica.CommitIndex)
+			}
 		}
 		l, err := gcs.ListenServiceTCP(svcListen)
 		if err != nil {
@@ -177,6 +280,15 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			LeaseTTL:   svcLease,
 		}, l)
 		defer gw.Close()
+		if adm != nil {
+			gw.RegisterMetrics(adm.scope)
+			gw.SetTracer(adm.tracer)
+			stopAdmin, err := adm.serve(adminListen)
+			if err != nil {
+				return err
+			}
+			defer stopAdmin()
+		}
 		fmt.Printf("gcsnode %s joining as follower (incarnation %d); donors %v; %d shard(s); gateway on %s\n",
 			self, incarnation, donors, svcShards, l.Addr())
 		go func() {
@@ -242,6 +354,24 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 				defer replica.StopBatching()
 			}
 			shards = append(shards, gcs.ServiceShard{Replica: replica, Read: store.Read})
+			if adm != nil {
+				scope := adm.shardScope(k)
+				shardNode.RegisterMetrics(scope)
+				replica.RegisterMetrics(scope)
+				replica.SetTracer(adm.tracer)
+				k, sn, rep := k, shardNode, replica
+				quorum := len(universe)/2 + 1
+				adm.check(fmt.Sprintf("shard%d_quorum", k), func() (bool, string) {
+					v := sn.View()
+					return len(v.Members) >= quorum,
+						fmt.Sprintf("view %v (need %d)", v.Members, quorum)
+				})
+				adm.check(fmt.Sprintf("shard%d_primary", k), func() (bool, string) {
+					p := rep.Primary()
+					return p != "", fmt.Sprintf("primary=%s commit=%d epoch=%d", p, rep.CommitIndex(), rep.Epoch())
+				})
+				adm.freshnessCheck(k, svcLease, rep.CommitIndex)
+			}
 		}
 		l, err := gcs.ListenServiceTCP(svcListen)
 		if err != nil {
@@ -256,6 +386,15 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			LeaseTTL:   svcLease,
 		}, l)
 		defer gw.Close()
+		if adm != nil {
+			gw.RegisterMetrics(adm.scope)
+			gw.SetTracer(adm.tracer)
+			stopAdmin, err := adm.serve(adminListen)
+			if err != nil {
+				return err
+			}
+			defer stopAdmin()
+		}
 		fmt.Printf("gcsnode %s up; universe %v; %d shard(s); service gateway on %s\n",
 			self, universe, svcShards, l.Addr())
 	} else {
@@ -273,6 +412,14 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		})
 		node.Start()
 		defer node.Stop()
+		if adm != nil {
+			node.RegisterMetrics(adm.scope)
+			stopAdmin, err := adm.serve(adminListen)
+			if err != nil {
+				return err
+			}
+			defer stopAdmin()
+		}
 		fmt.Printf("gcsnode %s up; universe %v\n", self, universe)
 	}
 

@@ -1,0 +1,53 @@
+// Command promlint validates Prometheus text exposition (format 0.0.4):
+// it fetches -url (or reads stdin) and fails with a diagnostic if the
+// exposition is malformed — bad metric or label names, non-numeric values,
+// samples preceding their TYPE line, duplicate TYPE declarations.
+//
+// CI scrapes a live gcsnode's /metrics through this linter so a formatting
+// regression in the telemetry exposition fails the build rather than
+// silently breaking scrapers.
+//
+//	promlint -url http://127.0.0.1:9001/metrics
+//	curl -s http://127.0.0.1:9001/metrics | promlint
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "metrics endpoint to fetch (empty = read stdin)")
+		timeout = flag.Duration("timeout", 5*time.Second, "fetch timeout")
+	)
+	flag.Parse()
+	if err := run(*url, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: exposition ok")
+}
+
+func run(url string, timeout time.Duration) error {
+	var r io.Reader = os.Stdin
+	if url != "" {
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get(url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: %s", url, resp.Status)
+		}
+		r = resp.Body
+	}
+	return telemetry.ValidateExposition(r)
+}

@@ -2,6 +2,7 @@ package gcs
 
 import (
 	"fmt"
+	"net/http"
 	"time"
 
 	"repro/internal/core"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/rchannel"
 	"repro/internal/replication"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -81,6 +83,10 @@ type (
 	ServiceClient = service.Client
 	// ServiceClientConfig parameterises a client.
 	ServiceClientConfig = service.ClientConfig
+	// ServiceClientStats is a client's recovery accounting: dial attempts,
+	// handshake failures, primary redirects chased and TIMEOUT/UNAVAILABLE
+	// answers retried (ServiceClient.Stats / ShardedServiceClient.Stats).
+	ServiceClientStats = service.ClientStats
 	// ShardedServiceClient routes every operation to its key's shard —
 	// the client of deployments running several replicated groups.
 	ShardedServiceClient = service.ShardedClient
@@ -104,7 +110,52 @@ type (
 	// both full passive replicas and catch-up followers, so a gateway's
 	// shard can be re-pointed at a rebuilt replica (ReplaceShard).
 	ServiceReplica = service.Replica
+
+	// MetricsRegistry is the node-wide telemetry registry: counters, gauges
+	// and latency histograms, exported in Prometheus text format.
+	MetricsRegistry = telemetry.Registry
+	// MetricsScope is a registry view with bound labels (node=, shard=).
+	MetricsScope = telemetry.Scope
+	// MetricsLabel is one label dimension of a metric series.
+	MetricsLabel = telemetry.Label
+	// LatencyHistogram is the fixed-bucket latency histogram (p50/p99/p999
+	// without per-sample allocation).
+	LatencyHistogram = telemetry.Histogram
+	// OpTracer samples per-request traces across the gateway and
+	// replication layers and captures slow ops.
+	OpTracer = telemetry.Tracer
+	// OpTracerConfig parameterises an OpTracer.
+	OpTracerConfig = telemetry.TracerConfig
+	// AdminConfig parameterises the admin/debug HTTP handler
+	// (/metrics, /healthz, /debug/traces, /debug/pprof).
+	AdminConfig = telemetry.AdminConfig
+	// AdminHealthCheck is one named /healthz probe.
+	AdminHealthCheck = telemetry.HealthCheck
 )
+
+// NewMetricsRegistry creates a telemetry registry.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// Label constructs a metric label (e.g. Label("shard", "2")).
+func Label(key, value string) MetricsLabel { return telemetry.L(key, value) }
+
+// NewOpTracer creates an op tracer.
+func NewOpTracer(cfg OpTracerConfig) *OpTracer { return telemetry.NewTracer(cfg) }
+
+// NewAdminHandler builds the admin/debug HTTP handler over a registry,
+// tracer and health checks.
+func NewAdminHandler(cfg AdminConfig) http.Handler { return telemetry.NewAdminHandler(cfg) }
+
+// RegisterTransportMetrics exports a transport's accounting under scope.
+// TCP endpoints and the simulated Network are instrumented (frames/bytes
+// in and out, write-queue depth, frame-pool hit rate); other transports
+// are a no-op.
+func RegisterTransportMetrics(tr Transport, s *MetricsScope) {
+	type registrar interface{ RegisterMetrics(*telemetry.Scope) }
+	if r, ok := tr.(registrar); ok {
+		r.RegisterMetrics(s)
+	}
+}
 
 // ErrServiceUnavailable is the typed error a service client returns when an
 // operation exhausts its OpTimeout without any gateway serving it (e.g. the
@@ -285,6 +336,18 @@ func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) *
 // Installed is closed once the follower has caught up to a donor for the
 // first time — from then on it serves reads at full backup parity.
 func (f *Follower) Installed() <-chan struct{} { return f.syncer.Installed() }
+
+// RegisterMetrics exports the follower's accounting under scope: its
+// reliable channel, its replica (commit index, snapshot installs) and its
+// catch-up syncer (pulls, failures, entries applied).
+func (f *Follower) RegisterMetrics(s *MetricsScope) {
+	if s == nil {
+		return
+	}
+	f.ep.RegisterMetrics(s)
+	f.Replica.RegisterMetrics(s)
+	f.syncer.RegisterMetrics(s)
+}
 
 // Stop halts the follower and releases its transport.
 func (f *Follower) Stop() {

@@ -256,6 +256,95 @@ func TestChaosRecovery(t *testing.T) {
 	c.auditExactlyOnce(append(acked, markers...))
 }
 
+// TestFailoverLagReconverges watches a sharded failover purely through the
+// telemetry registry: every replica exports gcs_replication_commit_index
+// under its (node, shard) scope, lag is max-min over the live cores, and
+// the test requires the lag to RISE while one core is crash-stopped (its
+// gauge freezes while the survivors commit) and to RE-CONVERGE to zero —
+// at every shard — once the core is healed and traffic stops. This is the
+// observability acceptance check: a dashboard reading only the registry
+// sees the outage and the recovery.
+func TestFailoverLagReconverges(t *testing.T) {
+	const shards = 2
+	c := buildCluster(t, shards, 23)
+	cl := c.newShardedClient(c.addrList(false), 30*time.Second, false)
+
+	// Baseline traffic so every shard has a non-zero index.
+	var acked []string
+	for n := 1; n <= 20; n++ {
+		op := opName(5, n)
+		if _, err := cl.Call([]byte(op)); err != nil {
+			t.Fatalf("write %s: %v", op, err)
+		}
+		acked = append(acked, op)
+	}
+
+	// Background open-loop writers keep committing through the outage.
+	stop := make(chan struct{})
+	st := &clientStats{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runClient(c, cl, 6, stop, st)
+	}()
+
+	// Crash r1 — initial primary of shard 0 — with state preserved, long
+	// enough for failover to elect a new primary and commit past it. The
+	// sampler reads lag ONLY through the registry.
+	var maxLag [shards]uint64
+	sample := func() {
+		for k := 0; k < shards; k++ {
+			if lag := c.registryLag(k); lag > maxLag[k] {
+				maxLag[k] = lag
+			}
+		}
+	}
+	c.network.Crash(c.ids[0])
+	outage := time.After(400 * raceScale * time.Millisecond)
+sampling:
+	for {
+		select {
+		case <-outage:
+			break sampling
+		case <-time.After(5 * raceScale * time.Millisecond):
+			sample()
+		}
+	}
+	c.network.Restart(c.ids[0])
+
+	var rose bool
+	for k, lag := range maxLag {
+		t.Logf("shard %d: max commit-index lag observed through registry during outage: %d", k, lag)
+		if lag > 0 {
+			rose = true
+		}
+	}
+	if !rose {
+		t.Error("no shard's commit-index lag rose during the outage — the registry never saw it")
+	}
+
+	// Heal: stop traffic, require convergence through BOTH views (converge
+	// asserts registry lag 0 per shard), then the usual state audit.
+	close(stop)
+	wg.Wait()
+	st.mu.Lock()
+	acked = append(acked, st.acked...)
+	for _, f := range st.fails {
+		t.Errorf("background client: %s", f)
+	}
+	st.mu.Unlock()
+	targets := c.converge(30 * time.Second)
+	t.Logf("converged per-shard commit indexes: %v", targets)
+	for k := 0; k < shards; k++ {
+		if lag := c.registryLag(k); lag != 0 {
+			t.Errorf("shard %d: registry lag %d after convergence", k, lag)
+		}
+	}
+	c.checkDigests()
+	c.auditExactlyOnce(acked)
+}
+
 // TestCoreWipeRejoinAsFollower is the same-identity crash-recovery: a FULL
 // member is destroyed (stack, state, channel seqs — everything but its ID)
 // and rejoins as a read-serving follower under the old ID. This exercises

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/pprof"
+	"strconv"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"repro/internal/rchannel"
 	"repro/internal/replication"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -49,6 +51,7 @@ type edgeNode struct {
 type cluster struct {
 	t       *testing.T
 	network *transport.Network
+	reg     *telemetry.Registry // every replica registers; converge() audits through it
 	shards  int
 	ids     []proc.ID // core member IDs (the consensus universe)
 	edgeID  proc.ID
@@ -57,6 +60,40 @@ type cluster struct {
 	edge    *edgeNode
 	edgeInc uint64
 	extras  []*edgeNode // wiped cores reborn as followers
+}
+
+// scope is the (node, shard) telemetry scope — the same label scheme gcsnode
+// uses, so the chaos assertions read the identical series a dashboard would.
+// Rebuilt nodes re-register under the same labels and re-bind the series.
+func (c *cluster) scope(id proc.ID, k int) *telemetry.Scope {
+	return c.reg.Scope(telemetry.L("node", string(id)), telemetry.L("shard", strconv.Itoa(k)))
+}
+
+// commitIndexGauge reads one replica's commit-index gauge through the
+// registry — the external observer's view of replication progress.
+func (c *cluster) commitIndexGauge(id proc.ID, k int) (uint64, bool) {
+	v, ok := c.reg.Value("gcs_replication_commit_index",
+		telemetry.L("node", string(id)), telemetry.L("shard", strconv.Itoa(k)))
+	return uint64(v), ok
+}
+
+// registryLag returns max-min over the live cores' commit-index gauges for
+// shard k, read purely through the telemetry registry.
+func (c *cluster) registryLag(k int) uint64 {
+	first := true
+	var lo, hi uint64
+	for _, n := range c.liveCores() {
+		v, ok := c.commitIndexGauge(n.id, k)
+		if !ok {
+			continue
+		}
+		if first {
+			lo, hi, first = v, v, false
+			continue
+		}
+		lo, hi = min(lo, v), max(hi, v)
+	}
+	return hi - lo
 }
 
 // rotated returns ids rotated left by k — shard k's replica list, spreading
@@ -74,6 +111,7 @@ func buildCluster(t *testing.T, shards int, seed int64) *cluster {
 	c := &cluster{
 		t:       t,
 		network: transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(seed)),
+		reg:     telemetry.NewRegistry(),
 		shards:  shards,
 		ids:     proc.IDs("r1", "r2", "r3"),
 		edgeID:  "e1",
@@ -121,6 +159,9 @@ func (c *cluster) buildCore(id proc.ID) *coreNode {
 		// Donor side of the state-transfer protocol: registered before the
 		// stack starts (rchannel handlers are pre-start only).
 		replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
+		scope := c.scope(id, k)
+		node.RegisterMetrics(scope)
+		rep.RegisterMetrics(scope)
 		n.sms = append(n.sms, sm)
 		n.reps = append(n.reps, rep)
 		n.nds = append(n.nds, node)
@@ -186,6 +227,10 @@ func (c *cluster) buildFollowerNode(id proc.ID, inc uint64, donors []proc.ID) *e
 		membership.New(noBroadcast{}, ep, proc.NewView(id), membership.Snapshotter{
 			Restore: func(b []byte) { _ = f.InstallSnapshot(b) },
 		})
+		scope := c.scope(id, k)
+		ep.RegisterMetrics(scope)
+		f.RegisterMetrics(scope)
+		syncer.RegisterMetrics(scope)
 		ep.Start()
 		syncer.Start()
 		e.sms = append(e.sms, sm)
@@ -412,6 +457,12 @@ func (c *cluster) newShardedClient(addrs []string, opTimeout time.Duration, stic
 // commit index (the maximum over cores) and the edge followers have caught
 // up, then returns the per-shard target indexes. Must be called after all
 // client traffic has stopped.
+//
+// Convergence is required through BOTH views: the replicas' own
+// CommitIndex() accessors AND the commit-index gauges in the telemetry
+// registry. A replica that advanced without pushing its gauge (or pushed a
+// stale value) keeps the shard unsettled until the timeout prints both
+// views side by side.
 func (c *cluster) converge(timeout time.Duration) []uint64 {
 	c.t.Helper()
 	deadline := time.Now().Add(timeout * raceScale)
@@ -429,22 +480,35 @@ func (c *cluster) converge(timeout time.Duration) []uint64 {
 				if n.reps[k].CommitIndex() != target {
 					settled = false
 				}
+				if g, ok := c.commitIndexGauge(n.id, k); !ok || g != target {
+					settled = false
+				}
 			}
 			for _, e := range c.followNodes() {
 				if e.reps[k].CommitIndex() < target {
 					settled = false
 				}
+				if g, ok := c.commitIndexGauge(e.id, k); !ok || g < target {
+					settled = false
+				}
 			}
 			if settled {
+				if lag := c.registryLag(k); lag != 0 {
+					c.t.Fatalf("shard %d: registry lag %d after direct convergence", k, lag)
+				}
 				targets[k] = target
 				break
 			}
 			if time.Now().After(deadline) {
 				for _, n := range c.liveCores() {
-					c.t.Logf("shard %d: core %s at index %d", k, n.id, n.reps[k].CommitIndex())
+					g, ok := c.commitIndexGauge(n.id, k)
+					c.t.Logf("shard %d: core %s at index %d (gauge %d, registered %v)",
+						k, n.id, n.reps[k].CommitIndex(), g, ok)
 				}
 				for _, e := range c.followNodes() {
-					c.t.Logf("shard %d: follower %s at index %d", k, e.id, e.reps[k].CommitIndex())
+					g, ok := c.commitIndexGauge(e.id, k)
+					c.t.Logf("shard %d: follower %s at index %d (gauge %d, registered %v)",
+						k, e.id, e.reps[k].CommitIndex(), g, ok)
 				}
 				c.t.Fatalf("shard %d never converged on a commit index (target %d)", k, target)
 			}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/gbcast"
+	"repro/internal/telemetry"
+)
+
+// RegisterMetrics exports the node's protocol-stack accounting under scope:
+// the reliable channel's admission/retransmission counters and the generic
+// broadcaster's delivery-mode split (fast vs ordered vs epoch boundaries —
+// the paper's thriftiness signal). Everything reads existing counters at
+// scrape time; the stack's hot paths are untouched.
+//
+// Broadcaster stats are a blocking query into its event loop, so the three
+// broadcast families share one snapshot memoized for a short interval: a
+// scrape costs at most one event-loop round trip per node, no matter how
+// many families read from it.
+func (n *Node) RegisterMetrics(s *telemetry.Scope) {
+	if s == nil {
+		return
+	}
+	n.ep.RegisterMetrics(s)
+	var (
+		mu     sync.Mutex
+		cached gbcast.Stats
+		at     time.Time
+	)
+	gbStats := func() gbcast.Stats {
+		mu.Lock()
+		defer mu.Unlock()
+		if time.Since(at) > 50*time.Millisecond {
+			cached, at = n.gb.Stats(), time.Now()
+		}
+		return cached
+	}
+	s.CounterFunc("gcs_broadcast_fast_delivered_total",
+		"Messages delivered through the fast (generic) path, no ordering round.",
+		func() float64 { return float64(gbStats().FastDelivered) })
+	s.CounterFunc("gcs_broadcast_ordered_delivered_total",
+		"Messages delivered through the atomic-broadcast (ordered) path.",
+		func() float64 { return float64(gbStats().OrderedDelivered) })
+	s.CounterFunc("gcs_broadcast_boundaries_total",
+		"Epoch boundaries (fast/ordered mode switches).",
+		func() float64 { return float64(gbStats().Boundaries) })
+}

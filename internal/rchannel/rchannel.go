@@ -130,6 +130,10 @@ type Endpoint struct {
 	statResets   uint64 // per-peer channel resets (peer restarted fresh)
 	statBad      uint64 // undecodable / unexpected frames
 
+	// Retransmission accounting (ChannelStats).
+	statRetrans       uint64 // frames re-sent by the retransmit loop
+	statBackoffResets uint64 // frames acked after at least one retransmission
+
 	loopback chan wire // local deliveries, so handlers always run on dispatch
 
 	stop chan struct{}
@@ -437,13 +441,20 @@ func (e *Endpoint) admit(from proc.ID, w wire) bool {
 	return true
 }
 
-// ChannelStats is the incarnation handshake's accounting.
+// ChannelStats is the incarnation handshake's and retransmit loop's
+// accounting.
 type ChannelStats struct {
 	Admitted uint64 // frames accepted
 	Ghost    uint64 // dropped: sent by a dead incarnation of the peer
 	Stale    uint64 // dropped: addressed to a previous life of this endpoint
 	Resets   uint64 // per-peer channel resets (peer restarted fresh)
 	Bad      uint64 // dropped: undecodable or unexpected frames
+	// Retransmits counts frames re-sent by the retransmit loop;
+	// BackoffResets counts frames eventually acknowledged after at least
+	// one retransmission — the backoff paid off rather than the channel
+	// being reset out from under the frame.
+	Retransmits   uint64
+	BackoffResets uint64
 }
 
 // Stats returns the endpoint's channel accounting.
@@ -451,7 +462,8 @@ func (e *Endpoint) Stats() ChannelStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return ChannelStats{Admitted: e.statAdmitted, Ghost: e.statGhost, Stale: e.statStale,
-		Resets: e.statResets, Bad: e.statBad}
+		Resets: e.statResets, Bad: e.statBad,
+		Retransmits: e.statRetrans, BackoffResets: e.statBackoffResets}
 }
 
 // PeerIncarnation returns the highest incarnation this endpoint has
@@ -472,8 +484,11 @@ func (e *Endpoint) applyAck(from proc.ID, ack uint64) {
 	if !ok {
 		return
 	}
-	for seq := range out.unacked {
+	for seq, p := range out.unacked {
 		if seq <= ack {
+			if p.attempts > 0 {
+				e.statBackoffResets++
+			}
 			delete(out.unacked, seq)
 		}
 	}
@@ -589,6 +604,7 @@ func (e *Endpoint) retransmitPass() {
 			if now.Sub(p.lastSent) >= interval {
 				p.lastSent = now
 				p.attempts++
+				e.statRetrans++
 				resends = append(resends, resend{to: to, frame: p.frame})
 			}
 			if oldest == nil || p.firstSent.Before(oldest.firstSent) {

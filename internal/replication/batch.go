@@ -94,6 +94,7 @@ type batchOp struct {
 	op  []byte
 	ack uint64
 	w   *sessWaiter
+	enq time.Time // enqueue time; zero when metrics are off
 }
 
 // batcher is the primary-side group-commit pipeline. Operations enqueue
@@ -171,6 +172,10 @@ func (p *Passive) BatchStats() BatchStats {
 // enqueue adds one operation to the next batch. The caller has already
 // registered w in p.inflight (for sessioned operations) so retries join it.
 func (b *batcher) enqueue(op *batchOp) {
+	if b.p.metrics.Load() != nil {
+		op.enq = time.Now()
+	}
+	b.p.markOp(op.key, "batch_enqueue")
 	b.mu.Lock()
 	if b.stopped {
 		b.mu.Unlock()
@@ -315,6 +320,12 @@ func (b *batcher) flush(ops []*batchOp) {
 	p.batchWaiters[req] = ch
 	p.mu.Unlock()
 
+	m := p.metrics.Load()
+	if m != nil {
+		m.observeBatchWait(ops, time.Now())
+	}
+	p.markOps(ops, "batch_flush")
+
 	// Execute in queue order. Execute must not mutate authoritative state
 	// (PassiveStateMachine contract), so ordering here only fixes the order
 	// entries are applied in everywhere.
@@ -327,6 +338,10 @@ func (b *batcher) flush(ops []*batchOp) {
 		}
 	}
 	u := pUpdateBatch{Epoch: epoch, Client: p.self, ReqID: req, Entries: entries}
+	var sent time.Time
+	if m != nil {
+		sent = time.Now()
+	}
 	if err := p.node.Gbcast(ClassUpdate, u); err != nil {
 		p.mu.Lock()
 		delete(p.batchWaiters, req)
@@ -348,6 +363,9 @@ func (b *batcher) flush(ops []*batchOp) {
 
 	select {
 	case delivered := <-ch:
+		if m != nil {
+			m.commitLatency.Observe(time.Since(sent))
+		}
 		if delivered.Epoch == staleEpoch {
 			for _, op := range ops {
 				p.resolve(op.key, op.w, nil, ErrDemoted)
@@ -356,6 +374,7 @@ func (b *batcher) flush(ops []*batchOp) {
 		}
 		// Entry order is preserved through delivery; dup entries carry the
 		// cached original result (see onUpdateBatch).
+		p.markOps(ops, "delivered")
 		for i, op := range ops {
 			p.resolve(op.key, op.w, delivered.Entries[i].Result, nil)
 		}

@@ -1,0 +1,181 @@
+package replication
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Registry hookup for the replication layer.
+//
+// Two mechanisms, chosen by cost:
+//
+//   - Everything the replica already counts under its mutex (Figure 8
+//     counters, batch/barrier/lease/session accounting) is exported through
+//     counter-funcs that read the existing Stats methods at scrape time —
+//     zero new hot-path work, and the legacy Stats() methods keep working
+//     for tests and benches.
+//   - What only exists in the moment — the commit index at its advance, an
+//     op's wait in the batch queue, a broadcast's time to delivery, a
+//     snapshot install — is pushed into instruments held in a ReplMetrics
+//     struct resolved through an atomic pointer (nil until RegisterMetrics,
+//     so the uninstrumented path costs one load and one branch).
+//
+// The commit-index gauge is the lag primitive: every replica of a group
+// exports gcs_replication_commit_index under its own node/shard scope, and
+// an observer (chaostest, a dashboard) reads lag as max-min over the group
+// — there is no cross-replica lag gauge computed inside the node, because
+// a replica cannot know the primary's index without another message.
+
+// ReplMetrics is the replica's pushed instrument set.
+type ReplMetrics struct {
+	commitIndex     *telemetry.Gauge
+	batchWait       *telemetry.Histogram // op enqueue → batch flush start
+	commitLatency   *telemetry.Histogram // g-broadcast → delivery (update path)
+	snapshotInstall *telemetry.Histogram
+	snapEncoded     *telemetry.Counter
+	snapInstalled   *telemetry.Counter
+	snapBytesOut    *telemetry.Counter
+	snapBytesIn     *telemetry.Counter
+}
+
+// RegisterMetrics binds the replica's accounting into scope and enables
+// the pushed instruments. Call once per replica, at wiring time.
+func (p *Passive) RegisterMetrics(s *telemetry.Scope) {
+	if s == nil {
+		return
+	}
+	s.CounterFunc("gcs_replication_applied_total",
+		"Updates applied to the state machine.",
+		func() float64 { a, _, _ := p.Counters(); return float64(a) })
+	s.CounterFunc("gcs_replication_ignored_total",
+		"Stale-epoch updates ignored.",
+		func() float64 { _, i, _ := p.Counters(); return float64(i) })
+	s.CounterFunc("gcs_replication_primary_changes_total",
+		"Delivered primary changes (epochs).",
+		func() float64 { _, _, c := p.Counters(); return float64(c) })
+	s.CounterFunc("gcs_replication_duplicates_total",
+		"Session updates suppressed at apply time (exactly-once).",
+		func() float64 { return float64(p.Duplicates()) })
+	s.CounterFunc("gcs_replication_batches_total",
+		"Group-commit batches broadcast.",
+		func() float64 { return float64(p.BatchStats().Batches) })
+	s.CounterFunc("gcs_replication_batched_ops_total",
+		"Operations carried by group-commit batches.",
+		func() float64 { return float64(p.BatchStats().Ops) })
+	s.GaugeFunc("gcs_replication_batch_max_ops",
+		"Largest batch broadcast so far.",
+		func() float64 { return float64(p.BatchStats().MaxBatch) })
+	s.CounterFunc("gcs_replication_barrier_broadcasts_total",
+		"Read barriers broadcast (after coalescing).",
+		func() float64 { return float64(p.ReadBarrierStats().Broadcasts) })
+	s.CounterFunc("gcs_replication_barrier_reads_total",
+		"Linearizable reads served through barriers.",
+		func() float64 { return float64(p.ReadBarrierStats().Reads) })
+	s.GaugeFunc("gcs_replication_barrier_max_coalesced",
+		"Most reads coalesced behind one barrier.",
+		func() float64 { return float64(p.ReadBarrierStats().MaxCoalesced) })
+	s.GaugeFunc("gcs_replication_lease_clock",
+		"Replicated lease clock (delivered ticks).",
+		func() float64 { return float64(p.LeaseStats().Clock) })
+	s.CounterFunc("gcs_replication_lease_expired_total",
+		"Session records pruned by the lease.",
+		func() float64 { return float64(p.LeaseStats().Expired) })
+	s.GaugeFunc("gcs_replication_sessions",
+		"Sessions in the replicated dedup table.",
+		func() float64 { n, _ := p.SessionTableSize(); return float64(n) })
+	s.GaugeFunc("gcs_replication_epoch",
+		"Current epoch (primary-change count).",
+		func() float64 { return float64(p.Epoch()) })
+
+	m := &ReplMetrics{
+		commitIndex: s.Gauge("gcs_replication_commit_index",
+			"Position in the totally ordered command sequence; lag = max-min over a group."),
+		batchWait: s.Histogram("gcs_replication_batch_wait_seconds",
+			"Time an operation waits in the batch queue before its flush starts."),
+		commitLatency: s.Histogram("gcs_replication_commit_seconds",
+			"Time from g-broadcast of an update (or batch) to its local delivery."),
+		snapshotInstall: s.Histogram("gcs_replication_snapshot_install_seconds",
+			"Time to install a received snapshot (decode through state restore)."),
+		snapEncoded: s.Counter("gcs_replication_snapshots_encoded_total",
+			"Snapshots captured at this replica."),
+		snapInstalled: s.Counter("gcs_replication_snapshots_installed_total",
+			"Snapshots installed at this replica."),
+		snapBytesOut: s.Counter("gcs_replication_snapshot_bytes_out_total",
+			"Encoded snapshot bytes produced."),
+		snapBytesIn: s.Counter("gcs_replication_snapshot_bytes_in_total",
+			"Encoded snapshot bytes installed."),
+	}
+	p.mu.Lock()
+	m.commitIndex.Set(int64(p.commitIdx))
+	p.mu.Unlock()
+	p.metrics.Store(m)
+}
+
+// SetTracer installs the tracer consulted for cross-layer stage marks
+// (batch_enqueue, batch_flush, delivered). The gateway owns sampling; the
+// replica only marks ops whose key the gateway Attached, gated on one
+// atomic load when nothing is attached.
+func (p *Passive) SetTracer(t *telemetry.Tracer) {
+	p.tracer.Store(t)
+}
+
+// markOps marks one stage on every sessioned op in the slice, if any
+// traces are attached.
+func (p *Passive) markOps(ops []*batchOp, stage string) {
+	t := p.tracer.Load()
+	if !t.HasActive() {
+		return
+	}
+	for _, op := range ops {
+		if op.key.session != "" {
+			t.MarkKey(telemetry.OpKey(op.key.session, op.key.seq), stage)
+		}
+	}
+}
+
+// markOp marks one stage on a single sessioned op.
+func (p *Passive) markOp(key sessKey, stage string) {
+	t := p.tracer.Load()
+	if key.session == "" || !t.HasActive() {
+		return
+	}
+	t.MarkKey(telemetry.OpKey(key.session, key.seq), stage)
+}
+
+// RegisterMetrics exports the follower syncer's accounting under scope.
+func (s *Syncer) RegisterMetrics(sc *telemetry.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.CounterFunc("gcs_sync_pulls_total",
+		"Sync pull RPCs attempted.",
+		func() float64 { return float64(s.Stats().Pulls) })
+	sc.CounterFunc("gcs_sync_failures_total",
+		"Sync pull RPCs that timed out or failed to send.",
+		func() float64 { return float64(s.Stats().Failures) })
+	sc.CounterFunc("gcs_sync_snapshots_total",
+		"Snapshots installed through the syncer.",
+		func() float64 { return float64(s.Stats().Snapshots) })
+	sc.CounterFunc("gcs_sync_entries_total",
+		"Log entries applied through the syncer.",
+		func() float64 { return float64(s.Stats().Entries) })
+	sc.GaugeFunc("gcs_sync_last_pull_donor_seconds",
+		"Donor handling time of the last completed pull.",
+		func() float64 { return s.Stats().LastDonorMS / 1e3 })
+	sc.GaugeFunc("gcs_sync_last_pull_rtt_seconds",
+		"Transit time (request + response) of the last completed pull.",
+		func() float64 { st := s.Stats(); return (st.LastReqMS + st.LastRespMS) / 1e3 })
+}
+
+// observeBatchWait records each op's queue wait at flush start.
+func (m *ReplMetrics) observeBatchWait(ops []*batchOp, now time.Time) {
+	if m == nil {
+		return
+	}
+	for _, op := range ops {
+		if !op.enq.IsZero() {
+			m.batchWait.Observe(now.Sub(op.enq))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/gbcast"
 	"repro/internal/msg"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 )
 
 // Passive replication with generic broadcast instead of view synchrony —
@@ -123,6 +125,11 @@ type Passive struct {
 	sm   PassiveStateMachine
 	node *core.Node
 	self proc.ID
+
+	// Observability hookups, nil until wired (see metrics.go). Atomic
+	// pointers so hot paths read them without taking mu.
+	metrics atomic.Pointer[ReplMetrics]
+	tracer  atomic.Pointer[telemetry.Tracer]
 
 	mu       sync.Mutex
 	replicas proc.View // replica list; head is the primary
@@ -435,6 +442,9 @@ func (p *Passive) WaitCommit(index uint64, timeout time.Duration, abort <-chan s
 // against other deliveries.)
 func (p *Passive) advanceCommitLocked(n uint64) {
 	p.commitIdx += n
+	if m := p.metrics.Load(); m != nil {
+		m.commitIndex.Set(int64(p.commitIdx))
+	}
 	if len(p.idxWaiters) == 0 {
 		return
 	}
@@ -621,6 +631,12 @@ func (p *Passive) driveSession(key sessKey, w *sessWaiter, req uint64, ch chan p
 		Update: update, Result: result,
 		Session: key.session, Seq: key.seq, Ack: ack,
 	}
+	p.markOp(key, "broadcast")
+	m := p.metrics.Load()
+	var sent time.Time
+	if m != nil {
+		sent = time.Now()
+	}
 	if err := p.node.Gbcast(ClassUpdate, u); err != nil {
 		p.mu.Lock()
 		delete(p.waiters, req)
@@ -629,10 +645,14 @@ func (p *Passive) driveSession(key sessKey, w *sessWaiter, req uint64, ch chan p
 		return
 	}
 	delivered := <-ch
+	if m != nil {
+		m.commitLatency.Observe(time.Since(sent))
+	}
 	if delivered.Epoch == staleEpoch {
 		p.resolve(key, w, nil, ErrDemoted)
 		return
 	}
+	p.markOp(key, "delivered")
 	p.resolve(key, w, delivered.Result, nil)
 }
 

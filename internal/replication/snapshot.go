@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"time"
 
 	"repro/internal/msg"
 	"repro/internal/proc"
@@ -214,6 +215,10 @@ func (p *Passive) EncodeSnapshot() []byte {
 		// state would be worse than stopping.
 		panic(fmt.Sprintf("replication: encode snapshot: %v", err))
 	}
+	if m := p.metrics.Load(); m != nil {
+		m.snapEncoded.Inc()
+		m.snapBytesOut.Add(uint64(len(data)))
+	}
 	return data
 }
 
@@ -242,6 +247,11 @@ func decodeSnapshot(data []byte) (pSnapshot, error) {
 // which lets a fresh follower adopt the view even before any command
 // exists. The application state is restored through the Snapshotter hook.
 func (p *Passive) InstallSnapshot(data []byte) error {
+	m := p.metrics.Load()
+	var start time.Time
+	if m != nil {
+		start = time.Now()
+	}
 	s, err := decodeSnapshot(data)
 	if err != nil {
 		return err
@@ -287,6 +297,11 @@ func (p *Passive) InstallSnapshot(data []byte) error {
 	p.mu.Lock()
 	p.advanceCommitLocked(s.Index - p.commitIdx)
 	p.mu.Unlock()
+	if m != nil {
+		m.snapInstalled.Inc()
+		m.snapBytesIn.Add(uint64(len(data)))
+		m.snapshotInstall.Observe(time.Since(start))
+	}
 	return nil
 }
 

@@ -5,9 +5,11 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	mrand "math/rand/v2"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/transport"
@@ -129,6 +131,32 @@ type Client struct {
 	done   chan struct{}
 
 	permErr error // terminal misconfiguration (e.g. shard mismatch); set before Close
+
+	dials          atomic.Uint64 // handshakes attempted
+	dialFailures   atomic.Uint64 // handshakes that failed (dial, hello or welcome)
+	redirects      atomic.Uint64 // primary hints chased: NOT_PRIMARY answers, demotion pushes, handshake hops
+	unavailRetries atomic.Uint64 // TIMEOUT/UNAVAILABLE answers retried on another connection
+}
+
+// ClientStats is a snapshot of a client's recovery accounting: how hard it
+// worked to stay connected to the right gateway. A healthy steady state has
+// Dials == 1 and everything else 0; failovers and partitions show up here
+// long before they surface as ErrUnavailable.
+type ClientStats struct {
+	Dials              uint64 // handshakes attempted
+	DialFailures       uint64 // handshakes that failed
+	Redirects          uint64 // primary hints chased (answers, pushes, handshake hops)
+	UnavailableRetries uint64 // server TIMEOUT/UNAVAILABLE answers retried
+}
+
+// Stats returns a snapshot of the client's recovery counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Dials:              c.dials.Load(),
+		DialFailures:       c.dialFailures.Load(),
+		Redirects:          c.redirects.Load(),
+		UnavailableRetries: c.unavailRetries.Load(),
+	}
 }
 
 // NewClient creates a client for the gateways at cfg.Addrs. The first
@@ -322,8 +350,18 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 		return cl.result, cl.err
 	case <-timer.C:
 		c.abandon(cl.seq)
+		kind := map[bool]string{false: "write", true: "read"}[read]
+		// Terminal unavailability is the one failure the caller cannot see
+		// coming; log it structured, with the recovery counters that tell
+		// whether the client was dialing into a void or chasing redirects.
+		slog.Warn("service: operation unavailable",
+			"session", c.session, "shard", c.cfg.Shard,
+			"kind", kind, "seq", cl.seq, "timeout", c.cfg.OpTimeout,
+			"dials", c.dials.Load(), "dial_failures", c.dialFailures.Load(),
+			"redirects", c.redirects.Load(), "retries", c.unavailRetries.Load(),
+			"primary_hint", c.Primary())
 		return nil, fmt.Errorf("%w: %s op %d timed out after %v",
-			ErrUnavailable, map[bool]string{false: "write", true: "read"}[read], cl.seq, c.cfg.OpTimeout)
+			ErrUnavailable, kind, cl.seq, c.cfg.OpTimeout)
 	case <-c.done:
 		return nil, c.err()
 	}
@@ -481,8 +519,10 @@ func (c *Client) attemptConnect() (transport.StreamConn, string, bool) {
 				break
 			}
 			tried[addr] = true
+			c.dials.Add(1)
 			conn, welcome, err := c.handshake(addr)
 			if err != nil {
+				c.dialFailures.Add(1)
 				select {
 				case <-c.done:
 					// The handshake failed the client permanently (shard
@@ -503,6 +543,7 @@ func (c *Client) attemptConnect() (transport.StreamConn, string, bool) {
 				return conn, addr, true
 			}
 			// This gateway fronts a backup: chase its hint.
+			c.redirects.Add(1)
 			_ = conn.Close()
 			addr = welcome.Primary
 		}
@@ -589,6 +630,7 @@ func (c *Client) recvLoop(conn transport.StreamConn, gen int) {
 			}
 			// Demotion push: reconnect toward the new primary; pending
 			// operations are retransmitted there.
+			c.redirects.Add(1)
 			c.mu.Lock()
 			if f.Primary != "" {
 				c.hint = f.Primary
@@ -607,6 +649,7 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 	case errNotPrimary:
 		// The op stays pending; reconnect to the hinted primary and let the
 		// resend deliver it there.
+		c.redirects.Add(1)
 		c.mu.Lock()
 		if f.Redirect != "" {
 			c.hint = f.Redirect
@@ -620,6 +663,7 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 		// The gateway could not get the operation served (its replica is cut
 		// off, shutting down, or being replaced). Reconnect — possibly to
 		// another gateway — and retry under the same seq.
+		c.unavailRetries.Add(1)
 		c.connBroken(gen)
 	default:
 		// Terminal server-side error (PRUNED, NO_READS, BAD_READ_LEVEL,

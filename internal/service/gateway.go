@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/proc"
 	"repro/internal/replication"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -109,6 +110,8 @@ type GatewayStats struct {
 	Expired       uint64 // sessions garbage-collected by the lease timeout
 	MaxInflight   int64  // highest per-session in-flight count observed
 	ActiveStreams int64  // currently attached connections
+	Timeouts      uint64 // operations answered TIMEOUT
+	Unavailable   uint64 // operations answered UNAVAILABLE
 }
 
 // Gateway accepts networked client sessions at one node of the group and
@@ -137,6 +140,12 @@ type Gateway struct {
 	expired     atomic.Uint64
 	maxInflight atomic.Int64
 	active      atomic.Int64
+	timeouts    atomic.Uint64
+	unavail     atomic.Uint64
+
+	// Observability hookups, nil until wired (RegisterMetrics/SetTracer).
+	metrics atomic.Pointer[gwMetrics]
+	tracer  atomic.Pointer[telemetry.Tracer]
 }
 
 // gwSession is one client session's server-side state. Unanswered writes
@@ -145,7 +154,7 @@ type Gateway struct {
 type gwSession struct {
 	id        string
 	shard     uint32        // the shard named in the session's hello
-	queue     chan reqFrame // pending writes; capacity = MaxInflight-1
+	queue     chan gwReq    // pending writes; capacity = MaxInflight-1
 	stop      chan struct{} // closed when the session's lease expires
 	readSlots chan struct{} // waiting-read window; capacity = MaxInflight
 
@@ -341,6 +350,8 @@ func (g *Gateway) Stats() GatewayStats {
 		Expired:       g.expired.Load(),
 		MaxInflight:   g.maxInflight.Load(),
 		ActiveStreams: g.active.Load(),
+		Timeouts:      g.timeouts.Load(),
+		Unavailable:   g.unavail.Load(),
 	}
 }
 
@@ -446,7 +457,7 @@ func (g *Gateway) session(id string, shard uint32) *gwSession {
 	s := &gwSession{
 		id:         id,
 		shard:      shard,
-		queue:      make(chan reqFrame, depth),
+		queue:      make(chan gwReq, depth),
 		stop:       make(chan struct{}),
 		readSlots:  make(chan struct{}, g.cfg.MaxInflight),
 		lastActive: time.Now(),
@@ -641,12 +652,22 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 			g.serveRead(s, req)
 			continue
 		}
+		qr := gwReq{f: req, at: time.Now()}
+		if tracer := g.tracer.Load(); tracer.Sampled() {
+			// The op key ties the gateway's trace to the replication layer's
+			// stage marks (batch_enqueue/batch_flush/delivered); Attach here,
+			// before the op can reach the batcher.
+			key := telemetry.OpKey(s.id, req.Seq)
+			qr.tr = tracer.Start("write", key)
+			tracer.Attach(key, qr.tr)
+		}
 		// Backpressure: when the session's window is full this send blocks,
 		// pausing reads from the connection until the worker catches up.
 		s.inflight.Add(1)
 		select {
-		case s.queue <- req:
+		case s.queue <- qr:
 		case <-g.done:
+			g.dropTrace(s, qr)
 			return
 		}
 	}
@@ -659,6 +680,7 @@ func (g *Gateway) handleConn(conn transport.StreamConn) {
 // pipelined writes. An unknown level is rejected with BAD_READ_LEVEL rather
 // than silently degraded to a weaker read.
 func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
+	start := time.Now()
 	shard := g.shardList()[req.Shard]
 	if shard.Read == nil {
 		s.send(resFrame{Seq: req.Seq, Err: errNoReads})
@@ -677,6 +699,7 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 			Result: shard.Read(req.Op),
 			Index:  shard.Replica.CommitIndex(),
 		})
+		g.observeRead(s, level, start)
 	case ReadMonotonic, ReadLinearizable:
 		// Monotonic fast path: when the shard's replica has already reached
 		// the session's token — the steady-state case — the read is
@@ -688,6 +711,7 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 				Result: shard.Read(req.Op),
 				Index:  shard.Replica.CommitIndex(),
 			})
+			g.observeRead(s, level, start)
 			return
 		}
 		// Same backpressure as writes: at most MaxInflight waiting reads per
@@ -706,9 +730,23 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 			defer func() { <-s.readSlots }()
 			s.send(g.processRead(req, level))
 			s.touch()
+			g.observeRead(s, level, start)
 		}()
 	default:
 		s.send(resFrame{Seq: req.Seq, Err: errBadReadLevel})
+	}
+}
+
+// observeRead records a read's latency under its level and captures it as a
+// slow op above the tracer's threshold.
+func (g *Gateway) observeRead(s *gwSession, level ReadLevel, start time.Time) {
+	if m := g.metrics.Load(); m != nil {
+		m.readOp(level).ObserveSince(start)
+	}
+	if tracer := g.tracer.Load(); tracer != nil {
+		if d := time.Since(start); d >= tracer.SlowThreshold() {
+			tracer.CaptureSlow("read_"+level.String(), s.id, start, d)
+		}
 	}
 }
 
@@ -739,11 +777,13 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 		g.redirects.Add(1)
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout
+		g.timeouts.Add(1)
 	default:
 		// Infrastructure failure below the gateway (e.g. a dying replica
 		// stack): retryable, not terminal — the client reconnects and
 		// retries elsewhere instead of surfacing a fatal server error.
 		res.Err = errUnavailable
+		g.unavail.Add(1)
 	}
 	return res
 }
@@ -769,6 +809,7 @@ func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
 		g.redirects.Add(1)
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout
+		g.timeouts.Add(1)
 	case errors.Is(err, replication.ErrPruned):
 		res.Err = errPruned
 	default:
@@ -776,6 +817,7 @@ func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
 		// (session, seq) name makes the retry exactly-once regardless of
 		// whether this attempt executed.
 		res.Err = errUnavailable
+		g.unavail.Add(1)
 	}
 	return res
 }
@@ -801,9 +843,9 @@ func (g *Gateway) sessionWorker(s *gwSession) {
 		return
 	}
 	for {
-		var req reqFrame
+		var qr gwReq
 		select {
-		case req = <-s.queue:
+		case qr = <-s.queue:
 		case <-s.stop:
 			return
 		case <-g.done:
@@ -811,10 +853,12 @@ func (g *Gateway) sessionWorker(s *gwSession) {
 		}
 		// Unanswered writes at this instant: the queued ones plus this one.
 		g.observeInflight(int64(len(s.queue)) + 1)
-		res := g.processWrite(s, req)
+		g.markDispatch(qr)
+		res := g.processWrite(s, qr.f)
 		s.send(res)
 		s.touch()
 		s.inflight.Add(-1)
+		g.finishWrite(s, qr)
 	}
 }
 
@@ -834,9 +878,9 @@ func (g *Gateway) batchingWorker(s *gwSession) {
 		case <-g.done:
 			return
 		}
-		var req reqFrame
+		var qr gwReq
 		select {
-		case req = <-s.queue:
+		case qr = <-s.queue:
 		case <-s.stop:
 			return
 		case <-g.done:
@@ -844,14 +888,16 @@ func (g *Gateway) batchingWorker(s *gwSession) {
 		}
 		g.observeInflight(s.processing.Add(1))
 		g.wg.Add(1)
-		go func(req reqFrame) {
+		go func(qr gwReq) {
 			defer g.wg.Done()
-			res := g.processWrite(s, req)
+			g.markDispatch(qr)
+			res := g.processWrite(s, qr.f)
 			s.send(res)
 			s.touch()
 			s.processing.Add(-1)
 			s.inflight.Add(-1)
+			g.finishWrite(s, qr)
 			<-slots
-		}(req)
+		}(qr)
 	}
 }

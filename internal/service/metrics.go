@@ -1,0 +1,155 @@
+package service
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Gateway observability: per-stage latency histograms and sampled op traces.
+//
+// The gateway is where an operation's life begins and ends, so it owns the
+// end-to-end measurements: queue wait (connection read loop → worker
+// dispatch), write latency (enqueue → response sent, covering the whole
+// replicated path), and per-level read latency. The interior stages —
+// batch_enqueue, batch_flush, delivered — belong to the replication layer,
+// which marks them onto the same trace through the op key
+// (telemetry.OpKey(session, seq)); see replication.SetTracer.
+//
+// Everything the gateway already counts atomically (GatewayStats) is
+// exported through scrape-time counter/gauge funcs; only the latency
+// histograms are pushed, behind one atomic pointer load, so the
+// uninstrumented gateway pays a single branch per op.
+
+// gwReq is one queued write: the frame, its enqueue time (for queue-wait
+// and end-to-end latency) and, for sampled ops, the trace following it
+// across layers.
+type gwReq struct {
+	f  reqFrame
+	at time.Time
+	tr *telemetry.Trace
+}
+
+// gwMetrics is the gateway's pushed instrument set.
+type gwMetrics struct {
+	queueWait *telemetry.Histogram // connection read loop → worker dispatch
+	writeOp   *telemetry.Histogram // enqueue → response sent
+	readLocal *telemetry.Histogram
+	readMono  *telemetry.Histogram
+	readLin   *telemetry.Histogram
+}
+
+// readOp returns the histogram for a read level (levels are validated
+// before observation; ReadDefault is normalized to ReadLocal upstream).
+func (m *gwMetrics) readOp(level ReadLevel) *telemetry.Histogram {
+	switch level {
+	case ReadMonotonic:
+		return m.readMono
+	case ReadLinearizable:
+		return m.readLin
+	default:
+		return m.readLocal
+	}
+}
+
+// RegisterMetrics binds the gateway's accounting into scope and enables
+// the latency histograms. Call once, at wiring time.
+func (g *Gateway) RegisterMetrics(s *telemetry.Scope) {
+	if s == nil {
+		return
+	}
+	s.CounterFunc("gcs_service_writes_total",
+		"Write operations answered successfully.",
+		func() float64 { return float64(g.writes.Load()) })
+	s.CounterFunc("gcs_service_reads_total",
+		"Read operations answered successfully.",
+		func() float64 { return float64(g.reads.Load()) })
+	s.CounterFunc("gcs_service_redirects_total",
+		"NOT_PRIMARY answers and demotion pushes.",
+		func() float64 { return float64(g.redirects.Load()) })
+	s.CounterFunc("gcs_service_timeouts_total",
+		"Operations answered TIMEOUT.",
+		func() float64 { return float64(g.timeouts.Load()) })
+	s.CounterFunc("gcs_service_unavailable_total",
+		"Operations answered UNAVAILABLE (retryable infrastructure failure).",
+		func() float64 { return float64(g.unavail.Load()) })
+	s.CounterFunc("gcs_service_sessions_expired_total",
+		"Sessions garbage-collected by the idle lease.",
+		func() float64 { return float64(g.expired.Load()) })
+	s.GaugeFunc("gcs_service_sessions",
+		"Live sessions at this gateway.",
+		func() float64 {
+			g.mu.Lock()
+			n := len(g.sessions)
+			g.mu.Unlock()
+			return float64(n)
+		})
+	s.GaugeFunc("gcs_service_active_streams",
+		"Currently attached client connections.",
+		func() float64 { return float64(g.active.Load()) })
+	s.GaugeFunc("gcs_service_max_inflight",
+		"Highest per-session unanswered-write count observed.",
+		func() float64 { return float64(g.maxInflight.Load()) })
+
+	g.metrics.Store(&gwMetrics{
+		queueWait: s.Histogram("gcs_service_write_queue_seconds",
+			"Time a write waits in the session queue before its worker dispatches it."),
+		writeOp: s.Histogram("gcs_service_write_seconds",
+			"Write latency, enqueue at the gateway to response sent."),
+		readLocal: s.Histogram("gcs_service_read_local_seconds",
+			"Local-level read latency at the gateway."),
+		readMono: s.Histogram("gcs_service_read_monotonic_seconds",
+			"Monotonic-level read latency at the gateway (incl. commit waits)."),
+		readLin: s.Histogram("gcs_service_read_linearizable_seconds",
+			"Linearizable read latency at the gateway (incl. the ordered barrier)."),
+	})
+}
+
+// SetTracer installs the tracer that samples write ops at the gateway and
+// captures slow ops of every kind. The gateway owns sampling; replication
+// layers mark attached traces by op key.
+func (g *Gateway) SetTracer(t *telemetry.Tracer) {
+	g.tracer.Store(t)
+}
+
+// markDispatch records queue wait and marks the dispatch stage as a
+// write leaves the session queue for its worker.
+func (g *Gateway) markDispatch(qr gwReq) {
+	if m := g.metrics.Load(); m != nil {
+		m.queueWait.ObserveSince(qr.at)
+	}
+	qr.tr.Mark("dispatch")
+}
+
+// finishWrite completes a write's observation after its response was sent:
+// end-to-end latency, the sampled trace's finish (detaching its op key so
+// the replication layer stops marking it), and slow-op capture for
+// unsampled ops.
+func (g *Gateway) finishWrite(s *gwSession, qr gwReq) {
+	if m := g.metrics.Load(); m != nil {
+		m.writeOp.ObserveSince(qr.at)
+	}
+	tracer := g.tracer.Load()
+	if tracer == nil {
+		return
+	}
+	if qr.tr != nil {
+		tracer.Detach(telemetry.OpKey(s.id, qr.f.Seq))
+		tracer.Finish(qr.tr)
+		return
+	}
+	if d := time.Since(qr.at); d >= tracer.SlowThreshold() {
+		tracer.CaptureSlow("write", s.id, qr.at, d)
+	}
+}
+
+// dropTrace abandons a queued write's trace on shutdown paths where the
+// write will never be processed.
+func (g *Gateway) dropTrace(s *gwSession, qr gwReq) {
+	if qr.tr == nil {
+		return
+	}
+	if tracer := g.tracer.Load(); tracer != nil {
+		tracer.Detach(telemetry.OpKey(s.id, qr.f.Seq))
+	}
+}

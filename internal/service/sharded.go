@@ -140,6 +140,22 @@ func (sc *ShardedClient) ReadAt(op []byte, level ReadLevel) ([]byte, error) {
 	return sc.shardFor(op).ReadAt(op, level)
 }
 
+// Stats returns the recovery accounting summed over all per-shard clients.
+func (sc *ShardedClient) Stats() ClientStats {
+	var out ClientStats
+	for _, cl := range sc.clients {
+		if cl == nil {
+			continue
+		}
+		st := cl.Stats()
+		out.Dials += st.Dials
+		out.DialFailures += st.DialFailures
+		out.Redirects += st.Redirects
+		out.UnavailableRetries += st.UnavailableRetries
+	}
+	return out
+}
+
 // Indexes returns the per-shard monotonic-read token vector: element k is
 // the highest commit index this session has observed on shard k.
 func (sc *ShardedClient) Indexes() []uint64 {

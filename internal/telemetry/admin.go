@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+)
+
+// Admin/debug HTTP surface: /metrics (Prometheus text), /healthz (JSON,
+// 503 when unhealthy), /debug/traces (JSON ring dump), /debug/pprof/*.
+// gcsnode mounts this on -admin-listen; tests mount it on httptest.
+
+// HealthCheck is one named health probe. Check returns ok plus a
+// human-readable detail string (commit index, primary identity, ...).
+// Checks run on every /healthz request and must be fast and concurrent-safe.
+type HealthCheck struct {
+	Name  string
+	Check func() (ok bool, detail string)
+}
+
+// AdminConfig wires the admin handler. Any field may be nil/empty; the
+// corresponding endpoint degrades gracefully (empty metrics, ok health,
+// empty traces).
+type AdminConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Health   []HealthCheck
+}
+
+// NewAdminHandler returns the admin/debug handler.
+func NewAdminHandler(cfg AdminConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		type checkResult struct {
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail,omitempty"`
+		}
+		resp := struct {
+			Status string                 `json:"status"`
+			Checks map[string]checkResult `json:"checks,omitempty"`
+		}{Status: "ok", Checks: map[string]checkResult{}}
+		healthy := true
+		for _, c := range cfg.Health {
+			ok, detail := c.Check()
+			resp.Checks[c.Name] = checkResult{OK: ok, Detail: detail}
+			healthy = healthy && ok
+		}
+		if !healthy {
+			resp.Status = "unhealthy"
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, req *http.Request) {
+		traces := cfg.Tracer.Recent()
+		if req.URL.Query().Get("slow") == "1" {
+			slow := traces[:0:0]
+			for _, tr := range traces {
+				if tr.Slow {
+					slow = append(slow, tr)
+				}
+			}
+			traces = slow
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			SlowOps uint64          `json:"slow_ops_total"`
+			Traces  []TraceSnapshot `json:"traces"`
+		}{SlowOps: cfg.Tracer.SlowOps(), Traces: traces})
+	})
+	// pprof on our own mux, not DefaultServeMux (gcsnode must not expose
+	// handlers it did not choose to).
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		endpoints := []string{"/metrics", "/healthz", "/debug/traces", "/debug/pprof/"}
+		sort.Strings(endpoints)
+		for _, e := range endpoints {
+			_, _ = w.Write([]byte(e + "\n"))
+		}
+	})
+	return mux
+}

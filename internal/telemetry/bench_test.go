@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramRecord is the instrumentation-overhead guard: Observe
+// is on every op's hot path, so its cost is pinned here (and re-measured
+// inline by the E16 overhead experiment, whose BENCH_overhead.json baseline
+// benchdiff compares in CI).
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	d := 350 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(d)
+	}
+}
+
+func BenchmarkHistogramRecordParallel(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		d := 350 * time.Microsecond
+		for pb.Next() {
+			h.Observe(d)
+		}
+	})
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("gcs_bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkNilInstruments measures the metrics-off path: one nil check.
+func BenchmarkNilInstruments(b *testing.B) {
+	var c *Counter
+	var h *Histogram
+	d := 350 * time.Microsecond
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(d)
+	}
+}

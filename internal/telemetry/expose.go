@@ -1,0 +1,328 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4), written by hand — the whole
+// point of the package is zero dependencies. Durations are exposed in
+// seconds (Prometheus convention); histogram series expand into
+// _bucket{le=...}, _sum and _count.
+
+// WritePrometheus writes every family in the registry in Prometheus text
+// format, families and series sorted for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	// Snapshot the structure under the lock, but defer evaluating read-through
+	// funcs (and histogram snapshots) until after release: a func may block on
+	// a busy subsystem (e.g. an event-loop stats query), and that wait must
+	// not serialize registrations or concurrent scrapes.
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type seriesCopy struct {
+		labels []Label
+		value  float64
+		fn     func() float64
+		hist   *Histogram
+		snap   HistogramSnapshot
+	}
+	type familyCopy struct {
+		name, help string
+		kind       kind
+		series     []seriesCopy
+	}
+	fams := make([]familyCopy, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fc := familyCopy{name: f.name, help: f.help, kind: f.kind}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			sc := seriesCopy{labels: s.labels, fn: s.fn, hist: s.hist}
+			switch {
+			case s.hist != nil, s.fn != nil:
+				// evaluated below, outside r.mu
+			case s.counter != nil:
+				sc.value = float64(s.counter.Value())
+			case s.gauge != nil:
+				sc.value = float64(s.gauge.Value())
+			}
+			fc.series = append(fc.series, sc)
+		}
+		fams = append(fams, fc)
+	}
+	r.mu.Unlock()
+
+	for fi := range fams {
+		for si := range fams[fi].series {
+			s := &fams[fi].series[si]
+			switch {
+			case s.hist != nil:
+				s.snap = s.hist.Snapshot()
+			case s.fn != nil:
+				s.value = s.fn()
+			}
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.series {
+			if s.hist == nil {
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, renderLabels(s.labels, "", 0), formatValue(s.value))
+				continue
+			}
+			for i, cum := range s.snap.Buckets {
+				le := "+Inf"
+				if i < len(s.snap.Bounds) {
+					le = formatValue(float64(s.snap.Bounds[i]) / 1e9)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, renderLabels(s.labels, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, renderLabels(s.labels, "", 0), formatValue(s.snap.Sum.Seconds()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.name, renderLabels(s.labels, "", 0), s.snap.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// renderLabels renders {k="v",...}; extraKey/extraVal append one more pair
+// (the histogram le label). extraVal may be string or numeric-as-string.
+func renderLabels(labels []Label, extraKey string, extraVal any) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%v"`, extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ValidateExposition checks that r is well-formed Prometheus text format:
+// legal metric and label names, balanced and quoted label syntax, numeric
+// values, TYPE lines preceding their samples, and no samples for a family
+// declared twice. It is the CI gate behind `promlint` — a malformed
+// exposition (from a future metric with a bad name or an unescaped label)
+// fails the bench job rather than a production scrape.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	typed := map[string]string{} // family → type
+	seenSample := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := fields[2]
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				t := fields[3]
+				switch t {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, t)
+				}
+				if prev, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, name, prev)
+				}
+				if seenSample[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typed[name] = t
+			}
+			continue
+		}
+		name, err := validateSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		seenSample[familyOf(name, typed)] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family, folding the
+// histogram suffixes onto the base name.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name && typed[base] == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validateSample parses one sample line, returning the metric name.
+func validateSample(line string) (string, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return "", err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// value [timestamp]
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", fmt.Errorf("malformed value in %q", line)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		if fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return "", fmt.Errorf("bad value %q", fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, nil
+}
+
+// scanLabels validates a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		// label name
+		j := i
+		for j < len(s) && s[j] != '=' {
+			j++
+		}
+		if j >= len(s) || !validLabelName(s[i:j]) {
+			return 0, fmt.Errorf("invalid label name %q", s[i:min(j, len(s))])
+		}
+		i = j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value must be quoted")
+		}
+		i++
+		for i < len(s) {
+			if s[i] == '\\' {
+				i += 2
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value")
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -1,0 +1,451 @@
+// Package telemetry is the unified observability core: a dependency-free,
+// allocation-conscious metrics registry (atomic counters, gauges and
+// fixed-bucket latency histograms), sampled operation tracing, and the
+// Prometheus/healthz/pprof admin surface served by gcsnode -admin-listen.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Recording into an instrument is one or two atomic
+//     operations; no locks, no maps, no allocation. Components hold typed
+//     instrument pointers resolved once at wiring time, never look up by
+//     name per event, and every instrument method is nil-safe so "metrics
+//     off" is a single predictable branch.
+//  2. Bounded memory. Label cardinality is capped per family
+//     (maxSeriesPerFamily); past the cap the registry hands out detached
+//     instruments that record but are never exported, and counts the drop.
+//     Histograms are fixed-size arrays, the trace ring is fixed-size.
+//  3. No dependencies. Exposition is Prometheus text format written by
+//     hand; tracing is a ring of structs; everything is stdlib.
+//
+// Naming scheme: gcs_<subsystem>_<metric>[_total|_seconds], with
+// registry-level scoping supplying the node= and shard= labels so
+// components never repeat them. See DESIGN.md "Observability".
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// maxSeriesPerFamily bounds the number of labeled series one metric name
+// may fan out into. The cap exists to keep a label-injection bug (a session
+// ID or peer address leaking into a label) from growing the registry
+// without bound; 256 is far above any intended cardinality (nodes × shards).
+const maxSeriesPerFamily = 256
+
+// Label is one key=value pair attached to a series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil *Counter is a no-op, so components can be wired without
+// metrics at zero cost beyond one branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// kind is the exposition type of a metric family.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance of a family. Exactly one of the value
+// fields is set, matching the family kind; fn (if non-nil) overrides the
+// stored value at exposition time (counter- and gauge-funcs).
+type series struct {
+	labels  []Label
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series // key: canonical label rendering
+}
+
+// Registry holds metric families and hands out instruments. All methods
+// are safe for concurrent use. A nil *Registry hands out nil instruments
+// (every registration method no-ops), so wiring code never branches on
+// "metrics enabled".
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	dropped  atomic.Uint64 // registrations refused by the cardinality cap
+}
+
+// NewRegistry returns an empty registry with the self-accounting
+// gcs_telemetry_dropped_series metric pre-registered.
+func NewRegistry() *Registry {
+	r := &Registry{families: make(map[string]*family)}
+	r.GaugeFunc("gcs_telemetry_dropped_series",
+		"Series registrations refused by the per-family cardinality cap.",
+		func() float64 { return float64(r.dropped.Load()) })
+	return r
+}
+
+// Dropped returns how many series registrations the cardinality cap refused.
+func (r *Registry) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// labelKey renders labels canonically (sorted by key) for series identity.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// register resolves (name, labels) to its series, creating family and
+// series as needed. Returns nil when the cardinality cap refuses the
+// series, or when the name is already registered with a different kind
+// (a programming error surfaced via the drop counter rather than a panic,
+// since metrics must never take the process down).
+func (r *Registry) register(name, help string, k kind, labels []Label) *series {
+	labels = sortLabels(labels)
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		r.dropped.Add(1)
+		return nil
+	}
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	if len(f.series) >= maxSeriesPerFamily {
+		r.dropped.Add(1)
+		return nil
+	}
+	s := &series{labels: labels}
+	f.series[key] = s
+	return s
+}
+
+// Counter returns the counter named name with the given labels, creating
+// it on first use. Repeated calls with identical name and labels return
+// the same instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindCounter, labels)
+	if s == nil {
+		return new(Counter) // detached: records, never exported
+	}
+	if s.counter == nil {
+		s.counter = new(Counter)
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge named name with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindGauge, labels)
+	if s == nil {
+		return new(Gauge)
+	}
+	if s.gauge == nil {
+		s.gauge = new(Gauge)
+	}
+	return s.gauge
+}
+
+// Histogram returns the latency histogram named name with the given labels.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindHistogram, labels)
+	if s == nil {
+		return NewHistogram()
+	}
+	if s.hist == nil {
+		s.hist = NewHistogram()
+	}
+	return s.hist
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// exposition time. fn must be safe for concurrent use; it is called
+// outside the registry lock, so it may take its component's own locks.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if s := r.register(name, help, kindGauge, labels); s != nil {
+		s.fn = fn
+	}
+}
+
+// CounterFunc registers a counter whose value is read by calling fn at
+// exposition time — the bridge for components that already keep their own
+// atomic counters (transport.Stats, rchannel.ChannelStats, the replication
+// stats structs) so they export without duplicating state.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	if s := r.register(name, help, kindCounter, labels); s != nil {
+		s.fn = fn
+	}
+}
+
+// Value returns the current value of the (name, labels) series, or false
+// if no such series exists. Histogram series report their observation
+// count. Intended for tests and in-process assertions (chaostest's lag
+// convergence checks), not hot paths.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	key := labelKey(sortLabels(labels))
+	r.mu.Lock()
+	f := r.families[name]
+	var s series // copied: s.fn may be re-bound under r.mu by a re-registration
+	found := false
+	if f != nil {
+		if sp := f.series[key]; sp != nil {
+			s, found = *sp, true
+		}
+	}
+	r.mu.Unlock()
+	if !found {
+		return 0, false
+	}
+	switch {
+	case s.fn != nil:
+		return s.fn(), true
+	case s.counter != nil:
+		return float64(s.counter.Value()), true
+	case s.gauge != nil:
+		return float64(s.gauge.Value()), true
+	case s.hist != nil:
+		return float64(s.hist.Count()), true
+	}
+	return 0, true
+}
+
+// Each calls fn for every series of the named family with its labels and
+// current value (histograms report their count). Ordering is unspecified.
+func (r *Registry) Each(name string, fn func(labels []Label, value float64)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	f := r.families[name]
+	var all []series // copied: fields may be re-bound under r.mu
+	if f != nil {
+		all = make([]series, 0, len(f.series))
+		for _, s := range f.series {
+			all = append(all, *s)
+		}
+	}
+	r.mu.Unlock()
+	for _, s := range all {
+		switch {
+		case s.fn != nil:
+			fn(s.labels, s.fn())
+		case s.counter != nil:
+			fn(s.labels, float64(s.counter.Value()))
+		case s.gauge != nil:
+			fn(s.labels, float64(s.gauge.Value()))
+		case s.hist != nil:
+			fn(s.labels, float64(s.hist.Count()))
+		}
+	}
+}
+
+// Scope is a registry handle with pre-bound labels (node=, shard=), so a
+// component registers metrics without knowing where it runs. A nil *Scope
+// hands out nil (no-op) instruments.
+type Scope struct {
+	r      *Registry
+	labels []Label
+}
+
+// Scope returns a scope binding the given labels to every instrument
+// registered through it.
+func (r *Registry) Scope(labels ...Label) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{r: r, labels: labels}
+}
+
+// With returns a child scope with additional bound labels.
+func (s *Scope) With(labels ...Label) *Scope {
+	if s == nil {
+		return nil
+	}
+	merged := make([]Label, 0, len(s.labels)+len(labels))
+	merged = append(merged, s.labels...)
+	merged = append(merged, labels...)
+	return &Scope{r: s.r, labels: merged}
+}
+
+func (s *Scope) merge(labels []Label) []Label {
+	if len(s.labels) == 0 {
+		return labels
+	}
+	merged := make([]Label, 0, len(s.labels)+len(labels))
+	merged = append(merged, s.labels...)
+	merged = append(merged, labels...)
+	return merged
+}
+
+// Counter registers a counter under the scope's labels.
+func (s *Scope) Counter(name, help string, labels ...Label) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.r.Counter(name, help, s.merge(labels)...)
+}
+
+// Gauge registers a gauge under the scope's labels.
+func (s *Scope) Gauge(name, help string, labels ...Label) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.r.Gauge(name, help, s.merge(labels)...)
+}
+
+// Histogram registers a histogram under the scope's labels.
+func (s *Scope) Histogram(name, help string, labels ...Label) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.r.Histogram(name, help, s.merge(labels)...)
+}
+
+// GaugeFunc registers a gauge-func under the scope's labels.
+func (s *Scope) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if s == nil {
+		return
+	}
+	s.r.GaugeFunc(name, help, fn, s.merge(labels)...)
+}
+
+// CounterFunc registers a counter-func under the scope's labels.
+func (s *Scope) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if s == nil {
+		return
+	}
+	s.r.CounterFunc(name, help, fn, s.merge(labels)...)
+}
+
+// OpKey renders the canonical cross-layer identity of a service operation
+// (session, sequence number), used both as trace ID and as the key tying
+// the gateway's sampled trace to the replication layer's stage marks.
+func OpKey(session string, seq uint64) string {
+	return fmt.Sprintf("%s#%d", session, seq)
+}

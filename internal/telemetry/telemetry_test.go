@@ -1,0 +1,410 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- histogram ---
+
+// TestHistogramConcurrentRecording hammers one histogram from many
+// goroutines (run under -race in CI) and checks the totals and quantile
+// bounds survive exactly.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	h := NewHistogram()
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				// spread 1µs..~10ms deterministically
+				h.Observe(time.Duration(1+(i*7919+w)%10000) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), uint64(workers*perW); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	snap := h.Snapshot()
+	if snap.Buckets[len(snap.Buckets)-1] != h.Count() {
+		t.Fatalf("cumulative +Inf bucket %d != count %d", snap.Buckets[len(snap.Buckets)-1], h.Count())
+	}
+	// The distribution is ~uniform over [1µs, 10ms]: p50 ≈ 5ms within
+	// bucket resolution (±10%) plus uniformity noise.
+	p50 := h.Quantile(0.5)
+	if p50 < 4*time.Millisecond || p50 > 6*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈5ms", p50)
+	}
+	if q0, q1 := h.Quantile(0), h.Quantile(1); q0 > q1 {
+		t.Fatalf("quantiles not monotone: q0=%v q1=%v", q0, q1)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// Known exact distribution: 1..1000 µs once each.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 500 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+		{0.999, 999 * time.Microsecond},
+	} {
+		got := h.Quantile(tc.q)
+		rel := math.Abs(float64(got-tc.exact)) / float64(tc.exact)
+		if rel > 0.12 {
+			t.Errorf("q%.3f = %v, want %v ±12%% (err %.1f%%)", tc.q, got, tc.exact, 100*rel)
+		}
+	}
+	if mean := h.Mean(); mean != 500*time.Microsecond+500*time.Nanosecond {
+		// Exact mean of 1..1000µs is 500.5µs (sum is exact, not bucketed).
+		t.Errorf("mean = %v, want 500.5µs", mean)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	nilH.Observe(time.Second) // must not panic
+	if nilH.Quantile(0.5) != 0 || nilH.Mean() != 0 || nilH.Count() != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h.Observe(-time.Second) // clock step: clamps to 0
+	h.Observe(0)
+	h.Observe(time.Nanosecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	if q := h.Quantile(1); q > time.Duration(histBounds[0]) {
+		t.Fatalf("sub-µs observations must stay in bucket 0, q1=%v", q)
+	}
+	// Overflow bucket: beyond the last bound.
+	h2 := NewHistogram()
+	h2.Observe(10 * time.Minute)
+	if q := h2.Quantile(0.5); q != time.Duration(histBounds[numHistBuckets-1]) {
+		t.Fatalf("overflow quantile = %v, want clamp to last bound", q)
+	}
+}
+
+func TestHistogramBoundsMonotone(t *testing.T) {
+	for i := 1; i < numHistBuckets; i++ {
+		if histBounds[i] <= histBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, histBounds[i], histBounds[i-1])
+		}
+	}
+	if histBounds[numHistBuckets-1] < int64(60*time.Second) {
+		t.Fatalf("top bound %v < 60s", time.Duration(histBounds[numHistBuckets-1]))
+	}
+}
+
+// --- registry ---
+
+func TestRegistryIdentityAndValue(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("gcs_test_ops_total", "ops", L("node", "n1"))
+	b := r.Counter("gcs_test_ops_total", "ops", L("node", "n1"))
+	if a != b {
+		t.Fatal("same name+labels must return the same instrument")
+	}
+	c := r.Counter("gcs_test_ops_total", "ops", L("node", "n2"))
+	if a == c {
+		t.Fatal("different labels must return different instruments")
+	}
+	a.Add(3)
+	c.Inc()
+	if v, ok := r.Value("gcs_test_ops_total", L("node", "n1")); !ok || v != 3 {
+		t.Fatalf("Value(n1) = %v,%v want 3,true", v, ok)
+	}
+	// Label order must not matter for identity.
+	d := r.Counter("gcs_test_multi_total", "x", L("b", "2"), L("a", "1"))
+	e := r.Counter("gcs_test_multi_total", "x", L("a", "1"), L("b", "2"))
+	if d != e {
+		t.Fatal("label order must not change series identity")
+	}
+	g := r.Gauge("gcs_test_depth", "depth")
+	g.Set(7)
+	g.Dec()
+	if v, _ := r.Value("gcs_test_depth"); v != 6 {
+		t.Fatalf("gauge = %v, want 6", v)
+	}
+}
+
+func TestRegistryCardinalityBound(t *testing.T) {
+	r := NewRegistry()
+	var last *Counter
+	for i := 0; i < maxSeriesPerFamily+50; i++ {
+		last = r.Counter("gcs_test_cardinality_total", "x", L("id", fmt.Sprint(i)))
+		last.Inc() // detached instruments must still record without panic
+	}
+	if got := r.Dropped(); got != 50 {
+		t.Fatalf("dropped = %d, want 50", got)
+	}
+	// Overflowed series must not be exported.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(sb.String(), "gcs_test_cardinality_total{"); n != maxSeriesPerFamily {
+		t.Fatalf("exported %d series, want %d", n, maxSeriesPerFamily)
+	}
+	// Kind conflicts are refused, not panicked.
+	if g := r.Gauge("gcs_test_cardinality_total", "x"); g == nil {
+		t.Fatal("kind-conflict must return a detached instrument, not nil")
+	}
+	if r.Dropped() != 51 {
+		t.Fatalf("dropped = %d, want 51 after kind conflict", r.Dropped())
+	}
+}
+
+func TestNilRegistryAndScope(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Inc() // no-op, no panic
+	var s *Scope
+	s.Counter("y_total", "y").Add(2)
+	s.Histogram("z_seconds", "z").Observe(time.Second)
+	s.GaugeFunc("w", "w", func() float64 { return 1 })
+	if _, ok := r.Value("x_total"); ok {
+		t.Fatal("nil registry must have no values")
+	}
+	sub := s.With(L("shard", "0"))
+	if sub != nil {
+		t.Fatal("nil scope With must stay nil")
+	}
+}
+
+func TestScopeLabels(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope(L("node", "n1")).With(L("shard", "2"))
+	s.Counter("gcs_test_scoped_total", "x").Add(9)
+	if v, ok := r.Value("gcs_test_scoped_total", L("node", "n1"), L("shard", "2")); !ok || v != 9 {
+		t.Fatalf("scoped value = %v,%v", v, ok)
+	}
+}
+
+func TestRegistryEach(t *testing.T) {
+	r := NewRegistry()
+	r.Scope(L("shard", "0")).Gauge("gcs_test_idx", "i").Set(4)
+	r.Scope(L("shard", "1")).Gauge("gcs_test_idx", "i").Set(9)
+	seen := map[string]float64{}
+	r.Each("gcs_test_idx", func(labels []Label, v float64) {
+		for _, l := range labels {
+			if l.Key == "shard" {
+				seen[l.Value] = v
+			}
+		}
+	})
+	if len(seen) != 2 || seen["0"] != 4 || seen["1"] != 9 {
+		t.Fatalf("Each saw %v", seen)
+	}
+}
+
+// --- exposition ---
+
+func TestExpositionRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	s := r.Scope(L("node", "n1"))
+	s.Counter("gcs_test_frames_total", "frames sent", L("dir", "out")).Add(12)
+	s.Gauge("gcs_test_queue_depth", "queued frames").Set(-3)
+	s.Histogram("gcs_test_op_seconds", "op latency").Observe(1500 * time.Microsecond)
+	s.GaugeFunc("gcs_test_func", `tricky "help" with \ and`+"\nnewline", func() float64 { return 2.5 })
+	s.Counter("gcs_test_escape_total", "x", L("peer", `a"b\c`)).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`gcs_test_frames_total{dir="out",node="n1"} 12`,
+		`gcs_test_queue_depth{node="n1"} -3`,
+		`# TYPE gcs_test_op_seconds histogram`,
+		`gcs_test_op_seconds_count{node="n1"} 1`,
+		`le="+Inf"`,
+		`gcs_test_escape_total{node="n1",peer="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition(strings.NewReader(out)); err != nil {
+		t.Fatalf("own exposition must validate: %v\n%s", err, out)
+	}
+	// Histogram sum is in seconds.
+	if !strings.Contains(out, "gcs_test_op_seconds_sum{node=\"n1\"} 0.0015") {
+		t.Errorf("histogram sum not in seconds:\n%s", out)
+	}
+}
+
+func TestValidateExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"9metric 1\n",                     // name starts with digit
+		"ok_metric{le=\"x} 1\n",           // unterminated label value
+		"ok_metric{9bad=\"x\"} 1\n",       // bad label name
+		"ok_metric notanumber\n",          // bad value
+		"# TYPE m wat\nm 1\n",             // unknown type
+		"m 1\n# TYPE m counter\n",         // TYPE after samples
+		"# TYPE m counter\n# TYPE m gauge\n", // duplicate TYPE
+	} {
+		if err := ValidateExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+	good := "# HELP m help text\n# TYPE m counter\nm{a=\"b\"} 5 1700000000\nplain 2\n"
+	if err := ValidateExposition(strings.NewReader(good)); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+// --- tracer ---
+
+func TestTraceRingTruncation(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1, RingSize: 8})
+	for i := 0; i < 20; i++ {
+		x := tr.Start("op", fmt.Sprintf("t#%d", i))
+		x.Mark("stage")
+		tr.Finish(x)
+	}
+	recent := tr.Recent()
+	if len(recent) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(recent))
+	}
+	// Newest first: ids 19..12.
+	for i, snap := range recent {
+		want := fmt.Sprintf("t#%d", 19-i)
+		if snap.ID != want {
+			t.Fatalf("recent[%d] = %s, want %s", i, snap.ID, want)
+		}
+	}
+}
+
+func TestTracerSamplingAndAttach(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 4, RingSize: 16})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr.Sampled() {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 with 1-in-4, want 25", sampled)
+	}
+	if tr.HasActive() {
+		t.Fatal("no traces attached yet")
+	}
+	x := tr.Start("write", OpKey("sess", 7))
+	tr.Attach(OpKey("sess", 7), x)
+	if !tr.HasActive() {
+		t.Fatal("attach must raise the active count")
+	}
+	tr.MarkKey(OpKey("sess", 7), "batch_flush")
+	tr.MarkKey(OpKey("other", 1), "ignored") // unknown key: no-op
+	tr.Detach(OpKey("sess", 7))
+	tr.Detach(OpKey("sess", 7)) // double-detach must not underflow
+	if tr.HasActive() {
+		t.Fatal("detach must drop the active count")
+	}
+	tr.Finish(x)
+	recent := tr.Recent()
+	if len(recent) != 1 || len(recent[0].Stages) != 1 || recent[0].Stages[0].Name != "batch_flush" {
+		t.Fatalf("trace = %+v", recent)
+	}
+}
+
+func TestTracerSlowCapture(t *testing.T) {
+	tr := NewTracer(TracerConfig{SampleEvery: 1 << 30, RingSize: 4, SlowThreshold: time.Millisecond})
+	tr.CaptureSlow("write", "s#1", time.Now().Add(-5*time.Millisecond), 5*time.Millisecond)
+	tr.CaptureSlow("write", "s#2", time.Now(), 10*time.Microsecond) // below threshold: dropped
+	if tr.SlowOps() != 1 {
+		t.Fatalf("slowOps = %d, want 1", tr.SlowOps())
+	}
+	recent := tr.Recent()
+	if len(recent) != 1 || !recent[0].Slow || recent[0].ID != "s#1" {
+		t.Fatalf("recent = %+v", recent)
+	}
+	var nilT *Tracer
+	if nilT.Sampled() || nilT.HasActive() {
+		t.Fatal("nil tracer must sample nothing")
+	}
+	nilT.MarkKey("k", "s")
+	nilT.Finish(nil)
+}
+
+// --- admin handler ---
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Scope(L("node", "n1")).Counter("gcs_test_total", "x").Inc()
+	tr := NewTracer(TracerConfig{SampleEvery: 1, RingSize: 4})
+	x := tr.Start("write", "k#1")
+	tr.Finish(x)
+	healthy := true
+	h := NewAdminHandler(AdminConfig{
+		Registry: r,
+		Tracer:   tr,
+		Health: []HealthCheck{{
+			Name:  "shard-0",
+			Check: func() (bool, string) { return healthy, "commit=5" },
+		}},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "gcs_test_total") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	} else if err := ValidateExposition(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics invalid: %v", err)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"status": "ok"`) {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	healthy = false
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "unhealthy") {
+		t.Fatalf("unhealthy /healthz: %d %q", code, body)
+	}
+	if code, body := get("/debug/traces"); code != 200 || !strings.Contains(body, `"k#1"`) {
+		t.Fatalf("/debug/traces: %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	if code, body := get("/"); code != 200 || !strings.Contains(body, "/metrics") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+}

@@ -1,0 +1,261 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampled op tracing.
+//
+// One op in SampleEvery gets a Trace allocated at the gateway; the trace
+// records named stage marks (dispatch, batch_enqueue, batch_flush,
+// delivered, ...) as offsets from its start, and lands in a bounded ring
+// when finished. The interesting part is crossing layers without changing
+// interfaces: the gateway cannot thread a *Trace through the Replica
+// interface (both *replication.Passive roles satisfy it), so it Attaches
+// the trace under the op's key (telemetry.OpKey(session, seq)) and the
+// replication layer marks by key. The fast path for the other
+// (SampleEvery-1) ops is a single atomic load: MarkKey and HasActive
+// consult an active-trace count before touching the map, and callers are
+// expected to gate any key-building allocation on HasActive.
+//
+// Ops that were NOT sampled but exceed SlowThreshold are still captured —
+// as stage-less traces recording kind, id and total duration — so a tail
+// latency spike is never invisible just because sampling missed it.
+
+// TracerConfig configures a Tracer. Zero fields take the defaults noted.
+type TracerConfig struct {
+	// SampleEvery samples one op in N (default 256). 1 traces every op.
+	SampleEvery int
+	// RingSize bounds the ring of retained finished traces (default 256).
+	RingSize int
+	// SlowThreshold promotes any op at or above this duration into the
+	// ring even when unsampled (default 250ms; ≤0 keeps the default).
+	SlowThreshold time.Duration
+}
+
+// Tracer samples, collects and retains operation traces. A nil *Tracer is
+// a no-op everywhere.
+type Tracer struct {
+	sampleEvery uint64
+	slow        time.Duration
+	seq         atomic.Uint64
+	active      atomic.Int64 // live attached traces; gates the map fast path
+	attached    sync.Map     // op key → *Trace
+	slowOps     atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace // fixed capacity, next points at the oldest slot
+	next int
+	n    uint64 // total finished traces ever pushed
+}
+
+// NewTracer returns a tracer with the given config.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 256
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 256
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = 250 * time.Millisecond
+	}
+	return &Tracer{
+		sampleEvery: uint64(cfg.SampleEvery),
+		slow:        cfg.SlowThreshold,
+		ring:        make([]*Trace, 0, cfg.RingSize),
+	}
+}
+
+// stageMark is one named point in a trace's life.
+type stageMark struct {
+	name string
+	at   time.Duration // offset from Trace start
+}
+
+// Trace is one sampled operation in flight. Mark is safe for concurrent
+// use (gateway and replication layers mark independently).
+type Trace struct {
+	id    string
+	kind  string
+	start time.Time
+
+	mu     sync.Mutex
+	stages []stageMark
+	end    time.Duration
+	slow   bool
+}
+
+// Sampled reports whether the next op should be traced, advancing the
+// sampling counter. One call per op.
+func (t *Tracer) Sampled() bool {
+	if t == nil {
+		return false
+	}
+	return t.seq.Add(1)%t.sampleEvery == 0
+}
+
+// Start begins a trace for the op identified by id. Callers should gate
+// the id-building allocation on Sampled().
+func (t *Tracer) Start(kind, id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{id: id, kind: kind, start: time.Now()}
+}
+
+// SlowThreshold returns the slow-op capture threshold.
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.slow
+}
+
+// Mark records a named stage at the current time offset.
+func (tr *Trace) Mark(stage string) {
+	if tr == nil {
+		return
+	}
+	at := time.Since(tr.start)
+	tr.mu.Lock()
+	tr.stages = append(tr.stages, stageMark{name: stage, at: at})
+	tr.mu.Unlock()
+}
+
+// Attach registers tr under key so other layers can MarkKey it. No-op for
+// a nil trace, so callers attach unconditionally after a Sampled() gate.
+func (t *Tracer) Attach(key string, tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	t.attached.Store(key, tr)
+	t.active.Add(1)
+}
+
+// Detach unregisters key. Safe to call when key was never attached.
+func (t *Tracer) Detach(key string) {
+	if t == nil {
+		return
+	}
+	if _, ok := t.attached.LoadAndDelete(key); ok {
+		t.active.Add(-1)
+	}
+}
+
+// HasActive reports whether any trace is currently attached — the single
+// atomic load that keeps unsampled ops from paying for key construction.
+func (t *Tracer) HasActive() bool {
+	return t != nil && t.active.Load() > 0
+}
+
+// MarkKey records a stage on the trace attached under key, if any.
+func (t *Tracer) MarkKey(key, stage string) {
+	if t == nil || t.active.Load() == 0 {
+		return
+	}
+	if v, ok := t.attached.Load(key); ok {
+		v.(*Trace).Mark(stage)
+	}
+}
+
+// Finish completes tr, stamps its duration, flags it slow when at or above
+// the threshold, and retains it in the ring. The caller must have Detached
+// any key it Attached.
+func (t *Tracer) Finish(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	end := time.Since(tr.start)
+	tr.mu.Lock()
+	tr.end = end
+	tr.slow = end >= t.slow
+	tr.mu.Unlock()
+	if tr.slow {
+		t.slowOps.Add(1)
+	}
+	t.push(tr)
+}
+
+// CaptureSlow retains an unsampled op that crossed the slow threshold, as
+// a trace with no stage marks.
+func (t *Tracer) CaptureSlow(kind, id string, start time.Time, d time.Duration) {
+	if t == nil || d < t.slow {
+		return
+	}
+	t.slowOps.Add(1)
+	t.push(&Trace{id: id, kind: kind, start: start, end: d, slow: true})
+}
+
+// SlowOps returns how many ops crossed the slow threshold (sampled or not).
+func (t *Tracer) SlowOps() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.slowOps.Load()
+}
+
+func (t *Tracer) push(tr *Trace) {
+	t.mu.Lock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+	} else {
+		t.ring[t.next] = tr
+		t.next = (t.next + 1) % cap(t.ring)
+	}
+	t.n++
+	t.mu.Unlock()
+}
+
+// StageSnapshot is one stage mark in a trace snapshot.
+type StageSnapshot struct {
+	Name string `json:"stage"`
+	AtUS int64  `json:"at_us"`
+}
+
+// TraceSnapshot is a finished trace rendered for /debug/traces.
+type TraceSnapshot struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Start      time.Time       `json:"start"`
+	DurationUS int64           `json:"duration_us"`
+	Slow       bool            `json:"slow,omitempty"`
+	Stages     []StageSnapshot `json:"stages,omitempty"`
+}
+
+// Recent returns the retained traces, newest first.
+func (t *Tracer) Recent() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*Trace, 0, len(t.ring))
+	// ring[next-1] is the newest once full; before that, append order holds.
+	for i := len(t.ring) - 1; i >= 0; i-- {
+		idx := i
+		if len(t.ring) == cap(t.ring) {
+			idx = (t.next + i) % cap(t.ring)
+		}
+		traces = append(traces, t.ring[idx])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(traces))
+	for _, tr := range traces {
+		tr.mu.Lock()
+		snap := TraceSnapshot{
+			ID:         tr.id,
+			Kind:       tr.kind,
+			Start:      tr.start,
+			DurationUS: tr.end.Microseconds(),
+			Slow:       tr.slow,
+		}
+		for _, st := range tr.stages {
+			snap.Stages = append(snap.Stages, StageSnapshot{Name: st.name, AtUS: st.at.Microseconds()})
+		}
+		tr.mu.Unlock()
+		out = append(out, snap)
+	}
+	return out
+}

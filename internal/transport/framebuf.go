@@ -29,10 +29,12 @@ var framePool = sync.Pool{New: func() any { return new([]byte) }}
 func GetFrame(n int) []byte {
 	bp := framePool.Get().(*[]byte)
 	if cap(*bp) >= n {
+		poolHits.Add(1)
 		return (*bp)[:n]
 	}
 	// Too small for this frame: drop it (the pool refills with buffers sized
 	// by actual traffic) and allocate one that fits.
+	poolMisses.Add(1)
 	return make([]byte, n)
 }
 

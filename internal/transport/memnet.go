@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 )
 
 const defaultQueue = 4096
@@ -223,6 +224,11 @@ func (n *Network) SetDelay(min, max time.Duration) {
 // Stats returns the traffic counters.
 func (n *Network) Stats() StatsSnapshot {
 	return n.stats.Snapshot()
+}
+
+// RegisterMetrics exports the network's traffic counters under scope.
+func (n *Network) RegisterMetrics(s *telemetry.Scope) {
+	RegisterStats(s, &n.stats)
 }
 
 // ResetStats zeroes the traffic counters (between experiment phases).

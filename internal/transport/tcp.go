@@ -8,6 +8,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/proc"
 )
@@ -47,6 +48,8 @@ type TCPTransport struct {
 	peers map[proc.ID]string
 	ln    net.Listener
 	inbox chan Packet
+
+	metrics atomic.Pointer[tcpMetrics] // nil until RegisterMetrics
 
 	mu      sync.Mutex
 	conns   map[proc.ID]*tcpConn
@@ -117,12 +120,16 @@ func (t *TCPTransport) sendPrefixed(to proc.ID, prefix, data []byte) {
 	// Pack into one pooled buffer: the write loop owns it from here (and
 	// returns it to the pool), the caller keeps its own.
 	frame := packFrame2(prefix, data)
+	m := t.metrics.Load()
 	select {
 	case tc.out <- frame:
+		m.frameOut(len(frame))
 	case <-tc.done:
 		PutFrame(frame)
+		m.queueDrop()
 	default:
 		PutFrame(frame) // queue overflow: drop, per the unreliable contract
+		m.queueDrop()
 	}
 }
 
@@ -326,11 +333,14 @@ func (t *TCPTransport) readLoop(c net.Conn) {
 		if closed {
 			return
 		}
+		m := t.metrics.Load()
 		select {
 		case t.inbox <- Packet{From: from, Data: data}:
+			m.frameIn(len(data))
 		default:
 			// Queue overflow: drop, per the unreliable contract.
 			PutFrame(data)
+			m.inboxDrop()
 		}
 	}
 }
