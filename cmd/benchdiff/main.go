@@ -30,6 +30,8 @@ var metrics = map[string]bool{
 	"batches": true, "max_batch": true,
 	"barriers": true, "barrier_reads": true, "max_coalesced": true,
 	"overhead_pct": true, "hist_record_ns": true,
+	"fsyncs": true, "fsyncs_per_window": true, "fsync_p99_us": true,
+	"wal_bytes": true, "durable_tax_pct": true,
 }
 
 // headline metrics shown in the diff, in order, with direction of "better".

@@ -25,6 +25,10 @@
 //	gcsbench overhead        E16: telemetry overhead — batched write path
 //	                         with full instrumentation + scraping vs nil
 //	                         instruments (JSON rows)
+//	gcsbench durability      E17: durability tax — batched write path over
+//	                         no engine / in-memory engine / fsynced
+//	                         segmented WAL, one fsync per commit window
+//	                         (JSON rows)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -69,6 +73,8 @@ func run(cmd string) error {
 		return experimentRecovery()
 	case "overhead":
 		return experimentOverhead()
+	case "durability":
+		return experimentDurability()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -81,6 +87,7 @@ func run(cmd string) error {
 			experimentServiceShards,
 			experimentRecovery,
 			experimentOverhead,
+			experimentDurability,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -89,6 +96,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|overhead|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|overhead|durability|all)", cmd)
 	}
 }

@@ -35,6 +35,15 @@
 // serving reads at backup parity through its gateway while writes redirect
 // to the primaries. A member that crashed and lost its disk rejoins this
 // way under its old ID with a higher -incarnation.
+//
+// With -data-dir, the node is DURABLE: every shard logs its deliveries to
+// a segmented WAL under <data-dir>/shard<k> (one fsync per commit window,
+// riding the group-commit batcher) and seals with a snapshot on graceful
+// shutdown. A restart — even after whole-cluster power loss — replays its
+// own disk first, aligns with its peers by pulling only the delta it
+// missed, and only then starts serving. Bump -incarnation on every
+// restart; SIGINT/SIGTERM shut down gracefully (drain the gateway, final
+// WAL sync + snapshot, exit 0).
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -76,11 +86,12 @@ func main() {
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
 		join         = flag.Bool("join", false, "join a RUNNING service deployment as a catch-up follower: install a replica snapshot from the group and follow its command log, serving reads at backup parity (requires -service-listen; -peers lists the full members)")
-		incarnation  = flag.Uint64("incarnation", 1, "with -join: this process's incarnation; increase it on every restart that lost local state")
+		incarnation  = flag.Uint64("incarnation", 1, "with -join or -data-dir: this process's incarnation; increase it on every restart")
+		dataDir      = flag.String("data-dir", "", "durable storage root (requires -service-listen): shard k's WAL segments and snapshots live in <data-dir>/shard<k>; every acknowledged write is fsynced before its ack, and a restart replays local disk, then pulls only the missing delta from the group")
 		adminListen  = flag.String("admin-listen", "", "expose the admin/debug HTTP endpoint on this address: /metrics (Prometheus), /healthz, /debug/traces, /debug/pprof")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation, *adminListen); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation, *dataDir, *adminListen); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
@@ -148,6 +159,35 @@ func (a *admin) freshnessCheck(k int, lease time.Duration, commitIndex func() ui
 	})
 }
 
+// storageCheck appends the /healthz storage block for one durable shard:
+// WAL footprint, snapshot position, fsync count and the restart replay
+// counters — always healthy while the engine answers, informational by
+// design (a torn tail cut at open is recovery working, not a failure).
+func (a *admin) storageCheck(k int, stats func() gcs.StorageStats) {
+	if a == nil {
+		return
+	}
+	a.check(fmt.Sprintf("shard%d_storage", k), func() (bool, string) {
+		st := stats()
+		return true, fmt.Sprintf("wal_bytes=%d segments=%d snapshot@%d fsyncs=%d torn_tails=%d replayed_records=%d replayed_snapshot@%d",
+			st.WALBytes, st.Segments, st.SnapshotIndex, st.Syncs, st.TornTails,
+			st.Replayed.Records, st.Replayed.SnapshotIndex)
+	})
+}
+
+// openShardStorage opens (or recovers) shard k's durable engine under
+// dataDir, reporting what open-time recovery had to cut.
+func openShardStorage(dataDir string, k int) (*gcs.FileStorage, error) {
+	eng, err := gcs.OpenFileStorage(filepath.Join(dataDir, fmt.Sprintf("shard%d", k)), gcs.FileStorageConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("shard %d storage: %w", k, err)
+	}
+	if st := eng.Stats(); st.TornTails > 0 {
+		fmt.Printf("[storage] shard %d: cut %d torn WAL tail(s) at open (power died mid-write)\n", k, st.TornTails)
+	}
+	return eng, nil
+}
+
 // serve binds the admin endpoint and starts serving; the returned closer
 // stops it.
 func (a *admin) serve(addr string) (func(), error) {
@@ -165,9 +205,12 @@ func (a *admin) serve(addr string) (func(), error) {
 	return func() { _ = srv.Close() }, nil
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64, adminListen string) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64, dataDir, adminListen string) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
+	}
+	if dataDir != "" && svcListen == "" {
+		return fmt.Errorf("-data-dir requires -service-listen (durability lives under the replicated service)")
 	}
 	peers, err := parsePeers(peersSpec)
 	if err != nil {
@@ -237,7 +280,7 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		var followers []*gcs.Follower
 		for k := 0; k < svcShards; k++ {
 			store := kvdemo.New()
-			f := gcs.NewFollowerNode(mux.Group(k), store, gcs.FollowerConfig{
+			fcfg := gcs.FollowerConfig{
 				Self:         gcs.ID(self),
 				Donors:       donors,
 				Incarnation:  incarnation,
@@ -246,8 +289,29 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 				RTO:          50 * time.Millisecond,
 				PullInterval: 20 * time.Millisecond,
 				PullTimeout:  2 * time.Second,
-			})
-			defer f.Stop()
+			}
+			if dataDir != "" {
+				eng, err := openShardStorage(dataDir, k)
+				if err != nil {
+					return err
+				}
+				fcfg.Storage = eng
+			}
+			f, err := gcs.NewFollowerNode(mux.Group(k), store, fcfg)
+			if err != nil {
+				return fmt.Errorf("shard %d: %w", k, err)
+			}
+			if rs := f.Replayed; rs.Records > 0 || rs.SnapshotIndex > 0 {
+				fmt.Printf("[storage] shard %d: replayed snapshot@%d + %d WAL records from disk; pulling only the delta\n",
+					k, rs.SnapshotIndex, rs.Records)
+			}
+			defer func(k int, f *gcs.Follower) {
+				if err := f.Stop(); err != nil {
+					fmt.Fprintf(os.Stderr, "shard %d: seal storage: %v\n", k, err)
+				} else if dataDir != "" {
+					fmt.Printf("[storage] shard %d sealed (WAL synced, snapshot written)\n", k)
+				}
+			}(k, f)
 			followers = append(followers, f)
 			shards = append(shards, gcs.ServiceShard{Replica: f.Replica, Read: store.Read})
 			if adm != nil {
@@ -262,6 +326,9 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 					}
 				})
 				adm.freshnessCheck(k, svcLease, f.Replica.CommitIndex)
+				if dataDir != "" {
+					adm.storageCheck(k, f.Replica.StorageStats)
+				}
 			}
 		}
 		l, err := gcs.ListenServiceTCP(svcListen)
@@ -301,7 +368,11 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		stop := make(chan os.Signal, 1)
 		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 		<-stop
-		fmt.Println("shutting down")
+		if dataDir != "" {
+			fmt.Println("shutting down: draining gateway sessions, sealing WAL + snapshot")
+		} else {
+			fmt.Println("shutting down")
+		}
 		return nil
 	}
 
@@ -318,6 +389,16 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			return fmt.Errorf("service peers: %w", err)
 		}
 		var shards []gcs.ServiceShard
+		type memberShard struct {
+			k       int
+			store   *kvdemo.Store
+			replica *gcs.PassiveReplica
+			rec     *gcs.ReplicaRecovery
+		}
+		var members []*memberShard
+		// Phase 1 — assemble and start every shard's stack. Durable shards
+		// replay their own disk BEFORE the stack runs, so every peer answers
+		// sync pulls from its replayed height during phase 2.
 		for k := 0; k < svcShards; k++ {
 			store := kvdemo.New()
 			view := append(append([]gcs.ID{}, universe[k%len(universe):]...), universe[:k%len(universe)]...)
@@ -330,6 +411,35 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			// point.
 			cfg.Snapshot = replica.EncodeSnapshot
 			cfg.Restore = func(b []byte) { _ = replica.InstallSnapshot(b) }
+			if dataDir != "" {
+				eng, err := openShardStorage(dataDir, k)
+				if err != nil {
+					return err
+				}
+				replica.SetStorage(gcs.ReplicaStorageConfig{Engine: eng})
+				rs, err := replica.ReplayStorage()
+				if err != nil {
+					return fmt.Errorf("shard %d: replay: %w", k, err)
+				}
+				if rs.SnapshotIndex > 0 || rs.Records > 0 {
+					fmt.Printf("[storage] shard %d: replayed snapshot@%d + %d WAL records (%d ops) from disk\n",
+						k, rs.SnapshotIndex, rs.Records, rs.Ops)
+				}
+				// Sealed on the way out, AFTER the stack stops delivering:
+				// final WAL sync plus a shutdown snapshot, so the next start
+				// replays without needing a donor.
+				rep := replica
+				defer func(k int) {
+					if err := rep.CloseStorage(); err != nil {
+						fmt.Fprintf(os.Stderr, "shard %d: seal storage: %v\n", k, err)
+					} else {
+						fmt.Printf("[storage] shard %d sealed (WAL synced, snapshot written)\n", k)
+					}
+				}(k)
+				// A restarted durable member must not be mistaken for its
+				// previous life by peers' reliable channels.
+				cfg.Incarnation = incarnation
+			}
 			shardNode, err := gcs.NewNode(mux.Group(k), cfg, replica.DeliverFunc())
 			if err != nil {
 				return fmt.Errorf("shard %d: %w", k, err)
@@ -339,21 +449,22 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 					fmt.Printf("[view] %v\n", v)
 				})
 			}
-			// Donor side of the follower state-transfer protocol; must be
-			// registered before the stack starts.
-			gcs.ServeReplicaSync(shardNode, replica)
+			var rec *gcs.ReplicaRecovery
+			if dataDir != "" {
+				// Registers the donor side too — the durable replacement for
+				// ServeReplicaSync, plus the restart-alignment runner.
+				rec = gcs.NewReplicaRecovery(shardNode, replica, universe)
+			} else {
+				// Donor side of the follower state-transfer protocol; must be
+				// registered before the stack starts.
+				gcs.ServeReplicaSync(shardNode, replica)
+			}
 			// Bind before Start: deliveries may arrive as soon as the stack
 			// runs.
 			replica.Bind(shardNode)
 			shardNode.Start()
 			defer shardNode.Stop()
-			replica.StartFailover(500 * time.Millisecond)
-			defer replica.StopFailover()
-			if svcBatch {
-				replica.EnableBatching(gcs.BatchConfig{})
-				defer replica.StopBatching()
-			}
-			shards = append(shards, gcs.ServiceShard{Replica: replica, Read: store.Read})
+			members = append(members, &memberShard{k: k, store: store, replica: replica, rec: rec})
 			if adm != nil {
 				scope := adm.shardScope(k)
 				shardNode.RegisterMetrics(scope)
@@ -371,7 +482,47 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 					return p != "", fmt.Sprintf("primary=%s commit=%d epoch=%d", p, rep.CommitIndex(), rep.Epoch())
 				})
 				adm.freshnessCheck(k, svcLease, rep.CommitIndex)
+				if dataDir != "" {
+					adm.storageCheck(k, rep.StorageStats)
+				}
 			}
+		}
+
+		// Phase 2 — durable restart alignment: each shard pulls only the
+		// delta its disk missed from whichever peers answer, before anything
+		// serves clients. A fresh deployment (empty dirs, peers still
+		// booting) settles immediately. All shards align concurrently.
+		if dataDir != "" {
+			fmt.Printf("[storage] aligning %d shard(s) with the group before serving\n", svcShards)
+			errc := make(chan error, len(members))
+			for _, s := range members {
+				go func(s *memberShard) {
+					if err := s.rec.Run(30 * time.Second); err != nil {
+						errc <- fmt.Errorf("shard %d recovery: %w", s.k, err)
+						return
+					}
+					st := s.rec.Stats()
+					fmt.Printf("[storage] shard %d aligned at commit index %d (%d entries, %d snapshots pulled over %d rounds)\n",
+						s.k, s.replica.CommitIndex(), st.Entries, st.Snapshots, st.Rounds)
+					errc <- nil
+				}(s)
+			}
+			for range members {
+				if err := <-errc; err != nil {
+					return err
+				}
+			}
+		}
+
+		// Phase 3 — only an aligned replica may campaign or batch.
+		for _, s := range members {
+			s.replica.StartFailover(500 * time.Millisecond)
+			defer s.replica.StopFailover()
+			if svcBatch {
+				s.replica.EnableBatching(gcs.BatchConfig{})
+				defer s.replica.StopBatching()
+			}
+			shards = append(shards, gcs.ServiceShard{Replica: s.replica, Read: s.store.Read})
 		}
 		l, err := gcs.ListenServiceTCP(svcListen)
 		if err != nil {
@@ -436,7 +587,11 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 	for {
 		select {
 		case <-stop:
-			fmt.Println("shutting down")
+			if dataDir != "" {
+				fmt.Println("shutting down: draining gateway sessions, sealing WAL + snapshot")
+			} else {
+				fmt.Println("shutting down")
+			}
 			return nil
 		case <-tick:
 			seq++

@@ -80,7 +80,7 @@ func TestFollowerNodePublicAPI(t *testing.T) {
 
 	// The follower joins mid-life from nothing — the gcsnode -join wiring.
 	fstore := kvdemo.New()
-	follower := gcs.NewFollowerNode(network.Endpoint("f1"), fstore, gcs.FollowerConfig{
+	follower, err := gcs.NewFollowerNode(network.Endpoint("f1"), fstore, gcs.FollowerConfig{
 		Self:         "f1",
 		Donors:       members,
 		Incarnation:  1,
@@ -88,6 +88,9 @@ func TestFollowerNodePublicAPI(t *testing.T) {
 		Restore:      fstore.Restore,
 		PullInterval: 2 * time.Millisecond,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer follower.Stop()
 	select {
 	case <-follower.Installed():

@@ -14,6 +14,7 @@ import (
 	"repro/internal/rchannel"
 	"repro/internal/replication"
 	"repro/internal/service"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -110,6 +111,42 @@ type (
 	// both full passive replicas and catch-up followers, so a gateway's
 	// shard can be re-pointed at a rebuilt replica (ReplaceShard).
 	ServiceReplica = service.Replica
+
+	// StorageEngine is the pluggable durability layer under a replica: an
+	// ordered WAL plus an atomic snapshot slot, keyed by commit index.
+	// Attach one with PassiveReplica.SetStorage (ReplicaStorageConfig) and
+	// every counted delivery is logged — and fsynced once per commit window
+	// — before its acknowledgement can leave the node.
+	StorageEngine = storage.Engine
+	// FileStorage is the file-backed engine: segmented CRC-framed WAL with
+	// torn-tail recovery, snapshot-to-disk, segment truncation after
+	// snapshots. It survives whole-cluster power loss.
+	FileStorage = storage.File
+	// MemoryStorage is the in-process engine — the zero-durability default
+	// semantics, useful for tests of the storage boundary itself.
+	MemoryStorage = storage.Memory
+	// FileStorageConfig tunes the file engine (segment size, write buffer).
+	FileStorageConfig = storage.Config
+	// StorageEngineStats is one engine's accounting (WAL bytes, segments,
+	// fsyncs, torn tails cut at open).
+	StorageEngineStats = storage.Stats
+	// ReplicaStorageConfig attaches an engine to a replica
+	// (PassiveReplica.SetStorage): the engine plus the WAL growth bound
+	// that triggers background snapshot compaction.
+	ReplicaStorageConfig = replication.StorageConfig
+	// StorageStats is a replica's view of its durable layer: engine
+	// accounting plus what the last ReplayStorage rebuilt
+	// (PassiveReplica.StorageStats).
+	StorageStats = replication.StorageStats
+	// StorageReplayStats reports what a restart replayed from local disk
+	// (PassiveReplica.ReplayStorage).
+	StorageReplayStats = replication.ReplayStats
+	// ReplicaRecovery aligns a durable group restarting from disk: each
+	// member replays locally, then pulls only the missing delta from the
+	// peers before serving (NewReplicaRecovery).
+	ReplicaRecovery = replication.Recovery
+	// ReplicaRecoveryStats is the recovery phase's accounting.
+	ReplicaRecoveryStats = replication.RecoveryStats
 
 	// MetricsRegistry is the node-wide telemetry registry: counters, gauges
 	// and latency histograms, exported in Prometheus text format.
@@ -258,6 +295,29 @@ func ServeReplicaSync(node *Node, rep *PassiveReplica) {
 	replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
 }
 
+// OpenFileStorage creates or recovers the file-backed storage engine in
+// dir (one directory per replica per shard). Open-time recovery drops
+// stray temp files, picks the newest intact snapshot and cuts the WAL at
+// the first invalid frame — the torn tail of a write that lost power
+// mid-flight.
+func OpenFileStorage(dir string, cfg FileStorageConfig) (*FileStorage, error) {
+	return storage.Open(dir, cfg)
+}
+
+// NewMemoryStorage creates an in-process storage engine.
+func NewMemoryStorage() *MemoryStorage { return storage.NewMemory() }
+
+// NewReplicaRecovery prepares a durable member's restart-from-disk path
+// and registers the donor side of the sync protocol (it REPLACES
+// ServeReplicaSync for members with storage attached — donors and
+// recoverers share the handler). Call between NewNode and Start, after
+// SetStorage + ReplayStorage; then, once the node is started, Run aligns
+// this member with its peers — pulling only the delta its disk missed —
+// before the deployment starts serving clients.
+func NewReplicaRecovery(node *Node, rep *PassiveReplica, peers []ID) *ReplicaRecovery {
+	return replication.NewRecovery(node.Endpoint(), rep, peers, replication.SyncConfig{Join: node.Join})
+}
+
 // FollowerConfig parameterises NewFollowerNode.
 type FollowerConfig struct {
 	// Self is the follower's process identity (a spare ID, or a wiped
@@ -278,6 +338,15 @@ type FollowerConfig struct {
 	// (default 250ms).
 	PullInterval time.Duration
 	PullTimeout  time.Duration
+	// Storage optionally makes the follower durable: every delivery is
+	// logged to the engine, and a restart replays its own disk first, then
+	// pulls only the delta it missed from the donors (a primed syncer — no
+	// snapshot transfer, no announce). The follower owns the engine; Stop
+	// seals it with a final sync + snapshot.
+	Storage StorageEngine
+	// StorageCompactBytes bounds WAL growth before a background snapshot
+	// compacts it (0 = default 8 MiB, negative disables compaction).
+	StorageCompactBytes int64
 }
 
 // Follower is a running catch-up replica over one transport endpoint: it
@@ -289,8 +358,11 @@ type FollowerConfig struct {
 type Follower struct {
 	// Replica is the follower's replica handle (for gateways and reads).
 	Replica *PassiveReplica
-	ep      *rchannel.Endpoint
-	syncer  *replication.Syncer
+	// Replayed reports what the follower rebuilt from local disk at
+	// construction (zero value when FollowerConfig.Storage was nil).
+	Replayed StorageReplayStats
+	ep       *rchannel.Endpoint
+	syncer   *replication.Syncer
 }
 
 // noGB is the membership broadcaster stub of a follower (receive-only).
@@ -303,11 +375,24 @@ func (noGB) Broadcast(string, any) error {
 // NewFollowerNode assembles and starts a catch-up replica over tr — the
 // recovery/join path of a deployment: a crashed member that lost its state
 // (or a brand-new read replica) rejoins the running group without replaying
-// history, via snapshot state transfer plus the catch-up cursor. The
-// follower owns tr; Stop releases it.
-func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) *Follower {
+// history, via snapshot state transfer plus the catch-up cursor. With
+// cfg.Storage the follower is durable: it replays its own disk before
+// pulling, and a restart costs only the delta it missed. The follower owns
+// tr (and the engine); Stop releases both.
+func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) (*Follower, error) {
 	rep := replication.NewFollower(sm, cfg.Self)
 	rep.SetSnapshotter(replication.Snapshotter{Snapshot: cfg.Snapshot, Restore: cfg.Restore})
+	var replayed replication.ReplayStats
+	primed := false
+	if cfg.Storage != nil {
+		rep.SetStorage(replication.StorageConfig{Engine: cfg.Storage, CompactBytes: cfg.StorageCompactBytes})
+		rs, err := rep.ReplayStorage()
+		if err != nil {
+			return nil, fmt.Errorf("gcs: follower storage replay: %w", err)
+		}
+		replayed = rs
+		primed = rs.SnapshotIndex > 0 || rs.Records > 0
+	}
 	var opts []rchannel.Option
 	if cfg.RTO > 0 {
 		opts = append(opts, rchannel.WithRTO(cfg.RTO))
@@ -320,7 +405,10 @@ func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) *
 		Donors:   cfg.Donors,
 		Interval: cfg.PullInterval,
 		Timeout:  cfg.PullTimeout,
-		Announce: true,
+		// A primed follower already stands at a real index: it asks donors
+		// for the delta after it instead of announcing for a full snapshot.
+		Announce: !primed,
+		Primed:   primed,
 	})
 	// Receiver half of the membership join path: the donor's HELLO handler
 	// requests the ordered join, and the membership primary ships the
@@ -330,7 +418,7 @@ func NewFollowerNode(tr Transport, sm PassiveStateMachine, cfg FollowerConfig) *
 	})
 	ep.Start()
 	syncer.Start()
-	return &Follower{Replica: rep, ep: ep, syncer: syncer}
+	return &Follower{Replica: rep, Replayed: replayed, ep: ep, syncer: syncer}, nil
 }
 
 // Installed is closed once the follower has caught up to a donor for the
@@ -349,10 +437,14 @@ func (f *Follower) RegisterMetrics(s *MetricsScope) {
 	f.syncer.RegisterMetrics(s)
 }
 
-// Stop halts the follower and releases its transport.
-func (f *Follower) Stop() {
+// Stop halts the follower, releases its transport and — when durable —
+// seals the engine with a final WAL sync and snapshot, so the next start
+// replays from disk without needing a donor for the history it already
+// executed. The storage error (nil without storage) is returned.
+func (f *Follower) Stop() error {
 	f.syncer.Stop()
 	f.ep.Stop()
+	return f.Replica.CloseStorage()
 }
 
 // Serve embeds a service gateway in a node: it accepts networked client

@@ -3,8 +3,10 @@ package chaostest
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -14,8 +16,18 @@ import (
 	"repro/internal/rchannel"
 	"repro/internal/replication"
 	"repro/internal/service"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
+)
+
+// Storage knobs for durable chaos clusters: segments small enough that load
+// forces rotation, compaction threshold small enough that it forces
+// background snapshots — the power-loss tests must exercise the whole
+// engine, not just a single growing segment.
+const (
+	chaosSegmentBytes = 32 << 10
+	chaosCompactBytes = 128 << 10
 )
 
 // coreNode is one full member: S complete protocol stacks multiplexed over
@@ -28,6 +40,13 @@ type coreNode struct {
 	reps []*replication.Passive
 	nds  []*core.Node
 	gw   *service.Gateway
+
+	// Durable mode only (cluster.dataDir set): the per-shard file engines,
+	// what each shard replayed from its own disk at this life's boot, and
+	// the restart-alignment recoveries.
+	engs    []*storage.File
+	replays []replication.ReplayStats
+	recs    []*replication.Recovery
 }
 
 // edgeNode is a follower node — the wipe/rejoin target: a follower replica
@@ -45,6 +64,10 @@ type edgeNode struct {
 	eps     []*rchannel.Endpoint
 	syncers []*replication.Syncer
 	gw      *service.Gateway
+
+	// Durable mode only: per-shard file engines and boot-time replay stats.
+	engs    []*storage.File
+	replays []replication.ReplayStats
 }
 
 // cluster is the chaos harness's world.
@@ -60,6 +83,20 @@ type cluster struct {
 	edge    *edgeNode
 	edgeInc uint64
 	extras  []*edgeNode // wiped cores reborn as followers
+
+	// Durable mode: dataDir holds one directory per node ID with one engine
+	// directory per shard; coreInc is the cores' reliable-channel
+	// incarnation, bumped on every restart-from-disk so the new life
+	// supersedes the old one on the wire. drain parks gateway closes whose
+	// conn handlers are still timing out inside a dead consensus layer.
+	dataDir string
+	coreInc uint64
+	drain   sync.WaitGroup
+}
+
+// shardDir is where node id keeps shard k's engine.
+func (c *cluster) shardDir(id proc.ID, k int) string {
+	return filepath.Join(c.dataDir, string(id), fmt.Sprintf("shard%d", k))
 }
 
 // scope is the (node, shard) telemetry scope — the same label scheme gcsnode
@@ -108,6 +145,32 @@ func rotated(ids []proc.ID, k int) []proc.ID {
 
 func buildCluster(t *testing.T, shards int, seed int64) *cluster {
 	t.Helper()
+	c := newCluster(t, shards, seed)
+	for _, id := range c.ids {
+		c.cores = append(c.cores, c.buildCore(id))
+	}
+	c.buildEdge()
+	t.Cleanup(c.teardown)
+	return c
+}
+
+// buildDurableCluster is buildCluster with every node (cores AND edge)
+// running the file storage engine under a per-node data directory — the
+// power-loss world. The cores are built with the phased restart-from-disk
+// path even on first boot (fresh directories just make replay and recovery
+// trivial), so there is exactly one boot sequence to trust.
+func buildDurableCluster(t *testing.T, shards int, seed int64) *cluster {
+	t.Helper()
+	c := newCluster(t, shards, seed)
+	c.dataDir = t.TempDir()
+	c.coreInc = 1
+	c.startCoresFromDisk()
+	c.buildEdge()
+	t.Cleanup(c.teardown)
+	return c
+}
+
+func newCluster(t *testing.T, shards int, seed int64) *cluster {
 	c := &cluster{
 		t:       t,
 		network: transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(seed)),
@@ -120,21 +183,70 @@ func buildCluster(t *testing.T, shards int, seed int64) *cluster {
 	for _, id := range append(append([]proc.ID{}, c.ids...), c.edgeID) {
 		c.addrs[id] = string(id)
 	}
-	for _, id := range c.ids {
-		c.cores = append(c.cores, c.buildCore(id))
-	}
-	c.buildEdge()
-	t.Cleanup(c.teardown)
 	return c
 }
 
-// buildCore assembles one full member and starts it.
+// buildCore assembles one full member and starts it (the in-memory path:
+// each core comes up completely before the next is built).
 func (c *cluster) buildCore(id proc.ID) *coreNode {
+	n := c.assembleCore(id)
+	for _, nd := range n.nds {
+		nd.Start()
+	}
+	c.finishCore(n)
+	return n
+}
+
+// startCoresFromDisk boots every core through the durable four-phase
+// sequence: assemble (replay own snapshot + WAL), start the substrates,
+// align the replicas on the union of what survived (Recovery), and only
+// then elect a primary and open the gateways. The phasing matters: a core
+// that started failover before its peers recovered could take traffic at a
+// commit index another disk has already passed.
+func (c *cluster) startCoresFromDisk() {
+	c.t.Helper()
+	for _, id := range c.ids {
+		c.cores = append(c.cores, c.assembleCore(id))
+	}
+	for _, n := range c.cores {
+		for _, nd := range n.nds {
+			nd.Start()
+		}
+	}
+	c.recoverCores(10 * time.Second)
+	for _, n := range c.cores {
+		c.finishCore(n)
+	}
+}
+
+// assembleCore builds one full member's stacks without starting them. In
+// durable mode each shard opens its file engine and replays it BEFORE the
+// substrate exists, registers the restart Recovery (which also serves the
+// donor side of sync) in place of plain ServeSync, and the node carries
+// the cluster's core incarnation so a life restarted from disk supersedes
+// its previous one on the reliable channels.
+func (c *cluster) assembleCore(id proc.ID) *coreNode {
+	durable := c.dataDir != ""
 	n := &coreNode{id: id, mux: transport.NewGroupMux(c.network.Endpoint(id), c.shards)}
 	for k := 0; k < c.shards; k++ {
 		sm := newChaosSM()
 		rep := replication.NewPassive(sm, rotated(c.ids, k))
 		rep.SetSnapshotter(sm.snapshotter())
+		var inc uint64
+		if durable {
+			eng, err := storage.Open(c.shardDir(id, k), storage.Config{SegmentBytes: chaosSegmentBytes})
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			rep.SetStorage(replication.StorageConfig{Engine: eng, CompactBytes: chaosCompactBytes})
+			rs, err := rep.ReplayStorage()
+			if err != nil {
+				c.t.Fatalf("%s shard %d: replay: %v", id, k, err)
+			}
+			n.engs = append(n.engs, eng)
+			n.replays = append(n.replays, rs)
+			inc = c.coreInc
+		}
 		node, err := core.NewNode(n.mux.Group(k), core.Config{
 			Self:     id,
 			Universe: c.ids,
@@ -146,6 +258,7 @@ func (c *cluster) buildCore(id proc.ID) *coreNode {
 			HeartbeatEvery:   5 * raceScale * time.Millisecond,
 			FDCheckEvery:     2 * raceScale * time.Millisecond,
 			SuspicionTimeout: 50 * raceScale * time.Millisecond,
+			Incarnation:      inc,
 			// The membership join path's state transfer is the replica
 			// snapshot, captured by the hook AT the ordered join's delivery
 			// point (a delivery boundary identical at every member).
@@ -158,7 +271,12 @@ func (c *cluster) buildCore(id proc.ID) *coreNode {
 		rep.Bind(node)
 		// Donor side of the state-transfer protocol: registered before the
 		// stack starts (rchannel handlers are pre-start only).
-		replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
+		if durable {
+			n.recs = append(n.recs, replication.NewRecovery(
+				node.Endpoint(), rep, c.ids, replication.SyncConfig{Join: node.Join}))
+		} else {
+			replication.ServeSync(node.Endpoint(), rep, replication.SyncConfig{Join: node.Join})
+		}
 		scope := c.scope(id, k)
 		node.RegisterMetrics(scope)
 		rep.RegisterMetrics(scope)
@@ -166,14 +284,57 @@ func (c *cluster) buildCore(id proc.ID) *coreNode {
 		n.reps = append(n.reps, rep)
 		n.nds = append(n.nds, node)
 	}
-	for _, nd := range n.nds {
-		nd.Start()
-	}
+	return n
+}
+
+// finishCore arms failover and opens the gateway — the moment the member
+// becomes eligible for traffic.
+func (c *cluster) finishCore(n *coreNode) {
 	for _, rep := range n.reps {
 		rep.StartFailover(60 * raceScale * time.Millisecond)
 	}
-	n.gw = c.newGateway(id, n.shardTable())
-	return n
+	n.gw = c.newGateway(n.id, n.shardTable())
+}
+
+// recoverCores runs the restart alignment concurrently for every shard of
+// every core: each replica pulls the deltas its own disk lost from
+// whichever peer's disk kept more, so the group re-converges on the union
+// of what survived before any primary is elected.
+func (c *cluster) recoverCores(timeout time.Duration) {
+	c.t.Helper()
+	type res struct {
+		id  proc.ID
+		k   int
+		err error
+	}
+	ch := make(chan res, len(c.cores)*c.shards)
+	for _, n := range c.cores {
+		for k, rec := range n.recs {
+			go func(id proc.ID, k int, r *replication.Recovery) {
+				ch <- res{id, k, r.Run(timeout * raceScale)}
+			}(n.id, k, rec)
+		}
+	}
+	for i := 0; i < cap(ch); i++ {
+		if r := <-ch; r.err != nil {
+			c.t.Fatalf("core %s shard %d recovery: %v", r.id, r.k, r.err)
+		}
+	}
+	// Alignment is the whole point: with every core up, recovery must leave
+	// no shard's replicas disagreeing (a skipped-unreachable peer here means
+	// an RPC starved, and traffic would bake the divergence in).
+	for k := 0; k < c.shards; k++ {
+		for _, n := range c.cores[1:] {
+			if a, b := c.cores[0].reps[k].CommitIndex(), n.reps[k].CommitIndex(); a != b {
+				for _, m := range c.cores {
+					c.t.Logf("shard %d: %s at %d after recovery, stats %+v",
+						k, m.id, m.reps[k].CommitIndex(), m.recs[k].Stats())
+				}
+				c.t.Fatalf("shard %d: cores disagree after recovery (%s=%d %s=%d)",
+					k, c.cores[0].id, a, n.id, b)
+			}
+		}
+	}
 }
 
 func (n *coreNode) shardTable() []service.Shard {
@@ -210,6 +371,21 @@ func (c *cluster) buildFollowerNode(id proc.ID, inc uint64, donors []proc.ID) *e
 		sm := newChaosSM()
 		f := replication.NewFollower(sm, id)
 		f.SetSnapshotter(sm.snapshotter())
+		primed := false
+		if c.dataDir != "" {
+			eng, err := storage.Open(c.shardDir(id, k), storage.Config{SegmentBytes: chaosSegmentBytes})
+			if err != nil {
+				c.t.Fatal(err)
+			}
+			f.SetStorage(replication.StorageConfig{Engine: eng, CompactBytes: chaosCompactBytes})
+			rs, err := f.ReplayStorage()
+			if err != nil {
+				c.t.Fatalf("follower %s shard %d: replay: %v", id, k, err)
+			}
+			e.engs = append(e.engs, eng)
+			e.replays = append(e.replays, rs)
+			primed = rs.SnapshotIndex > 0 || rs.Records > 0
+		}
 		ep := rchannel.New(e.mux.Group(k),
 			rchannel.WithRTO(10*raceScale*time.Millisecond),
 			rchannel.WithIncarnation(inc))
@@ -219,8 +395,13 @@ func (c *cluster) buildFollowerNode(id proc.ID, inc uint64, donors []proc.ID) *e
 			// Generous under race: the detector inflates dispatch latency, and
 			// a pull that merely takes long must not be treated as donor loss
 			// (rotating donors on queueing delay only adds load).
-			Timeout:  150 * raceScale * raceScale * time.Millisecond,
-			Announce: true,
+			Timeout: 150 * raceScale * raceScale * time.Millisecond,
+			// A primed follower replayed its own snapshot + WAL: no
+			// membership-join announcement and no forced first snapshot —
+			// its first pull asks for the delta after the replayed index,
+			// which is the delta-only restart the sync counters prove.
+			Announce: !primed,
+			Primed:   primed,
 		})
 		// Receiver half of the membership join path: a donor requests the
 		// ordered join for us; the membership primary ships the snapshot.
@@ -252,7 +433,8 @@ func (c *cluster) buildEdge() {
 	c.edge = c.buildFollowerNode(c.edgeID, c.edgeInc, c.ids)
 }
 
-// stopFollowerNode tears a follower node down completely.
+// stopFollowerNode tears a follower node down completely (graceful: a
+// durable follower seals its engines with a final snapshot).
 func (c *cluster) stopFollowerNode(e *edgeNode) {
 	e.gw.Close()
 	for _, s := range e.syncers {
@@ -261,7 +443,116 @@ func (c *cluster) stopFollowerNode(e *edgeNode) {
 	for _, ep := range e.eps {
 		ep.Stop()
 	}
+	if e.engs != nil {
+		for _, f := range e.reps {
+			if err := f.CloseStorage(); err != nil {
+				c.t.Errorf("follower %s: close storage: %v", e.id, err)
+			}
+		}
+	}
 	e.mux.Close()
+}
+
+// powerLoss cuts power to the WHOLE cluster at once: network first (no
+// goodbye packets), then every stack is stopped and its engines are
+// killed — closed without flushing, so each node loses exactly its
+// unsynced user-space write buffer, independently, as in a real
+// correlated power cut. Nodes go down concurrently; each gateway's drain
+// (conn handlers still waiting on the dead consensus layer run out their
+// request timeout) is parked on c.drain rather than serialising the
+// blackout.
+func (c *cluster) powerLoss() {
+	c.t.Helper()
+	if c.dataDir == "" {
+		c.t.Fatal("powerLoss needs a durable cluster")
+	}
+	for _, n := range c.cores {
+		c.network.Crash(n.id)
+	}
+	c.network.Crash(c.edgeID)
+	var wg sync.WaitGroup
+	for _, n := range c.cores {
+		wg.Add(1)
+		go func(n *coreNode) {
+			defer wg.Done()
+			c.drainGateway(n.gw)
+			for _, rep := range n.reps {
+				rep.StopFailover()
+			}
+			for _, nd := range n.nds {
+				nd.Stop() // deliveries drain here — before the engines die
+			}
+			for _, eng := range n.engs {
+				eng.Kill()
+			}
+			n.mux.Close()
+		}(n)
+	}
+	e := c.edge
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.drainGateway(e.gw)
+		for _, s := range e.syncers {
+			s.Stop()
+		}
+		for _, ep := range e.eps {
+			ep.Stop()
+		}
+		for _, eng := range e.engs {
+			eng.Kill()
+		}
+		e.mux.Close()
+	}()
+	wg.Wait()
+	c.cores, c.edge = nil, nil
+	for _, id := range c.ids {
+		c.network.Restart(id)
+	}
+	c.network.Restart(c.edgeID)
+}
+
+// drainGateway closes gw in the background: a conn handler already inside
+// RequestSession against a dead consensus layer holds the close until the
+// request timeout, and a power cut must not wait for that. teardown
+// collects the parked closes.
+func (c *cluster) drainGateway(gw *service.Gateway) {
+	c.drain.Add(1)
+	go func() {
+		defer c.drain.Done()
+		gw.Close()
+	}()
+}
+
+// restartFromDisk boots the whole cluster back from its data directories
+// after powerLoss: cores through the phased replay/recover sequence under
+// a bumped incarnation, then the edge follower from its own disk (primed:
+// it pulls only the delta). Returns once every edge shard has caught up.
+func (c *cluster) restartFromDisk() {
+	c.t.Helper()
+	c.coreInc++
+	c.startCoresFromDisk()
+	c.rejoinEdge(20 * time.Second)
+}
+
+// powerLossEdge cuts power to the edge node alone; the cores keep running.
+func (c *cluster) powerLossEdge() {
+	c.t.Helper()
+	e := c.edge
+	c.network.Crash(e.id)
+	c.drainGateway(e.gw)
+	for _, s := range e.syncers {
+		s.Stop()
+	}
+	for _, ep := range e.eps {
+		ep.Stop()
+	}
+	for _, eng := range e.engs {
+		eng.Kill()
+	}
+	e.mux.Close()
+	c.edge = nil
+	c.network.Restart(e.id)
 }
 
 // wipeEdge crash-stops the edge node and destroys ALL its state — the
@@ -395,9 +686,17 @@ func (c *cluster) teardown() {
 		for _, nd := range n.nds {
 			nd.Stop()
 		}
+		if n.engs != nil {
+			for _, rep := range n.reps {
+				if err := rep.CloseStorage(); err != nil {
+					c.t.Errorf("%s: close storage: %v", n.id, err)
+				}
+			}
+		}
 		n.mux.Close()
 	}
 	c.network.Shutdown()
+	c.drain.Wait()
 }
 
 // liveCores returns the cores still running their full stacks.

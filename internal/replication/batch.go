@@ -451,6 +451,10 @@ func (p *Passive) onUpdateBatch(u pUpdateBatch) {
 		p.advanceCommitLocked(uint64(len(u.Entries)))
 		p.logAppendLocked(u)
 		p.mu.Unlock()
+		// Durable BEFORE acked, one fsync for the whole batch — the commit
+		// window IS the fsync window. Must precede the gate resolutions and
+		// the originator's wake below.
+		p.persistDelivered(true)
 	}
 	for _, g := range gates {
 		p.resolve(g.key, g.w, g.result, nil)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/gbcast"
 	"repro/internal/msg"
 	"repro/internal/proc"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -204,6 +205,19 @@ type Passive struct {
 	// (linearizable reads at a follower) and lease renewal forwarding.
 	barrierProxy func(timeout time.Duration, abort <-chan struct{}) (uint64, error)
 	leaseProxy   func(sessions []string) error
+
+	// Durable storage (storage.go). store/storeStaged/storeReplayed are
+	// mutated under p.mu (pointer installs additionally under deliverMu);
+	// storeDirty/storeBulk/storeReplay are delivery-path state guarded by
+	// deliverMu alone — every reader and writer holds it.
+	store             storage.Engine
+	storeStaged       []LogRec
+	storeReplayed     ReplayStats
+	storeDirty        bool // appended since the last engine sync
+	storeBulk         bool // ApplySyncEntries batch: one sync at the end
+	storeReplay       bool // ReplayStorage in progress: no re-staging
+	storeCompactBytes int64
+	storeCompacting   atomic.Bool
 }
 
 // sessionRecord is one client session's slice of the replicated dedup table.
@@ -262,8 +276,9 @@ func (p *Passive) DeliverFunc() core.DeliverFunc {
 }
 
 // applyDelivered routes one delivered command to its handler. It is the
-// single entry point for BOTH real deliveries (DeliverFunc) and log replay
-// at a follower (ApplySyncEntries); the caller holds deliverMu.
+// single entry point for real deliveries (DeliverFunc), log replay at a
+// follower (ApplySyncEntries) and disk replay (ReplayStorage); the caller
+// holds deliverMu.
 func (p *Passive) applyDelivered(body any) {
 	switch m := body.(type) {
 	case pUpdate:
@@ -277,6 +292,11 @@ func (p *Passive) applyDelivered(body any) {
 	case pLease:
 		p.onLease(m)
 	}
+	// Ordered-class commands (changes, barriers, leases) append to storage
+	// without forcing an fsync — nobody acks a client on them, and the next
+	// update's sync covers the suffix. The update paths already persisted
+	// (with sync) before waking their ackers; this drain is their no-op.
+	p.persistDelivered(false)
 }
 
 // Bind attaches the replica to its started node.
@@ -792,6 +812,10 @@ func (p *Passive) onUpdate(u pUpdate) {
 		p.advanceCommitLocked(1)
 		p.logAppendLocked(u)
 		p.mu.Unlock()
+		// Durable BEFORE acked: the fsync must precede both the gate
+		// resolution and the originator's wake below — either may release a
+		// client ack on another goroutine.
+		p.persistDelivered(true)
 	}
 	if applyGate != nil {
 		p.resolve(key, applyGate, u.Result, nil)

@@ -135,6 +135,12 @@ func (p *Passive) Self() proc.ID { return p.self }
 // logAppendLocked records one delivered command ending at the current
 // commit index; p.mu must be held and the command's state changes applied.
 func (p *Passive) logAppendLocked(body any) {
+	if p.store != nil && !p.storeReplay {
+		// Stage for the durable engine (drained by persistDelivered at the
+		// delivery's persist point, outside p.mu). Disk replay is excluded:
+		// those records came FROM the engine.
+		p.storeStaged = append(p.storeStaged, LogRec{End: p.commitIdx, Body: body})
+	}
 	if p.logCap <= 0 {
 		p.logBase = p.commitIdx
 		return
@@ -174,7 +180,14 @@ func (p *Passive) SyncSince(from uint64, max int) (entries []LogRec, ok bool) {
 func (p *Passive) EncodeSnapshot() []byte {
 	p.deliverMu.Lock()
 	defer p.deliverMu.Unlock()
+	_, data := p.captureSnapshotLocked()
+	return data
+}
 
+// captureSnapshotLocked is EncodeSnapshot's body for callers already at a
+// delivery boundary (deliverMu held): the storage compaction goroutine and
+// CloseStorage also need the capture index for SaveSnapshot/TruncateBefore.
+func (p *Passive) captureSnapshotLocked() (uint64, []byte) {
 	p.mu.Lock()
 	s := pSnapshot{
 		Version:    snapshotVersion,
@@ -219,7 +232,7 @@ func (p *Passive) EncodeSnapshot() []byte {
 		m.snapEncoded.Inc()
 		m.snapBytesOut.Add(uint64(len(data)))
 	}
-	return data
+	return s.Index, data
 }
 
 func encodeSnapshot(s pSnapshot) ([]byte, error) {
@@ -247,6 +260,32 @@ func decodeSnapshot(data []byte) (pSnapshot, error) {
 // which lets a fresh follower adopt the view even before any command
 // exists. The application state is restored through the Snapshotter hook.
 func (p *Passive) InstallSnapshot(data []byte) error {
+	p.deliverMu.Lock()
+	defer p.deliverMu.Unlock()
+	idx, installed, err := p.installSnapshotLocked(data)
+	if err != nil {
+		return err
+	}
+	// Persist an ADOPTED snapshot so a restart replays from it instead of
+	// transferring it again; WAL segments it covers are retired. Ignored
+	// (behind-index) snapshots persist nothing, and disk replay is excluded
+	// — its snapshot came FROM the engine.
+	if installed && p.store != nil && !p.storeReplay {
+		if err := p.store.SaveSnapshot(idx, data); err != nil {
+			return fmt.Errorf("replication: persist snapshot: %w", err)
+		}
+		if err := p.store.TruncateBefore(idx); err != nil {
+			return fmt.Errorf("replication: truncate wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// installSnapshotLocked is InstallSnapshot's body for callers already
+// holding deliverMu (ReplayStorage installs the engine's own snapshot). It
+// reports the snapshot's index and whether it was adopted (false: behind
+// the current commit index, ignored).
+func (p *Passive) installSnapshotLocked(data []byte) (uint64, bool, error) {
 	m := p.metrics.Load()
 	var start time.Time
 	if m != nil {
@@ -254,19 +293,16 @@ func (p *Passive) InstallSnapshot(data []byte) error {
 	}
 	s, err := decodeSnapshot(data)
 	if err != nil {
-		return err
+		return 0, false, err
 	}
 	if s.Version != snapshotVersion {
-		return fmt.Errorf("replication: snapshot version %d (want %d)", s.Version, snapshotVersion)
+		return 0, false, fmt.Errorf("replication: snapshot version %d (want %d)", s.Version, snapshotVersion)
 	}
-
-	p.deliverMu.Lock()
-	defer p.deliverMu.Unlock()
 
 	p.mu.Lock()
 	if s.Index < p.commitIdx {
 		p.mu.Unlock()
-		return nil
+		return s.Index, false, nil
 	}
 	p.epoch = s.Epoch
 	p.replicas = proc.View{Seq: s.ViewSeq, Members: slices.Clone(s.Members)}
@@ -302,7 +338,7 @@ func (p *Passive) InstallSnapshot(data []byte) error {
 		m.snapBytesIn.Add(uint64(len(data)))
 		m.snapshotInstall.Observe(time.Since(start))
 	}
-	return nil
+	return s.Index, true, nil
 }
 
 // ApplySyncEntries replays pulled log entries covering (from, ...] through
@@ -312,6 +348,16 @@ func (p *Passive) InstallSnapshot(data []byte) error {
 func (p *Passive) ApplySyncEntries(from uint64, entries []LogRec) {
 	p.deliverMu.Lock()
 	defer p.deliverMu.Unlock()
+	if p.store != nil && !p.storeReplay {
+		// Bulk replay: suppress the per-entry fsync the update handlers would
+		// force (nobody is acked off replayed entries) and close the batch
+		// with one sync — the fsync-per-window contract applied to catch-up.
+		p.storeBulk = true
+		defer func() {
+			p.storeBulk = false
+			p.persistDelivered(true)
+		}()
+	}
 	prevEnd := from
 	for _, rec := range entries {
 		start := prevEnd

@@ -115,13 +115,21 @@ type SyncConfig struct {
 // must be registered before the endpoint starts). Every full replica of the
 // group should serve sync, so followers can fail over between donors.
 func ServeSync(ep *rchannel.Endpoint, p *Passive, cfg SyncConfig) {
+	ep.Handle(SyncProto, SyncHandler(ep, p, cfg))
+}
+
+// SyncHandler returns the donor-side dispatch without registering it, so a
+// caller can compose it with its own SyncProto traffic on one endpoint —
+// the restart Recovery (storage.go) serves donor requests while consuming
+// the sState responses to its own pulls.
+func SyncHandler(ep *rchannel.Endpoint, p *Passive, cfg SyncConfig) func(from proc.ID, body any) {
 	if cfg.MaxEntries <= 0 {
 		cfg.MaxEntries = 512
 	}
 	if cfg.BarrierTimeout <= 0 {
 		cfg.BarrierTimeout = 5 * time.Second
 	}
-	ep.Handle(SyncProto, func(from proc.ID, body any) {
+	return func(from proc.ID, body any) {
 		// The dispatch goroutine must not block: everything that can wait
 		// (snapshot capture, barriers, broadcasts) runs on its own goroutine.
 		switch m := body.(type) {
@@ -136,7 +144,7 @@ func ServeSync(ep *rchannel.Endpoint, p *Passive, cfg SyncConfig) {
 		case sRenew:
 			go func(sessions []string) { _ = p.LeaseRenew(sessions) }(m.Sessions)
 		}
-	})
+	}
 }
 
 func servePull(ep *rchannel.Endpoint, p *Passive, from proc.ID, m sPull, maxEntries int) {
@@ -182,6 +190,10 @@ type SyncerConfig struct {
 	// Announce sends a HELLO on start so a donor requests the ordered
 	// membership join (and its snapshot state transfer) for this follower.
 	Announce bool
+	// Primed marks the follower as already holding installed state — it
+	// replayed its own snapshot + WAL from disk — so the first pull asks for
+	// the delta after its commit index instead of forcing a full snapshot.
+	Primed bool
 }
 
 // Syncer drives a follower replica: it announces the join, pulls the
@@ -227,6 +239,7 @@ func NewSyncer(p *Passive, ep *rchannel.Endpoint, cfg SyncerConfig) *Syncer {
 		waiters:   make(map[uint64]chan any),
 		installed: make(chan struct{}),
 		stop:      make(chan struct{}),
+		synced:    cfg.Primed,
 	}
 	ep.Handle(SyncProto, s.onNet)
 	p.SetBarrierProxy(s.barrier)

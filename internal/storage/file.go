@@ -1,0 +1,576 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// File is the durable engine: a segmented write-ahead log plus an atomic
+// snapshot slot, both living in one directory.
+//
+// Layout:
+//
+//	wal-<first index, 20 digits>.seg   record frames, append-only
+//	snap-<index, 20 digits>.snap       [crc32][payload], replaced atomically
+//	*.tmp                              in-flight writes, deleted at open
+//
+// A record frame is [len u32][crc u32][index u64][payload], little endian;
+// len covers index+payload, crc covers the same bytes. Appends go through a
+// user-space buffer so an abrupt process death loses exactly the unsynced
+// suffix — the honest power-loss model the chaos harness relies on — and
+// Sync flushes the buffer and fsyncs the segment.
+//
+// Open-time recovery walks the segments in order and cuts the log at the
+// first invalid frame (short header, oversized length, CRC mismatch,
+// non-increasing index): the file is truncated there and every later
+// segment is deleted, so Replay only ever surfaces a valid prefix of what
+// was appended. A torn tail from a mid-write power loss is therefore
+// indistinguishable from "those records were never appended" — which is
+// exactly what un-synced meant.
+type File struct {
+	mu  sync.Mutex
+	dir string
+	cfg Config
+
+	segs      []segInfo // closed + active segments, ascending first index
+	f         *os.File  // active segment (nil until the first append)
+	w         *bufio.Writer
+	lastIndex uint64
+
+	snapIndex uint64
+	snapBytes int64
+
+	stats  Stats
+	closed bool
+}
+
+// Config tunes the file engine.
+type Config struct {
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// BufferBytes sizes the user-space write buffer (default 64 KiB).
+	BufferBytes int
+}
+
+func (c *Config) applyDefaults() {
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 4 << 20
+	}
+	if c.BufferBytes <= 0 {
+		c.BufferBytes = 64 << 10
+	}
+}
+
+// segInfo is one on-disk segment.
+type segInfo struct {
+	first uint64 // index of its first record
+	path  string
+	size  int64 // bytes on disk (active segment: plus anything buffered)
+}
+
+const (
+	frameHeader = 16       // len + crc + index
+	maxFrame    = 64 << 20 // sanity bound on one record; larger lengths are corruption
+	segPrefix   = "wal-"
+	segSuffix   = ".seg"
+	snapPrefix  = "snap-"
+	snapSuffix  = ".snap"
+)
+
+// Open creates or recovers a file engine in dir.
+func Open(dir string, cfg Config) (*File, error) {
+	cfg.applyDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	e := &File{dir: dir, cfg: cfg}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// recover scans dir: drops tmp files, picks the newest intact snapshot,
+// validates the WAL and cuts it at the first invalid frame.
+func (e *File) recover() error {
+	entries, err := os.ReadDir(e.dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var snaps []segInfo
+	for _, ent := range entries {
+		name := ent.Name()
+		path := filepath.Join(e.dir, name)
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			_ = os.Remove(path)
+		case strings.HasPrefix(name, segPrefix) && strings.HasSuffix(name, segSuffix):
+			first, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+			if err != nil {
+				continue // not ours; leave it alone
+			}
+			info, err := ent.Info()
+			if err != nil {
+				return fmt.Errorf("storage: %w", err)
+			}
+			e.segs = append(e.segs, segInfo{first: first, path: path, size: info.Size()})
+		case strings.HasPrefix(name, snapPrefix) && strings.HasSuffix(name, snapSuffix):
+			idx, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+			if err != nil {
+				continue
+			}
+			snaps = append(snaps, segInfo{first: idx, path: path})
+		}
+	}
+	sort.Slice(e.segs, func(i, j int) bool { return e.segs[i].first < e.segs[j].first })
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].first > snaps[j].first })
+
+	// Newest snapshot whose CRC holds wins; everything else is retired.
+	for _, s := range snaps {
+		if e.snapIndex == 0 && e.snapBytes == 0 {
+			if data, err := readSnapshotFile(s.path); err == nil {
+				e.snapIndex, e.snapBytes = s.first, int64(len(data))
+				continue
+			}
+		}
+		_ = os.Remove(s.path)
+	}
+
+	// Validate segments in order; the first invalid frame cuts the log.
+	last := uint64(0)
+	for i := 0; i < len(e.segs); i++ {
+		seg := &e.segs[i]
+		validEnd, lastIdx, intact := scanSegment(seg.path, last)
+		if lastIdx > last {
+			last = lastIdx
+		}
+		if intact && validEnd == seg.size {
+			continue
+		}
+		// Torn or corrupt tail: truncate this segment at the last valid
+		// frame and drop every later segment — records past a tear are
+		// unreachable on replay and would violate index ordering.
+		e.stats.TornTails++
+		if validEnd == 0 {
+			_ = os.Remove(seg.path)
+			for _, later := range e.segs[i+1:] {
+				_ = os.Remove(later.path)
+			}
+			e.segs = e.segs[:i]
+		} else {
+			if err := os.Truncate(seg.path, validEnd); err != nil {
+				return fmt.Errorf("storage: truncate torn tail: %w", err)
+			}
+			seg.size = validEnd
+			for _, later := range e.segs[i+1:] {
+				_ = os.Remove(later.path)
+			}
+			e.segs = e.segs[:i+1]
+		}
+		break
+	}
+	e.lastIndex = last
+	if e.snapIndex > e.lastIndex {
+		e.lastIndex = e.snapIndex
+	}
+
+	// Reopen the last segment for appends.
+	if n := len(e.segs); n > 0 {
+		f, err := os.OpenFile(e.segs[n-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		e.f = f
+		e.w = bufio.NewWriterSize(f, e.cfg.BufferBytes)
+	}
+	return nil
+}
+
+// scanSegment walks one segment's frames. It returns the offset just past
+// the last valid frame, the last valid index seen, and whether every frame
+// up to EOF was valid. prev is the last index of the preceding segment
+// (frames must keep indices strictly increasing across the whole log).
+func scanSegment(path string, prev uint64) (validEnd int64, lastIdx uint64, intact bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, prev, false
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	hdr := make([]byte, frameHeader)
+	lastIdx = prev
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return off, lastIdx, errors.Is(err, io.EOF)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		idx := binary.LittleEndian.Uint64(hdr[8:16])
+		if length < 8 || length > maxFrame || idx <= lastIdx {
+			return off, lastIdx, false
+		}
+		payload := make([]byte, length-8)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return off, lastIdx, false // short payload: torn tail
+		}
+		sum := crc32.ChecksumIEEE(hdr[8:16])
+		sum = crc32.Update(sum, crc32.IEEETable, payload)
+		if sum != crc {
+			return off, lastIdx, false
+		}
+		off += frameHeader + int64(len(payload))
+		lastIdx = idx
+	}
+}
+
+// Append implements Engine.
+func (e *File) Append(rec Record) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if rec.Index <= e.lastIndex {
+		return fmt.Errorf("storage: append index %d not after %d", rec.Index, e.lastIndex)
+	}
+	if e.f != nil && e.activeSeg().size >= e.cfg.SegmentBytes {
+		if err := e.rotateLocked(rec.Index); err != nil {
+			return err
+		}
+	}
+	if e.f == nil {
+		if err := e.openSegmentLocked(rec.Index); err != nil {
+			return err
+		}
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+len(rec.Data)))
+	binary.LittleEndian.PutUint64(hdr[8:16], rec.Index)
+	sum := crc32.ChecksumIEEE(hdr[8:16])
+	sum = crc32.Update(sum, crc32.IEEETable, rec.Data)
+	binary.LittleEndian.PutUint32(hdr[4:8], sum)
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	if _, err := e.w.Write(rec.Data); err != nil {
+		return fmt.Errorf("storage: append: %w", err)
+	}
+	e.activeSeg().size += frameHeader + int64(len(rec.Data))
+	e.lastIndex = rec.Index
+	e.stats.Appends++
+	e.stats.AppendedBytes += uint64(len(rec.Data))
+	return nil
+}
+
+func (e *File) activeSeg() *segInfo { return &e.segs[len(e.segs)-1] }
+
+// openSegmentLocked starts a fresh segment whose first record will be idx.
+func (e *File) openSegmentLocked(idx uint64) error {
+	path := filepath.Join(e.dir, fmt.Sprintf("%s%020d%s", segPrefix, idx, segSuffix))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	e.f = f
+	if e.w == nil {
+		e.w = bufio.NewWriterSize(f, e.cfg.BufferBytes)
+	} else {
+		e.w.Reset(f)
+	}
+	e.segs = append(e.segs, segInfo{first: idx, path: path})
+	return nil
+}
+
+// rotateLocked seals the active segment (flush + fsync, so a sealed segment
+// is always fully durable) and opens a new one starting at idx.
+func (e *File) rotateLocked(idx uint64) error {
+	if err := e.syncLocked(); err != nil {
+		return err
+	}
+	if err := e.f.Close(); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	e.f = nil
+	return e.openSegmentLocked(idx)
+}
+
+func (e *File) syncLocked() error {
+	if e.f == nil {
+		return nil
+	}
+	if err := e.w.Flush(); err != nil {
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	if err := e.f.Sync(); err != nil {
+		return fmt.Errorf("storage: fsync: %w", err)
+	}
+	e.stats.Syncs++
+	return nil
+}
+
+// Sync implements Engine.
+func (e *File) Sync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return e.syncLocked()
+}
+
+// SaveSnapshot implements Engine: tmp + fsync + rename + dir fsync, then
+// older snapshots are retired — a crash at any point leaves either the old
+// or the new snapshot intact, never a torn one.
+func (e *File) SaveSnapshot(index uint64, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	final := filepath.Join(e.dir, fmt.Sprintf("%s%020d%s", snapPrefix, index, snapSuffix))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], crc32.ChecksumIEEE(data))
+	if _, err := f.Write(hdr[:]); err == nil {
+		_, err = f.Write(data)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("storage: snapshot: %w", err)
+	}
+	if err := syncDir(e.dir); err != nil {
+		return err
+	}
+	old := e.snapIndex
+	e.snapIndex, e.snapBytes = index, int64(4+len(data))
+	if e.lastIndex < index {
+		e.lastIndex = index
+	}
+	if old != 0 && old != index {
+		_ = os.Remove(filepath.Join(e.dir, fmt.Sprintf("%s%020d%s", snapPrefix, old, snapSuffix)))
+	}
+	return nil
+}
+
+// LoadSnapshot implements Engine.
+func (e *File) LoadSnapshot() (uint64, []byte, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, nil, false, ErrClosed
+	}
+	if e.snapIndex == 0 && e.snapBytes == 0 {
+		return 0, nil, false, nil
+	}
+	path := filepath.Join(e.dir, fmt.Sprintf("%s%020d%s", snapPrefix, e.snapIndex, snapSuffix))
+	data, err := readSnapshotFile(path)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("storage: snapshot: %w", err)
+	}
+	return e.snapIndex, data, true, nil
+}
+
+// readSnapshotFile reads and CRC-checks one snapshot file.
+func readSnapshotFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < 4 {
+		return nil, fmt.Errorf("short snapshot (%d bytes)", len(raw))
+	}
+	want := binary.LittleEndian.Uint32(raw[:4])
+	data := raw[4:]
+	if crc32.ChecksumIEEE(data) != want {
+		return nil, errors.New("snapshot CRC mismatch")
+	}
+	return data, nil
+}
+
+// Replay implements Engine. It flushes the write buffer first so records
+// appended-but-unsynced in THIS process are visible (replay within one
+// process must see everything appended; durability across crashes is
+// Sync's contract, not Replay's).
+func (e *File) Replay(from uint64, fn func(rec Record) error) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	if e.f != nil {
+		if err := e.w.Flush(); err != nil {
+			e.mu.Unlock()
+			return fmt.Errorf("storage: flush: %w", err)
+		}
+	}
+	segs := slices.Clone(e.segs)
+	e.mu.Unlock()
+
+	for i, seg := range segs {
+		// Skip segments wholly at or below from: every record of segment i
+		// precedes segment i+1's first index.
+		if i+1 < len(segs) && segs[i+1].first <= from+1 {
+			continue
+		}
+		if err := replaySegment(seg.path, from, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's valid records with Index > from.
+func replaySegment(path string, from uint64, fn func(rec Record) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return nil // EOF or torn tail: the valid prefix ends here
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		idx := binary.LittleEndian.Uint64(hdr[8:16])
+		if length < 8 || length > maxFrame {
+			return nil
+		}
+		payload := make([]byte, length-8)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil
+		}
+		sum := crc32.ChecksumIEEE(hdr[8:16])
+		sum = crc32.Update(sum, crc32.IEEETable, payload)
+		if sum != crc {
+			return nil
+		}
+		if idx > from {
+			if err := fn(Record{Index: idx, Data: payload}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// TruncateBefore implements Engine.
+func (e *File) TruncateBefore(index uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	kept := e.segs[:0]
+	for i, seg := range e.segs {
+		last := i == len(e.segs)-1
+		// Segment i's records all precede segment i+1's first index, so it
+		// is wholly covered once that first index is <= index+1.
+		if !last && e.segs[i+1].first <= index+1 {
+			_ = os.Remove(seg.path)
+			e.stats.Truncated++
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	e.segs = kept
+	return nil
+}
+
+// Stats implements Engine.
+func (e *File) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Segments = len(e.segs)
+	for _, seg := range e.segs {
+		st.WALBytes += seg.size
+	}
+	st.SnapshotIndex = e.snapIndex
+	st.SnapshotBytes = e.snapBytes
+	return st
+}
+
+// Close implements Engine: final flush + fsync, then release.
+func (e *File) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if e.f == nil {
+		return nil
+	}
+	err := e.syncLocked()
+	if cerr := e.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("storage: %w", cerr)
+	}
+	e.f = nil
+	return err
+}
+
+// Kill simulates power loss: the engine drops its user-space buffer and
+// releases the file WITHOUT flushing, so every record appended since the
+// last Sync is gone — exactly what a kill -9 (or a power cut, modulo OS
+// page cache) does to the process. Test-only by intent; the chaos harness
+// pairs it with a seeded torn-tail mutation to model mid-fsync tears.
+func (e *File) Kill() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	if e.f != nil {
+		_ = e.f.Close() // buffer in e.w is deliberately NOT flushed
+		e.f = nil
+	}
+}
+
+// Dir returns the engine's directory.
+func (e *File) Dir() string { return e.dir }
+
+// syncDir fsyncs a directory so a rename within it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return nil
+}

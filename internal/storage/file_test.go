@@ -1,0 +1,438 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, e Engine, from uint64) []Record {
+	t.Helper()
+	var out []Record
+	if err := e.Replay(from, func(rec Record) error {
+		out = append(out, Record{Index: rec.Index, Data: bytes.Clone(rec.Data)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func appendN(t *testing.T, e Engine, from, n uint64, size int) {
+	t.Helper()
+	for i := from; i < from+n; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, size)
+		binary.LittleEndian.PutUint64(data[:8], i)
+		if err := e.Append(Record{Index: i, Data: data}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 100, 64)
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs := collect(t, e2, 0)
+	if len(recs) != 100 {
+		t.Fatalf("replayed %d records, want 100", len(recs))
+	}
+	for i, r := range recs {
+		if r.Index != uint64(i+1) {
+			t.Fatalf("record %d has index %d", i, r.Index)
+		}
+		if got := binary.LittleEndian.Uint64(r.Data[:8]); got != r.Index {
+			t.Fatalf("record %d payload says %d", r.Index, got)
+		}
+	}
+	if got := collect(t, e2, 60); len(got) != 40 || got[0].Index != 61 {
+		t.Fatalf("replay from 60: %d records starting %d", len(got), got[0].Index)
+	}
+}
+
+func TestFileAppendOrdering(t *testing.T) {
+	e, err := Open(t.TempDir(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if err := e.Append(Record{Index: 5, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(Record{Index: 5, Data: []byte("x")}); err == nil {
+		t.Fatal("duplicate index accepted")
+	}
+	if err := e.Append(Record{Index: 3, Data: []byte("x")}); err == nil {
+		t.Fatal("regressing index accepted")
+	}
+	if err := e.Append(Record{Index: 9, Data: []byte("x")}); err != nil {
+		t.Fatalf("gapped forward index rejected: %v", err)
+	}
+}
+
+func TestFileRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 200, 128) // ~28 KiB: several segments
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	if err := e.SaveSnapshot(150, []byte("state@150")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TruncateBefore(150); err != nil {
+		t.Fatal(err)
+	}
+	st2 := e.Stats()
+	if st2.Segments >= st.Segments {
+		t.Fatalf("truncate retired nothing: %d -> %d segments", st.Segments, st2.Segments)
+	}
+	if st2.Truncated == 0 {
+		t.Fatal("Truncated counter not bumped")
+	}
+	// Records past the snapshot must survive truncation.
+	recs := collect(t, e, 150)
+	if len(recs) != 50 || recs[0].Index != 151 || recs[len(recs)-1].Index != 200 {
+		t.Fatalf("post-truncate replay: %d records [%d..%d]", len(recs), recs[0].Index, recs[len(recs)-1].Index)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: snapshot + tail must still line up.
+	e2, err := Open(dir, Config{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	idx, data, ok, err := e2.LoadSnapshot()
+	if err != nil || !ok || idx != 150 || string(data) != "state@150" {
+		t.Fatalf("snapshot after reopen: idx=%d ok=%v err=%v data=%q", idx, ok, err, data)
+	}
+	if recs := collect(t, e2, idx); len(recs) != 50 {
+		t.Fatalf("tail after reopen: %d records", len(recs))
+	}
+}
+
+func TestFileKillLosesOnlyUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 50, 64)
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 51, 50, 64) // never synced
+	e.Kill()
+
+	e2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs := collect(t, e2, 0)
+	if len(recs) < 50 {
+		t.Fatalf("lost synced records: only %d survive", len(recs))
+	}
+	// Unsynced records MAY survive (buffer boundaries), but whatever
+	// survives must be a contiguous prefix.
+	for i, r := range recs {
+		if r.Index != uint64(i+1) {
+			t.Fatalf("gap after kill: record %d has index %d", i, r.Index)
+		}
+	}
+}
+
+func TestFileTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 20, 64)
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("glob: %v (%d segs)", err, len(segs))
+	}
+	// Tear the file mid-frame: chop 30 bytes off the end.
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-30); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if e2.Stats().TornTails != 1 {
+		t.Fatalf("TornTails=%d, want 1", e2.Stats().TornTails)
+	}
+	recs := collect(t, e2, 0)
+	if len(recs) != 19 {
+		t.Fatalf("torn tail: %d records, want 19", len(recs))
+	}
+	// The engine must accept appends continuing after the cut.
+	if err := e2.Append(Record{Index: 20, Data: []byte("again")}); err != nil {
+		t.Fatalf("append after tear: %v", err)
+	}
+	if err := e2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if recs := collect(t, e2, 0); len(recs) != 20 {
+		t.Fatalf("after re-append: %d records", len(recs))
+	}
+}
+
+func TestFileCorruptMiddleCutsLog(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 60, 100) // several segments
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("glob: %v (%d segs)", err, len(segs))
+	}
+	// Flip a byte in the middle of the second segment: everything from that
+	// frame on — including later segments — must be discarded.
+	raw, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(segs[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(dir, Config{SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	recs := collect(t, e2, 0)
+	if len(recs) == 0 || len(recs) >= 60 {
+		t.Fatalf("corrupt middle: %d records survive", len(recs))
+	}
+	for i, r := range recs {
+		if r.Index != uint64(i+1) {
+			t.Fatalf("gap after corruption cut: record %d has index %d", i, r.Index)
+		}
+	}
+	// Later segments must be gone from disk, not just skipped.
+	left, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(left) >= len(segs) {
+		t.Fatalf("later segments not deleted: %d of %d remain", len(left), len(segs))
+	}
+}
+
+func TestFileSnapshotAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveSnapshot(10, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveSnapshot(20, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Only the newest snapshot remains; corrupt it and reopen: the engine
+	// must come up empty rather than serve bad state.
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.snap"))
+	if len(snaps) != 1 {
+		t.Fatalf("%d snapshots on disk, want 1", len(snaps))
+	}
+	raw, err := os.ReadFile(snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(snaps[0], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if _, _, ok, err := e2.LoadSnapshot(); ok || err != nil {
+		t.Fatalf("corrupt snapshot surfaced: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFileStaleTmpFilesRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000000000000000005.snap.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+		t.Fatalf("%d tmp files survive open", len(tmps))
+	}
+}
+
+func TestMemoryEngine(t *testing.T) {
+	e := NewMemory()
+	appendN(t, e, 1, 30, 32)
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SaveSnapshot(20, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.TruncateBefore(20); err != nil {
+		t.Fatal(err)
+	}
+	recs := collect(t, e, 20)
+	if len(recs) != 10 || recs[0].Index != 21 {
+		t.Fatalf("memory truncate/replay: %d records", len(recs))
+	}
+	if err := e.Append(Record{Index: 30, Data: nil}); err == nil {
+		t.Fatal("memory engine accepted duplicate index")
+	}
+	st := e.Stats()
+	if st.Appends != 30 || st.Syncs != 1 || st.SnapshotIndex != 20 {
+		t.Fatalf("memory stats: %+v", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Append(Record{Index: 31}); err != ErrClosed {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestFileEngineIsEngine(t *testing.T) {
+	var _ Engine = (*File)(nil)
+	var _ Engine = (*Memory)(nil)
+}
+
+func BenchmarkFileAppendSync(b *testing.B) {
+	e, err := Open(b.TempDir(), Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	data := bytes.Repeat([]byte("x"), 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Append(Record{Index: uint64(i + 1), Data: data}); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 { // one fsync per 64-op window, like the batcher
+			if err := e.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFileManySegmentsReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, e, 1, 300, 64)
+	if err := e.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		e, err := Open(dir, Config{SegmentBytes: 1 << 10})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		recs := collect(t, e, 0)
+		want := 300 + cycle*10
+		if len(recs) != want {
+			t.Fatalf("cycle %d: %d records, want %d", cycle, len(recs), want)
+		}
+		appendN(t, e, uint64(want+1), 10, 64)
+		if err := e.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFileReplaySkipsCoveredSegments(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(dir, Config{SegmentBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	appendN(t, e, 1, 100, 64)
+	var calls int
+	if err := e.Replay(90, func(rec Record) error {
+		calls++
+		if rec.Index <= 90 {
+			return fmt.Errorf("leaked covered record %d", rec.Index)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("replay from 90 surfaced %d records", calls)
+	}
+}

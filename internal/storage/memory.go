@@ -1,0 +1,140 @@
+package storage
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Memory is the in-process engine: the zero-behavior-change default. It
+// keeps the same interface semantics as the file engine (strictly
+// increasing indices, snapshot slot, truncation) with no durability —
+// useful for tests, benchmark baselines (E17's in-memory rows) and
+// deployments that explicitly accept RAM-only state.
+type Memory struct {
+	mu        sync.Mutex
+	recs      []Record
+	lastIndex uint64
+	snapIndex uint64
+	snap      []byte
+	stats     Stats
+	closed    bool
+}
+
+// NewMemory returns an empty in-memory engine.
+func NewMemory() *Memory { return &Memory{} }
+
+// Append implements Engine.
+func (m *Memory) Append(rec Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	if rec.Index <= m.lastIndex {
+		return fmt.Errorf("storage: append index %d not after %d", rec.Index, m.lastIndex)
+	}
+	m.recs = append(m.recs, Record{Index: rec.Index, Data: slices.Clone(rec.Data)})
+	m.lastIndex = rec.Index
+	m.stats.Appends++
+	m.stats.AppendedBytes += uint64(len(rec.Data))
+	m.stats.WALBytes += int64(len(rec.Data))
+	return nil
+}
+
+// Sync implements Engine (a memory engine has no medium; counted anyway so
+// fsync-per-window accounting is comparable across engines).
+func (m *Memory) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.stats.Syncs++
+	return nil
+}
+
+// SaveSnapshot implements Engine.
+func (m *Memory) SaveSnapshot(index uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.snapIndex = index
+	m.snap = slices.Clone(data)
+	return nil
+}
+
+// LoadSnapshot implements Engine.
+func (m *Memory) LoadSnapshot() (uint64, []byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, nil, false, ErrClosed
+	}
+	if m.snap == nil {
+		return 0, nil, false, nil
+	}
+	return m.snapIndex, slices.Clone(m.snap), true, nil
+}
+
+// Replay implements Engine.
+func (m *Memory) Replay(from uint64, fn func(rec Record) error) error {
+	m.mu.Lock()
+	recs := slices.Clone(m.recs)
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	for _, r := range recs {
+		if r.Index <= from {
+			continue
+		}
+		if err := fn(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBefore implements Engine.
+func (m *Memory) TruncateBefore(index uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	kept := m.recs[:0]
+	for _, r := range m.recs {
+		if r.Index > index {
+			kept = append(kept, r)
+		} else {
+			m.stats.WALBytes -= int64(len(r.Data))
+		}
+	}
+	m.recs = kept
+	return nil
+}
+
+// Stats implements Engine.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	if len(m.recs) > 0 {
+		st.Segments = 1
+	}
+	st.SnapshotIndex = m.snapIndex
+	st.SnapshotBytes = int64(len(m.snap))
+	return st
+}
+
+// Close implements Engine.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}

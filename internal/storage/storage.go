@@ -1,0 +1,73 @@
+// Package storage is the pluggable durability layer under replication: an
+// ordered record log (the WAL) plus an atomic snapshot slot, keyed by the
+// replica's commit index.
+//
+// The contract mirrors what the replication layer needs and nothing more:
+//
+//   - Append buffers one record of the totally ordered command sequence;
+//     indices are strictly increasing (a batch record carries the index the
+//     replica stands at AFTER applying it, so indices may jump).
+//   - Sync makes everything appended so far durable. The replication layer
+//     calls it once per commit window (riding the group-commit batcher), so
+//     durability costs one fsync per window, not per op.
+//   - SaveSnapshot atomically replaces the snapshot slot; TruncateBefore
+//     then retires WAL segments wholly covered by it.
+//   - Replay streams the records after an index, in order — at most the
+//     valid prefix of what was appended: a torn tail (power loss mid-write)
+//     is detected and truncated at open, never surfaced as a record.
+//
+// Engines must be safe for concurrent use: the delivery goroutine appends
+// while a background compaction saves snapshots and truncates.
+package storage
+
+import "errors"
+
+// Record is one appended WAL entry: an opaque payload at a commit index.
+type Record struct {
+	Index uint64
+	Data  []byte
+}
+
+// ErrClosed is returned by every operation after Close (or Kill).
+var ErrClosed = errors.New("storage: engine closed")
+
+// Engine is the storage contract the replication layer binds to.
+type Engine interface {
+	// Append buffers one record. Index must exceed every previously
+	// appended (or replayed) index. Buffered records are NOT durable until
+	// Sync; an engine may lose any unsynced suffix on a crash.
+	Append(rec Record) error
+	// Sync makes all appended records durable (one fsync on a file engine).
+	Sync() error
+	// SaveSnapshot atomically replaces the snapshot slot with state
+	// standing at index. Older snapshots are retired.
+	SaveSnapshot(index uint64, data []byte) error
+	// LoadSnapshot returns the newest intact snapshot, ok=false when none.
+	LoadSnapshot() (index uint64, data []byte, ok bool, err error)
+	// Replay streams the records with Index > from, in ascending order.
+	// Only intact records are surfaced: a torn or corrupt tail is cut, not
+	// returned. fn returning an error aborts the replay with that error.
+	Replay(from uint64, fn func(rec Record) error) error
+	// TruncateBefore retires WAL segments whose every record has
+	// Index <= index (the snapshot covers them). The active segment
+	// survives regardless.
+	TruncateBefore(index uint64) error
+	// Stats returns a snapshot of the engine's accounting.
+	Stats() Stats
+	// Close flushes, syncs and releases the engine.
+	Close() error
+}
+
+// Stats is an engine's accounting, shaped for the gcs_storage_* telemetry
+// read-throughs.
+type Stats struct {
+	Appends       uint64 // records appended this process
+	AppendedBytes uint64 // payload bytes appended this process
+	Syncs         uint64 // Sync calls that hit the medium
+	Segments      int    // live WAL segments
+	WALBytes      int64  // bytes across live segments (including buffered)
+	SnapshotIndex uint64 // index of the snapshot slot (0 = none)
+	SnapshotBytes int64  // size of the snapshot slot
+	Truncated     uint64 // segments retired by TruncateBefore
+	TornTails     uint64 // invalid tails cut during open-time recovery
+}
