@@ -52,4 +52,17 @@
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of the paper's claims.
+//
+// # Static analysis
+//
+// The invariants the compiler cannot see — frame-pool ownership,
+// transient-buffer lifetimes, the lock-hold discipline, metric naming,
+// deterministic time — are enforced by the in-tree analyzer suite:
+//
+//	go run ./cmd/gcsvet ./...
+//
+// CI blocks on a clean run. gcsvet is invoked standalone rather than via
+// go vet -vettool=$(which gcsvet); see cmd/gcsvet and DESIGN.md "Static
+// analysis & enforced invariants" for the analyzer list and the
+// //gcsvet:ignore escape-hatch policy.
 package gcs

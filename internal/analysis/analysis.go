@@ -1,0 +1,191 @@
+// Package analysis is the project's static-analysis framework: a small,
+// stdlib-only re-implementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic, object facts) plus a package loader
+// built on `go list` and the gc export-data importer, so the analyzers run
+// offline with zero module dependencies.
+//
+// The API deliberately mirrors go/analysis: each analyzer is a value with a
+// Run(*Pass) hook, a Pass hands the analyzer one type-checked package, and
+// diagnostics are (position, message) pairs. Porting an analyzer to the
+// real x/tools framework — should the dependency ever be imported — is a
+// matter of changing the import path. See DESIGN.md "Static analysis &
+// enforced invariants" and cmd/gcsvet for the multichecker binary.
+//
+// Cross-package knowledge travels as object facts: an analyzer visiting
+// package A may attach a fact to one of A's objects (a function found to
+// block, a mutex field annotated //gcsvet:lock), and a later pass over a
+// package importing A reads the fact back. The driver runs packages in
+// dependency order — `go list -deps` already emits them that way — so facts
+// are always exported before they are needed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //gcsvet:ignore directives. It must be a valid identifier.
+	Name string
+	// Doc is the help text shown by `gcsvet -list`. The first line is the
+	// summary.
+	Doc string
+	// Run applies the check to one package. Diagnostics are reported via
+	// pass.Report/Reportf; the return value is unused (kept for signature
+	// parity with go/analysis).
+	Run func(*Pass) (any, error)
+}
+
+// String returns the analyzer's name.
+func (a *Analyzer) String() string { return a.Name }
+
+// Diagnostic is one finding, positioned in the loaded FileSet.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string // name of the reporting analyzer
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	facts  *FactStore
+	report func(Diagnostic)
+}
+
+// Report records a diagnostic.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Reportf records a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ExportObjectFact attaches fact to obj for later passes of the same
+// analyzer (over this or any importing package).
+func (p *Pass) ExportObjectFact(obj types.Object, fact any) {
+	p.facts.put(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact returns the fact this analyzer attached to obj, if any.
+func (p *Pass) ImportObjectFact(obj types.Object) (any, bool) {
+	return p.facts.get(p.Analyzer.Name, obj)
+}
+
+// FactStore holds object facts across passes of one driver run. Object
+// identity is shared because every package of a run is checked against the
+// same FileSet and type universe.
+type FactStore struct {
+	m map[factKey]any
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore { return &FactStore{m: make(map[factKey]any)} }
+
+func (s *FactStore) put(analyzer string, obj types.Object, fact any) {
+	s.m[factKey{analyzer, obj}] = fact
+}
+
+func (s *FactStore) get(analyzer string, obj types.Object) (any, bool) {
+	f, ok := s.m[factKey{analyzer, obj}]
+	return f, ok
+}
+
+// --- Shared helpers used by the project analyzers -----------------------
+
+// CalleeFunc resolves the *types.Func a call expression invokes (direct
+// calls and method calls through selectors). It returns nil for calls
+// through function-typed variables, built-ins, and type conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// PkgPathMatches reports whether path names the package identified by
+// suffix: an exact match, or a "/"-boundary suffix match. Fixture packages
+// under testdata use the bare suffix ("transport") while the real tree uses
+// the full module path ("repro/internal/transport"); both match suffix
+// "transport".
+func PkgPathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// IsFunc reports whether f is the function or method named name defined in
+// the package matched by pkgSuffix (see PkgPathMatches). Methods match on
+// the method name regardless of receiver; use IsMethod to pin the receiver
+// type.
+func IsFunc(f *types.Func, pkgSuffix, name string) bool {
+	return f != nil && f.Name() == name && f.Pkg() != nil &&
+		PkgPathMatches(f.Pkg().Path(), pkgSuffix)
+}
+
+// IsMethod reports whether f is the method recvType.name of the package
+// matched by pkgSuffix. recvType is the bare type name, pointer receivers
+// included.
+func IsMethod(f *types.Func, pkgSuffix, recvType, name string) bool {
+	if !IsFunc(f, pkgSuffix, name) {
+		return false
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return recvTypeName(sig.Recv().Type()) == recvType
+}
+
+// recvTypeName unwraps a receiver type to its named type's bare name.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	if n, ok := t.(*types.Alias); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// SortDiagnostics orders diagnostics by file position for stable output.
+func SortDiagnostics(fset *token.FileSet, ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		pi, pj := fset.Position(ds[i].Pos), fset.Position(ds[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

@@ -1,0 +1,145 @@
+// Package analyzertest runs a gcsvet analyzer over a fixture tree and
+// checks its diagnostics against // want comments, in the style of
+// golang.org/x/tools' analysistest (rebuilt here on the in-tree framework
+// because the module vendors no external dependencies).
+//
+// A fixture lives under <testdata>/src/<pkg>/ and is loaded by bare import
+// path: sibling directories under src/ back the fixture's non-stdlib
+// imports as stub packages. Every line expecting a diagnostic carries a
+// trailing comment:
+//
+//	tr.GetFrame(64) // want `frame from GetFrame is never released`
+//
+// Each quoted string is an anchored-nowhere regexp that must match the
+// message of a diagnostic reported on that line; every diagnostic must be
+// claimed by a want and every want must fire, or the test fails. The
+// driver's //gcsvet:ignore suppression runs before matching, so fixtures
+// can also pin down the escape hatch: a properly ignored violation needs
+// no want, and a reasonless ignore wants the driver's own complaint.
+package analyzertest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// want is one expectation: a regexp that must match a diagnostic at pos.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package under testdata and applies the analyzer,
+// failing t on any mismatch between reported diagnostics and // want
+// expectations. Fixture type errors fail the test immediately: a fixture
+// that does not compile tests nothing.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, testdata, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	l := analysis.NewLoader("")
+	loaded, err := l.LoadFixture(testdata, pkg)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", pkg, err)
+	}
+	res, err := analysis.Run(l, loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, pkg, err)
+	}
+	for _, te := range res.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", pkg, te)
+	}
+	if len(res.TypeErrors) > 0 {
+		t.FailNow()
+	}
+
+	wants := collectWants(t, l.Fset, loaded)
+	for _, d := range res.Diagnostics {
+		pos := l.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*want, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts the // want expectations from every fixture file.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, "want ")
+					if !ok {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					quoted := wantRe.FindAllString(rest, -1)
+					if len(quoted) == 0 {
+						t.Fatalf("%s:%d: malformed want: no quoted pattern in %q", pos.Filename, pos.Line, rest)
+					}
+					for _, q := range quoted {
+						pat, err := unquotePattern(q)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)
+						}
+						wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquotePattern(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return "", fmt.Errorf("unquote: %w", err)
+	}
+	return s, nil
+}

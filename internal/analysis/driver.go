@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The //gcsvet:ignore escape hatch. A finding may be suppressed by a
+// comment on the same line or the line directly above it:
+//
+//	//gcsvet:ignore lockhold -- fresh buffered channel, send cannot block
+//	//gcsvet:ignore -- reason applying to every analyzer on this line
+//
+// The reason after " -- " is MANDATORY: an ignore without one is itself
+// reported (analyzer name "gcsvet"), so every suppression in the tree
+// documents why the invariant does not apply. Multiple analyzers may be
+// named, comma- or space-separated; naming none suppresses all analyzers
+// at that line.
+const ignorePrefix = "gcsvet:ignore"
+
+// ignoreDirective is one parsed //gcsvet:ignore comment.
+type ignoreDirective struct {
+	pos       token.Pos
+	analyzers []string // empty = all
+	reason    string
+	used      bool
+}
+
+func (d *ignoreDirective) matches(analyzer string) bool {
+	if len(d.analyzers) == 0 {
+		return true
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// parseIgnores indexes every gcsvet:ignore directive of a file by line.
+// Malformed directives (no " -- reason") are returned as diagnostics.
+func parseIgnores(fset *token.FileSet, file *ast.File) (map[int]*ignoreDirective, []Diagnostic) {
+	var bad []Diagnostic
+	idx := make(map[int]*ignoreDirective)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, ignorePrefix)
+			names, reason, ok := strings.Cut(rest, "--")
+			reason = strings.TrimSpace(reason)
+			if !ok || reason == "" {
+				bad = append(bad, Diagnostic{
+					Pos:      c.Pos(),
+					Message:  `gcsvet:ignore requires a reason: "//gcsvet:ignore [analyzers] -- why the invariant does not apply here"`,
+					Analyzer: "gcsvet",
+				})
+				continue
+			}
+			d := &ignoreDirective{pos: c.Pos(), reason: reason}
+			for _, n := range strings.FieldsFunc(names, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+				d.analyzers = append(d.analyzers, n)
+			}
+			idx[fset.Position(c.Pos()).Line] = d
+		}
+	}
+	return idx, bad
+}
+
+// Result is the outcome of one driver run.
+type Result struct {
+	// Diagnostics that survived ignore filtering, in file/position order.
+	Diagnostics []Diagnostic
+	// TypeErrors aggregates type-checking failures across packages; a
+	// non-empty slice means analysis ran on incomplete information.
+	TypeErrors []error
+}
+
+// Run applies every analyzer to every package, in the given package order
+// (dependency order from the loader, so object facts flow from imported to
+// importing packages), filters findings through //gcsvet:ignore
+// directives, and returns the surviving diagnostics sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	res := &Result{}
+	facts := NewFactStore()
+
+	// Index ignore directives once per file; malformed ones are findings.
+	ignores := make(map[string]map[int]*ignoreDirective) // filename -> line -> directive
+	for _, pkg := range pkgs {
+		res.TypeErrors = append(res.TypeErrors, pkg.TypeErrors...)
+		for _, f := range pkg.Files {
+			idx, bad := parseIgnores(l.Fset, f)
+			res.Diagnostics = append(res.Diagnostics, bad...)
+			name := l.Fset.Position(f.Pos()).Filename
+			ignores[name] = idx
+		}
+	}
+
+	seen := make(map[string]bool) // dedup key: position + analyzer + message
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      l.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				facts:     facts,
+			}
+			pass.report = func(d Diagnostic) {
+				p := l.Fset.Position(d.Pos)
+				if idx := ignores[p.Filename]; idx != nil {
+					if dir := idx[p.Line]; dir != nil && dir.matches(d.Analyzer) {
+						dir.used = true
+						return
+					}
+					if dir := idx[p.Line-1]; dir != nil && dir.matches(d.Analyzer) {
+						dir.used = true
+						return
+					}
+				}
+				key := fmt.Sprintf("%s:%d:%d:%s:%s", p.Filename, p.Line, p.Column, d.Analyzer, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				res.Diagnostics = append(res.Diagnostics, d)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	SortDiagnostics(l.Fset, res.Diagnostics)
+	return res, nil
+}

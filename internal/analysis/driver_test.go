@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestIgnoreDirectives pins the escape-hatch contract: a reasoned
+// //gcsvet:ignore suppresses exactly the named analyzer on its line (or
+// the line below), a reasonless one suppresses nothing and is itself
+// reported under the analyzer name "gcsvet".
+func TestIgnoreDirectives(t *testing.T) {
+	l := analysis.NewLoader("")
+	pkgs, err := l.LoadFixture("testdata", "ignorefix")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "reports every function whose name starts with Flag",
+		Run: func(p *analysis.Pass) (any, error) {
+			for _, f := range p.Files {
+				for _, d := range f.Decls {
+					if fd, ok := d.(*ast.FuncDecl); ok && strings.HasPrefix(fd.Name.Name, "Flag") {
+						p.Reportf(fd.Pos(), "flagged function %s", fd.Name.Name)
+					}
+				}
+			}
+			return nil, nil
+		},
+	}
+	res, err := analysis.Run(l, pkgs, []*analysis.Analyzer{probe})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(res.TypeErrors) > 0 {
+		t.Fatalf("fixture type errors: %v", res.TypeErrors)
+	}
+
+	type finding struct{ analyzer, fragment string }
+	expect := []finding{
+		{"gcsvet", "requires a reason"},
+		{"probe", "FlagUnsuppressed"},
+		{"probe", "FlagReasonless"},
+		{"probe", "FlagWrongName"},
+	}
+	if len(res.Diagnostics) != len(expect) {
+		for _, d := range res.Diagnostics {
+			t.Logf("got: %s: %s", d.Analyzer, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want %d", len(res.Diagnostics), len(expect))
+	}
+	for _, want := range expect {
+		found := false
+		for _, d := range res.Diagnostics {
+			if d.Analyzer == want.analyzer && strings.Contains(d.Message, want.fragment) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing %s diagnostic containing %q", want.analyzer, want.fragment)
+		}
+	}
+	for _, d := range res.Diagnostics {
+		if strings.Contains(d.Message, "FlagSuppressed") {
+			t.Errorf("reasoned ignore failed to suppress: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,371 @@
+// Package framepool enforces the transport frame-pool ownership
+// discipline: a buffer obtained from transport.GetFrame is owned linearly,
+// may be recycled at most once with transport.PutFrame, and must not be
+// touched after it was recycled.
+//
+// The analysis is function-local and straight-line within each block:
+// control-flow branches are each scanned with a copy of the ownership
+// state, and a variable whose state diverges across branches stops being
+// tracked (no false positives from path merges). That is exactly the
+// precision the real bug classes need — the frame-interleaving race of
+// PR 4 and every pool regression since were straight-line double-Put /
+// use-after-Put mistakes, not cross-branch ones.
+//
+// Reported:
+//   - a GetFrame result that is discarded (no variable, no consumer);
+//   - a GetFrame-bound variable that is never used again at all (the
+//     buffer can neither be recycled nor handed off — a guaranteed leak);
+//   - PutFrame called twice on the same variable without reassignment;
+//   - any use of a variable after PutFrame(v) in the same block.
+//
+// Hand-offs are first-class: passing the buffer to a call, sending it on a
+// channel, returning it, or storing it transfer ownership and end local
+// tracking.
+package framepool
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the framepool pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "framepool",
+	Doc:  "check transport.GetFrame/PutFrame ownership (leaks, double-Put, use-after-Put)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				// Visited via the enclosing body walk below; still recurse
+				// so nested declarations are found.
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// state of one tracked frame variable.
+type state int
+
+const (
+	live state = iota // owned by this function
+	put               // recycled: any further use is a bug
+)
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	frames := make(map[*types.Var]state)
+	scanStmts(pass, body.List, frames)
+}
+
+// scanStmts walks one statement list with the given ownership state.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, frames map[*types.Var]state) {
+	for _, stmt := range stmts {
+		scanStmt(pass, stmt, frames)
+	}
+}
+
+func scanStmt(pass *analysis.Pass, stmt ast.Stmt, frames map[*types.Var]state) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if isGetFrame(pass, call) {
+				pass.Reportf(call.Pos(), "result of GetFrame discarded: the frame can never be recycled or consumed")
+				return
+			}
+			if v := putFrameArg(pass, call); v != nil {
+				checkUses(pass, call.Args[0], v, frames) // PutFrame(v) where v was already put
+				if st, ok := frames[v]; ok && st == put {
+					pass.Reportf(call.Pos(), "double PutFrame of %s: the frame was already recycled", v.Name())
+				}
+				frames[v] = put
+				scanFuncLits(pass, s.X)
+				return
+			}
+		}
+		checkUses(pass, s.X, nil, frames)
+		scanFuncLits(pass, s.X)
+
+	case *ast.AssignStmt:
+		// Uses on the RHS first (v = append(v, ...) after Put is a bug),
+		// then bindings/reassignments take effect.
+		for _, rhs := range s.Rhs {
+			checkUses(pass, rhs, nil, frames)
+			scanFuncLits(pass, rhs)
+		}
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok && isGetFrame(pass, call) {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if v := lhsVar(pass, id); v != nil {
+						frames[v] = live
+						checkEverUsed(pass, id, v)
+						return
+					}
+				}
+			}
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if v := lhsVar(pass, id); v != nil {
+					if _, tracked := frames[v]; tracked {
+						delete(frames, v) // reassigned: new value, unknown provenance
+					}
+				}
+			} else {
+				checkUses(pass, lhs, nil, frames) // a[i] = x reads a
+			}
+		}
+
+	case *ast.DeferStmt:
+		if v := putFrameArg(pass, s.Call); v != nil {
+			// defer PutFrame(v): recycles at function end; later uses in
+			// this body are fine, but a second Put is still a double-Put.
+			if st, ok := frames[v]; ok && st == put {
+				pass.Reportf(s.Call.Pos(), "double PutFrame of %s: the frame was already recycled", v.Name())
+			}
+			// Leave state live: uses before function return are legal.
+			return
+		}
+		checkUses(pass, s.Call, nil, frames)
+		handOffCaptured(pass, s.Call, frames)
+		scanFuncLits(pass, s.Call)
+
+	case *ast.GoStmt:
+		checkUses(pass, s.Call, nil, frames)
+		// Ownership moves to the goroutine: stop tracking anything the
+		// call (or its closure) captures.
+		handOffCaptured(pass, s.Call, frames)
+		scanFuncLits(pass, s.Call)
+
+	case *ast.SendStmt:
+		checkUses(pass, s.Chan, nil, frames)
+		checkUses(pass, s.Value, nil, frames)
+		handOffCaptured(pass, s.Value, frames)
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkUses(pass, r, nil, frames)
+			handOffCaptured(pass, r, frames)
+		}
+
+	case *ast.BlockStmt:
+		scanStmts(pass, s.List, frames)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, frames)
+		}
+		checkUses(pass, s.Cond, nil, frames)
+		branches := [][]ast.Stmt{s.Body.List}
+		if s.Else != nil {
+			branches = append(branches, []ast.Stmt{s.Else})
+		}
+		scanBranches(pass, branches, frames)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, frames)
+		}
+		if s.Cond != nil {
+			checkUses(pass, s.Cond, nil, frames)
+		}
+		body := s.Body.List
+		if s.Post != nil {
+			body = append(body[:len(body):len(body)], s.Post)
+		}
+		scanBranches(pass, [][]ast.Stmt{body}, frames)
+
+	case *ast.RangeStmt:
+		checkUses(pass, s.X, nil, frames)
+		scanBranches(pass, [][]ast.Stmt{s.Body.List}, frames)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, frames)
+		}
+		if s.Tag != nil {
+			checkUses(pass, s.Tag, nil, frames)
+		}
+		var branches [][]ast.Stmt
+		for _, c := range s.Body.List {
+			branches = append(branches, c.(*ast.CaseClause).Body)
+		}
+		scanBranches(pass, branches, frames)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, frames)
+		}
+		var branches [][]ast.Stmt
+		for _, c := range s.Body.List {
+			branches = append(branches, c.(*ast.CaseClause).Body)
+		}
+		scanBranches(pass, branches, frames)
+
+	case *ast.SelectStmt:
+		var branches [][]ast.Stmt
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			body := cc.Body
+			if cc.Comm != nil {
+				body = append([]ast.Stmt{cc.Comm}, body...)
+			}
+			branches = append(branches, body)
+		}
+		scanBranches(pass, branches, frames)
+
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, frames)
+
+	default:
+		// DeclStmt, Branch, Empty, Inc/Dec...: scan expressions generically.
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				checkUses(pass, e, nil, frames)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanBranches runs each branch on a copy of the state, then merges
+// conservatively: a variable whose state changed in any branch becomes
+// untracked (the straight-line analysis makes no cross-branch claims).
+func scanBranches(pass *analysis.Pass, branches [][]ast.Stmt, frames map[*types.Var]state) {
+	type change struct {
+		v  *types.Var
+		st state
+		ok bool
+	}
+	var changed []change
+	for _, b := range branches {
+		clone := make(map[*types.Var]state, len(frames))
+		for v, st := range frames {
+			clone[v] = st
+		}
+		scanStmts(pass, b, clone)
+		for v, st := range frames {
+			nst, ok := clone[v]
+			if !ok || nst != st {
+				changed = append(changed, change{v, nst, ok})
+			}
+		}
+	}
+	if len(branches) == 1 {
+		// A single branch's outcome is not guaranteed to run (if without
+		// else, loop bodies): keep the entry state but untrack divergers.
+		for _, c := range changed {
+			delete(frames, c.v)
+		}
+		return
+	}
+	for _, c := range changed {
+		delete(frames, c.v)
+	}
+}
+
+// checkUses reports reads of already-recycled frame variables inside expr.
+// exclude skips one identifier occurrence (the argument of the PutFrame
+// call being processed reports double-Put instead).
+func checkUses(pass *analysis.Pass, expr ast.Expr, exclude *types.Var, frames map[*types.Var]state) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are scanned as their own bodies
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v == exclude {
+			return true
+		}
+		if st, tracked := frames[v]; tracked && st == put {
+			pass.Reportf(id.Pos(), "use of %s after PutFrame: the frame was already recycled", v.Name())
+			delete(frames, v) // report once
+		}
+		return true
+	})
+}
+
+// scanFuncLits analyzes closure bodies found inside expr as independent
+// functions (their own GetFrame/PutFrame pairs are checked in isolation).
+func scanFuncLits(pass *analysis.Pass, expr ast.Expr) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkBody(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// handOffCaptured stops tracking variables whose ownership the expression
+// transfers elsewhere (call argument, closure capture, channel payload,
+// return value).
+func handOffCaptured(pass *analysis.Pass, expr ast.Expr, frames map[*types.Var]state) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			delete(frames, v)
+		}
+		return true
+	})
+}
+
+// checkEverUsed reports a GetFrame binding whose variable has no other
+// occurrence in the unit — it can never be recycled or handed off.
+func checkEverUsed(pass *analysis.Pass, def *ast.Ident, v *types.Var) {
+	for id, obj := range pass.TypesInfo.Uses {
+		if obj == v && id != def {
+			return
+		}
+	}
+	pass.Reportf(def.Pos(), "frame %s from GetFrame is never recycled or consumed (leak)", v.Name())
+}
+
+func isGetFrame(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return analysis.IsFunc(analysis.CalleeFunc(pass.TypesInfo, call), "transport", "GetFrame")
+}
+
+// putFrameArg returns the variable recycled by a PutFrame(v) call, nil if
+// the call is not PutFrame or its argument is not a plain variable.
+func putFrameArg(pass *analysis.Pass, call *ast.CallExpr) *types.Var {
+	if !analysis.IsFunc(analysis.CalleeFunc(pass.TypesInfo, call), "transport", "PutFrame") {
+		return nil
+	}
+	if len(call.Args) != 1 {
+		return nil
+	}
+	if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+// lhsVar resolves an assignment target identifier to its variable (Defs
+// for :=, Uses for =).
+func lhsVar(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}

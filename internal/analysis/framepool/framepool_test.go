@@ -1,0 +1,12 @@
+package framepool_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/framepool"
+)
+
+func TestFramepool(t *testing.T) {
+	analyzertest.Run(t, "testdata", framepool.Analyzer, "a")
+}

@@ -1,0 +1,60 @@
+// Package a exercises the framepool analyzer: each violation carries an
+// expectation comment; the legal patterns further down must stay silent.
+package a
+
+import "transport"
+
+var global []byte
+
+func discard() {
+	transport.GetFrame(64) // want `result of GetFrame discarded`
+}
+
+func leak() {
+	global = transport.GetFrame(64) // want `frame global from GetFrame is never recycled or consumed`
+}
+
+func doublePut() {
+	f := transport.GetFrame(64)
+	f[0] = 1
+	transport.PutFrame(f)
+	transport.PutFrame(f) // want `double PutFrame of f`
+}
+
+func useAfterPut() {
+	f := transport.GetFrame(64)
+	transport.PutFrame(f)
+	f[0] = 1 // want `use of f after PutFrame`
+}
+
+// getUsePut is the sanctioned linear pattern: one Get, uses, one Put.
+func getUsePut() {
+	f := transport.GetFrame(64)
+	f[0] = 1
+	transport.PutFrame(f)
+}
+
+// deferPut recycles at function end; uses after the defer are legal.
+func deferPut() {
+	f := transport.GetFrame(64)
+	defer transport.PutFrame(f)
+	f[0] = 1
+}
+
+// handOff transfers ownership: the consumer recycles, not this function.
+func handOff(ch chan []byte) []byte {
+	f := transport.GetFrame(64)
+	ch <- f
+	g := transport.GetFrame(64)
+	return g
+}
+
+// branches diverge: the analyzer makes no cross-branch claims, so the
+// conditional Put below is untracked afterwards — silent by design.
+func branchy(cond bool) {
+	f := transport.GetFrame(64)
+	if cond {
+		transport.PutFrame(f)
+	}
+	_ = f
+}

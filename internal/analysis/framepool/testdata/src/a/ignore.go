@@ -1,0 +1,18 @@
+package a
+
+import "transport"
+
+// ignored proves the escape hatch: the discard below is a violation, but
+// the reasoned gcsvet:ignore suppresses it — no want, and the test fails
+// on any unexpected diagnostic, so silence here IS the assertion.
+func ignored() {
+	//gcsvet:ignore framepool -- fixture: intentional discard proving the reasoned escape suppresses
+	transport.GetFrame(64)
+}
+
+// ignoredOtherAnalyzer names a different analyzer, so it does NOT
+// suppress the framepool finding.
+func ignoredOtherAnalyzer() {
+	//gcsvet:ignore wallclock -- fixture: names the wrong analyzer on purpose
+	transport.GetFrame(64) // want `result of GetFrame discarded`
+}

@@ -1,0 +1,8 @@
+// Package transport is a fixture stub of the real frame pool: the
+// analyzer matches GetFrame/PutFrame by package suffix and name, so only
+// the signatures matter here.
+package transport
+
+func GetFrame(n int) []byte { return make([]byte, n) }
+
+func PutFrame(b []byte) {}

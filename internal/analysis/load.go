@@ -1,0 +1,393 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/transport"); test
+	// variants share the base package's path.
+	PkgPath string
+	Dir     string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// TypeErrors collects type-checking problems. The tree is expected to
+	// be error-free; the driver surfaces these rather than analyzing
+	// half-checked code silently.
+	TypeErrors []error
+	// ForTest is the base package path when this is a test variant (the
+	// package compiled with its _test.go files, or an external _test
+	// package); empty for plain packages.
+	ForTest string
+}
+
+// IsTestVariant reports whether the package includes _test.go files.
+func (p *Package) IsTestVariant() bool { return p.ForTest != "" }
+
+// Loader loads module packages via `go list` and type-checks them from
+// source against gc export data for out-of-module (stdlib) imports. One
+// Loader owns one FileSet and one type universe, so object identity holds
+// across every package it loads — the property the fact store relies on.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir     string            // module root for go list invocations
+	exports map[string]string // import path -> gc export data file
+	gc      types.Importer    // export-data importer (caches internally)
+
+	byPath  map[string]*types.Package // plain packages, importable by path
+	forTest map[string]*types.Package // base path -> in-package test variant
+}
+
+// NewLoader returns a loader rooted at dir (the module root; "" = cwd).
+func NewLoader(dir string) *Loader {
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		dir:     dir,
+		exports: make(map[string]string),
+		byPath:  make(map[string]*types.Package),
+		forTest: make(map[string]*types.Package),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	ForTest    string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (plus -deps -test closure) and type-checks every
+// in-module package from source, returning them in dependency order.
+// Packages with a test variant are returned only once, as the variant —
+// it contains every file of the plain package plus the tests — while the
+// plain variant still backs imports by other packages.
+func (l *Loader) Load(patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-test",
+		"-json=ImportPath,Dir,Standard,ForTest,Export,GoFiles,ImportMap,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var entries []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list decode: %v", err)
+		}
+		entries = append(entries, &e)
+	}
+
+	var pkgs []*Package
+	loaded := make(map[string]*Package) // keyed by raw ImportPath (brackets kept)
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.ImportPath, ".test"):
+			continue // generated test main
+		case e.Module == nil || e.Standard:
+			if e.Export != "" {
+				l.exports[e.ImportPath] = e.Export
+			}
+			continue
+		}
+		pkg, err := l.checkEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		loaded[e.ImportPath] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+
+	// Both a plain package and its test variant are returned: the plain
+	// one is what importing packages resolve against (so facts exported
+	// from its objects are the ones importers see), the variant adds the
+	// _test.go files. The driver dedups the resulting double findings in
+	// the shared files by position.
+	return pkgs, nil
+}
+
+// checkEntry parses and type-checks one module package entry.
+func (l *Loader) checkEntry(e *listEntry) (*Package, error) {
+	pkgPath := e.ImportPath
+	if i := strings.IndexByte(pkgPath, ' '); i >= 0 {
+		pkgPath = pkgPath[:i] // "repro/x [repro/x.test]" -> "repro/x"
+	}
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(e.Dir, name)
+		}
+		f, err := parser.ParseFile(l.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+	}
+	imp := &pkgImporter{l: l, importMap: e.ImportMap, forTest: e.ForTest}
+	pkg := &Package{PkgPath: pkgPath, Dir: e.Dir, Files: files, ForTest: e.ForTest}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg.Info = newInfo()
+	tpkg, _ := conf.Check(pkgPath, l.Fset, files, pkg.Info) // errors collected above
+	pkg.Types = tpkg
+	if e.ForTest == "" {
+		l.byPath[pkgPath] = tpkg
+	} else if e.ForTest == pkgPath {
+		l.forTest[pkgPath] = tpkg
+	}
+	return pkg, nil
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// pkgImporter resolves one package's imports: the entry's ImportMap first
+// (an external _test package importing the test variant of its base
+// package), then source-checked module packages, then gc export data.
+type pkgImporter struct {
+	l         *Loader
+	importMap map[string]string
+	forTest   string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := pi.importMap[path]; ok {
+		base := mapped
+		if i := strings.IndexByte(base, ' '); i >= 0 {
+			base = base[:i]
+		}
+		if tp := pi.l.forTest[base]; tp != nil {
+			return tp, nil
+		}
+		path = base
+	}
+	if tp := pi.l.byPath[path]; tp != nil {
+		return tp, nil
+	}
+	return pi.l.gc.Import(path)
+}
+
+// --- Fixture loading (analyzertest) --------------------------------------
+
+// LoadFixture loads the fixture package rooted at dir/src/<pkg> together
+// with its stub dependencies (sibling directories under dir/src, imported
+// by bare path) and returns them in dependency order, fixture last. Stdlib
+// imports resolve through gc export data like the module loader's.
+func (l *Loader) LoadFixture(dir, pkg string) ([]*Package, error) {
+	// Resolve the transitive stdlib imports up front with one `go list`.
+	stdlib := make(map[string]bool)
+	var scan func(string) error
+	seen := make(map[string]bool)
+	scan = func(p string) error {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		imports, err := fixtureImports(filepath.Join(dir, "src", p))
+		if err != nil {
+			return err
+		}
+		for _, imp := range imports {
+			if _, err := os.Stat(filepath.Join(dir, "src", imp)); err == nil {
+				if err := scan(imp); err != nil {
+					return err
+				}
+			} else {
+				stdlib[imp] = true
+			}
+		}
+		return nil
+	}
+	if err := scan(pkg); err != nil {
+		return nil, err
+	}
+	if err := l.resolveExports(stdlib); err != nil {
+		return nil, err
+	}
+
+	var pkgs []*Package
+	checked := make(map[string]bool)
+	var load func(string) error
+	load = func(p string) error {
+		if checked[p] {
+			return nil
+		}
+		checked[p] = true
+		src := filepath.Join(dir, "src", p)
+		imports, err := fixtureImports(src)
+		if err != nil {
+			return err
+		}
+		for _, imp := range imports {
+			if _, err := os.Stat(filepath.Join(dir, "src", imp)); err == nil {
+				if err := load(imp); err != nil {
+					return err
+				}
+			}
+		}
+		pkg, err := l.checkFixtureDir(p, src)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	}
+	if err := load(pkg); err != nil {
+		return nil, err
+	}
+	return pkgs, nil
+}
+
+// resolveExports fills the export-data map for the given stdlib packages.
+func (l *Loader) resolveExports(paths map[string]bool) error {
+	var missing []string
+	for p := range paths {
+		if _, ok := l.exports[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Export"}, missing...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list (fixture stdlib %v): %v", missing, err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	return nil
+}
+
+// fixtureImports returns the import paths of every .go file in dir.
+func fixtureImports(dir string) ([]string, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []string
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			out = append(out, strings.Trim(imp.Path.Value, `"`))
+		}
+	}
+	return out, nil
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".go") {
+			names = append(names, filepath.Join(dir, ent.Name()))
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("fixture %s: no .go files", dir)
+	}
+	return names, nil
+}
+
+// checkFixtureDir parses and checks all .go files of one fixture directory
+// as the package imported by path p.
+func (l *Loader) checkFixtureDir(p, dir string) (*Package, error) {
+	names, err := fixtureFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: p, Dir: dir, Files: files}
+	conf := types.Config{
+		Importer: &pkgImporter{l: l},
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg.Info = newInfo()
+	pkg.Types, _ = conf.Check(p, l.Fset, files, pkg.Info)
+	l.byPath[p] = pkg.Types
+	return pkg, nil
+}

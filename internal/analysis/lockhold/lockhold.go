@@ -1,0 +1,450 @@
+// Package lockhold enforces the project's lock-hold discipline: no
+// blocking operation while holding a mutex annotated //gcsvet:lock.
+//
+// Guarded locks are declared at their field (or package variable) with a
+// comment:
+//
+//	// deliverMu is held across one delivered command ...
+//	deliverMu sync.Mutex //gcsvet:lock deliver
+//
+// The name after the directive is the lock's display name in diagnostics
+// (defaults to the field name). Functions whose calls must not happen
+// under a guarded lock carry //gcsvet:blocking in their doc comment —
+// Engine.Sync (an fsync), for example. Both annotations travel across
+// packages as object facts, so a package importing storage knows
+// Engine.Sync blocks without any analyzer configuration.
+//
+// While a guarded lock is held (between x.Lock() and x.Unlock() in
+// straight-line order; defer x.Unlock() holds to function end), the
+// analyzer reports:
+//   - calls to //gcsvet:blocking functions and to the built-in blocking
+//     set (sync.WaitGroup.Wait, sync.Cond.Wait, time.Sleep, net.Dial);
+//   - channel sends and receives;
+//   - select statements without a default clause.
+//
+// The analysis is intra-procedural: a helper that blocks must itself be
+// annotated //gcsvet:blocking for its callers to be checked. Closure
+// bodies are not assumed to run under the enclosing lock (they usually run
+// on another goroutine).
+package lockhold
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockhold pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockhold",
+	Doc:  "check that no blocking operation runs while holding a //gcsvet:lock-annotated mutex",
+	Run:  run,
+}
+
+// lockFact marks a mutex field/var as guarded; the value is the display
+// name from the annotation.
+type lockFact struct{ name string }
+
+// blockingFact marks a function as blocking.
+type blockingFact struct{}
+
+func run(pass *analysis.Pass) (any, error) {
+	exportAnnotations(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				held := make(map[*types.Var]string)
+				scanStmts(pass, body.List, held)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// exportAnnotations records this package's //gcsvet:lock fields and
+// //gcsvet:blocking functions as facts for later passes.
+func exportAnnotations(pass *analysis.Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.Field:
+				if name, ok := lockAnnotation(d.Doc, d.Comment); ok {
+					for _, id := range d.Names {
+						if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+							display := name
+							if display == "" {
+								display = id.Name
+							}
+							pass.ExportObjectFact(v, lockFact{name: display})
+						}
+					}
+					// Interface methods annotated //gcsvet:blocking are
+					// fields of the interface type; handled below.
+				}
+				if hasDirective(d.Doc, d.Comment, "gcsvet:blocking") {
+					for _, id := range d.Names {
+						if f, ok := pass.TypesInfo.Defs[id].(*types.Func); ok {
+							pass.ExportObjectFact(f, blockingFact{})
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if hasDirective(d.Doc, nil, "gcsvet:blocking") {
+					if f, ok := pass.TypesInfo.Defs[d.Name].(*types.Func); ok {
+						pass.ExportObjectFact(f, blockingFact{})
+					}
+				}
+			case *ast.ValueSpec:
+				if name, ok := lockAnnotation(d.Doc, d.Comment); ok {
+					for _, id := range d.Names {
+						if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+							display := name
+							if display == "" {
+								display = id.Name
+							}
+							pass.ExportObjectFact(v, lockFact{name: display})
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func lockAnnotation(groups ...*ast.CommentGroup) (string, bool) {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, ok := strings.CutPrefix(text, "gcsvet:lock"); ok {
+				return strings.TrimSpace(rest), true
+			}
+		}
+	}
+	return "", false
+}
+
+func hasDirective(doc, line *ast.CommentGroup, directive string) bool {
+	for _, g := range []*ast.CommentGroup{doc, line} {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), directive) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanStmts walks a statement list tracking which guarded locks are held.
+func scanStmts(pass *analysis.Pass, stmts []ast.Stmt, held map[*types.Var]string) {
+	for _, stmt := range stmts {
+		scanStmt(pass, stmt, held)
+	}
+}
+
+func scanStmt(pass *analysis.Pass, stmt ast.Stmt, held map[*types.Var]string) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if v, op := lockOp(pass, s.X); v != nil {
+			switch op {
+			case "Lock", "RLock":
+				held[v] = lockName(pass, v)
+			case "Unlock", "RUnlock":
+				delete(held, v)
+			}
+			return
+		}
+		checkExpr(pass, s.X, held)
+
+	case *ast.DeferStmt:
+		if v, op := lockOp(pass, s.Call); v != nil && (op == "Unlock" || op == "RUnlock") {
+			return // released at return; the lock stays held for this body
+		}
+		// The deferred call itself runs at return — with every
+		// defer-released lock still notionally held, but checking that
+		// precisely needs ordering; skip (shutdown paths dominate here).
+
+	case *ast.BlockStmt:
+		scanStmts(pass, s.List, held)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		checkExpr(pass, s.Cond, held)
+		scanBranch(pass, s.Body.List, held)
+		if s.Else != nil {
+			scanBranch(pass, []ast.Stmt{s.Else}, held)
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		if s.Cond != nil {
+			checkExpr(pass, s.Cond, held)
+		}
+		body := s.Body.List
+		if s.Post != nil {
+			body = append(body[:len(body):len(body)], s.Post)
+		}
+		scanBranch(pass, body, held)
+
+	case *ast.RangeStmt:
+		checkExpr(pass, s.X, held)
+		scanBranch(pass, s.Body.List, held)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		if s.Tag != nil {
+			checkExpr(pass, s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			scanBranch(pass, c.(*ast.CaseClause).Body, held)
+		}
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			scanStmt(pass, s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			scanBranch(pass, c.(*ast.CaseClause).Body, held)
+		}
+
+	case *ast.SelectStmt:
+		if len(held) > 0 && !hasDefault(s) {
+			pass.Reportf(s.Pos(), "blocking select while holding %s", heldNames(held))
+		}
+		for _, c := range s.Body.List {
+			scanBranch(pass, c.(*ast.CommClause).Body, held)
+		}
+
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			pass.Reportf(s.Arrow, "channel send while holding %s", heldNames(held))
+		}
+
+	case *ast.GoStmt:
+		// The goroutine does not inherit the lock; its body is scanned as
+		// part of the enclosing file walk only if it is a FuncDecl — skip.
+
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			checkExpr(pass, rhs, held)
+		}
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			checkExpr(pass, r, held)
+		}
+
+	case *ast.LabeledStmt:
+		scanStmt(pass, s.Stmt, held)
+
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				checkExpr(pass, e, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanBranch runs a nested statement list with a copy of the held set and
+// merges lock-state changes back conservatively: a lock released (or
+// acquired) in only some branch stops being tracked precisely, so no
+// false positives arise from path merges. A branch that cannot fall
+// through (return, panic, break/continue/goto as its last statement) does
+// not merge at all — the common "unlock and bail" early-exit leaves the
+// lock tracked on the surviving path.
+func scanBranch(pass *analysis.Pass, stmts []ast.Stmt, held map[*types.Var]string) {
+	clone := make(map[*types.Var]string, len(held))
+	for v, n := range held {
+		clone[v] = n
+	}
+	scanStmts(pass, stmts, clone)
+	if terminates(stmts) {
+		return
+	}
+	for v := range held {
+		if _, still := clone[v]; !still {
+			delete(held, v) // released somewhere inside: assume released
+		}
+	}
+}
+
+// terminates reports whether a statement list cannot fall through to the
+// code after its enclosing branch: it ends in return, a branching jump, or
+// a panic call. Good enough for the "unlock and bail" idiom; anything
+// subtler merges conservatively.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// checkExpr reports blocking operations inside an expression evaluated
+// while locks are held. Closure bodies are skipped.
+func checkExpr(pass *analysis.Pass, expr ast.Expr, held map[*types.Var]string) {
+	if len(held) == 0 {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op.String() == "<-" {
+				pass.Reportf(e.Pos(), "channel receive while holding %s", heldNames(held))
+			}
+		case *ast.CallExpr:
+			f := analysis.CalleeFunc(pass.TypesInfo, e)
+			if f == nil {
+				return true
+			}
+			if isBlocking(pass, f) {
+				pass.Reportf(e.Pos(), "call to blocking %s while holding %s", f.Name(), heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// isBlocking reports whether f carries a blocking fact or belongs to the
+// built-in blocking set.
+func isBlocking(pass *analysis.Pass, f *types.Func) bool {
+	if fact, ok := pass.ImportObjectFact(f); ok {
+		if _, ok := fact.(blockingFact); ok {
+			return true
+		}
+	}
+	switch {
+	case analysis.IsMethod(f, "sync", "WaitGroup", "Wait"),
+		analysis.IsMethod(f, "sync", "Cond", "Wait"),
+		analysis.IsFunc(f, "time", "Sleep"),
+		analysis.IsFunc(f, "net", "Dial"),
+		analysis.IsFunc(f, "net", "DialTimeout"):
+		return true
+	}
+	return false
+}
+
+// lockOp matches expr as a (R)Lock/(R)Unlock call on a guarded lock and
+// returns the lock variable and operation.
+func lockOp(pass *analysis.Pass, expr ast.Expr) (*types.Var, string) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	op := sel.Sel.Name
+	switch op {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, ""
+	}
+	v := lockVar(pass, sel.X)
+	if v == nil {
+		return nil, ""
+	}
+	if _, guarded := guardFact(pass, v); !guarded {
+		return nil, ""
+	}
+	return v, op
+}
+
+// lockVar resolves the receiver expression of a Lock call to the mutex
+// field/variable object (p.deliverMu, mu, s.inner.mu).
+func lockVar(pass *analysis.Pass, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := pass.TypesInfo.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel := pass.TypesInfo.Selections[e]; sel != nil {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+		v, _ := pass.TypesInfo.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func guardFact(pass *analysis.Pass, v *types.Var) (string, bool) {
+	f, ok := pass.ImportObjectFact(v)
+	if !ok {
+		return "", false
+	}
+	lf, ok := f.(lockFact)
+	if !ok {
+		return "", false
+	}
+	return lf.name, true
+}
+
+func lockName(pass *analysis.Pass, v *types.Var) string {
+	if name, ok := guardFact(pass, v); ok && name != "" {
+		return name
+	}
+	return v.Name()
+}
+
+func hasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if c.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func heldNames(held map[*types.Var]string) string {
+	var names []string
+	for _, n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) == 1 {
+		return "lock " + names[0]
+	}
+	return "locks " + strings.Join(names, ", ")
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/lockhold"
+)
+
+func TestLockhold(t *testing.T) {
+	analyzertest.Run(t, "testdata", lockhold.Analyzer, "a")
+}

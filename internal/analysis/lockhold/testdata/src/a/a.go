@@ -1,0 +1,88 @@
+// Package a exercises the lockhold analyzer: blocking operations under an
+// annotated lock are violations; the same operations under an unannotated
+// lock, after Unlock, or on a terminated early-exit path stay silent.
+package a
+
+import (
+	"sync"
+	"time"
+
+	"storageeng"
+)
+
+type replica struct {
+	mu  sync.Mutex //gcsvet:lock deliver
+	eng storageeng.Engine
+	ch  chan int
+}
+
+//gcsvet:blocking
+func flush() {}
+
+func (r *replica) syncUnderLock() {
+	r.mu.Lock()
+	r.eng.Sync() // want `call to blocking Sync while holding lock deliver`
+	r.mu.Unlock()
+}
+
+func (r *replica) sendUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ch <- 1 // want `channel send while holding lock deliver`
+}
+
+func (r *replica) receiveUnderLock() {
+	r.mu.Lock()
+	<-r.ch // want `channel receive while holding lock deliver`
+	r.mu.Unlock()
+}
+
+func (r *replica) selectUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want `blocking select while holding lock deliver`
+	case <-r.ch:
+	}
+}
+
+func (r *replica) sleepUnderLock() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to blocking Sleep while holding lock deliver`
+	r.mu.Unlock()
+}
+
+func (r *replica) annotatedHelperUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	flush() // want `call to blocking flush while holding lock deliver`
+}
+
+// earlyExit pins the terminating-branch rule: the unlock-and-return arm
+// does not merge, so the lock is still known held at the send.
+func (r *replica) earlyExit(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		return
+	}
+	r.ch <- 1 // want `channel send while holding lock deliver`
+	r.mu.Unlock()
+}
+
+// unlockFirst is the sanctioned shape: drop the lock, then block.
+func (r *replica) unlockFirst() {
+	r.mu.Lock()
+	r.mu.Unlock()
+	r.ch <- 1
+	r.eng.Sync()
+}
+
+// nonBlockingSelect has a default clause, so it cannot block.
+func (r *replica) nonBlockingSelect() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case <-r.ch:
+	default:
+	}
+}

@@ -1,0 +1,37 @@
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+// plain has no //gcsvet:lock annotation: lockhold makes no claims about
+// unannotated mutexes, so blocking under one stays silent.
+type plain struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (p *plain) unguarded() {
+	p.mu.Lock()
+	p.ch <- 1
+	p.mu.Unlock()
+}
+
+// globalMu checks the package-variable annotation form.
+var globalMu sync.Mutex //gcsvet:lock global
+
+func underGlobal() {
+	globalMu.Lock()
+	time.Sleep(time.Millisecond) // want `call to blocking Sleep while holding lock global`
+	globalMu.Unlock()
+}
+
+// handshake proves the escape hatch: the send is a violation, but the
+// reasoned gcsvet:ignore suppresses it — silence IS the assertion.
+func (r *replica) handshake() {
+	r.mu.Lock()
+	//gcsvet:ignore lockhold -- fixture: fresh buffered channel nobody else holds, the send cannot block
+	r.ch <- 1
+	r.mu.Unlock()
+}

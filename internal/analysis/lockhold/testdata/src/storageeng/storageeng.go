@@ -1,0 +1,9 @@
+// Package storageeng is a fixture stub standing in for the real storage
+// package: its interface method carries the //gcsvet:blocking annotation,
+// so the fixture proves the fact travels across package boundaries.
+package storageeng
+
+type Engine interface {
+	//gcsvet:blocking
+	Sync() error
+}

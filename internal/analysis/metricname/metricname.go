@@ -1,0 +1,165 @@
+// Package metricname enforces the telemetry naming scheme (DESIGN.md
+// "Observability"): every registration through telemetry.Registry or
+// telemetry.Scope uses a compile-time constant gcs_<layer>_* snake_case
+// name with the kind-appropriate suffix, and no name is registered under
+// two different kinds.
+//
+// Rules:
+//   - the name argument of Counter/Gauge/Histogram/CounterFunc/GaugeFunc
+//     must be a constant string (literal or named constant) — scrape
+//     surfaces are greppable only when names are static;
+//   - names match ^gcs_[a-z0-9]+(_[a-z0-9]+)+$ (gcs_ prefix, lower
+//     snake_case, at least a layer and a metric segment);
+//   - counters end in _total; histograms end in _seconds; gauges must not
+//     use the structural suffixes _total/_count/_sum/_bucket (the unit
+//     suffix _seconds is legal on a gauge: a last-observed duration);
+//   - one name, one kind: registering gcs_x as a Counter in one place and
+//     a Gauge in another is reported at the second site (the registry
+//     silently refuses such re-registrations at runtime — the analyzer
+//     surfaces them at review time instead of as a missing series in
+//     production).
+package metricname
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"regexp"
+	"strings"
+	"sync"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the process-wide metricname pass (shared cross-package
+// duplicate state; tests use New for isolation).
+var Analyzer = New()
+
+var namePattern = regexp.MustCompile(`^gcs_[a-z0-9]+(_[a-z0-9]+)+$`)
+
+// kindOf maps registration method name to exposition kind.
+var kindOf = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+// New returns a fresh metricname analyzer with its own cross-package
+// registration table.
+func New() *analysis.Analyzer {
+	c := &checker{registered: make(map[string]*registration)}
+	return &analysis.Analyzer{
+		Name: "metricname",
+		Doc:  "check telemetry metric names (gcs_ prefix, snake_case, kind suffixes, one kind per name)",
+		Run:  c.run,
+	}
+}
+
+type registration struct {
+	kind string
+	pos  string // file:line of first sighting, for the duplicate message
+}
+
+type checker struct {
+	mu         sync.Mutex
+	registered map[string]*registration
+}
+
+func (c *checker) run(pass *analysis.Pass) (any, error) {
+	// The registry's own package is plumbing, not registration sites: its
+	// Scope methods forward computed names, and its tests deliberately
+	// register invalid and kind-conflicting names to exercise the runtime
+	// refusal paths.
+	if pass.Pkg != nil && analysis.PkgPathMatches(pass.Pkg.Path(), "telemetry") {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil {
+				return true
+			}
+			kind, ok := kindOf[f.Name()]
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			if !analysis.IsMethod(f, "telemetry", "Registry", f.Name()) &&
+				!analysis.IsMethod(f, "telemetry", "Scope", f.Name()) {
+				return true
+			}
+			c.checkName(pass, call.Args[0], kind)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func (c *checker) checkName(pass *analysis.Pass, arg ast.Expr, kind string) {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "metric name must be a compile-time constant string (literal or named constant), not a computed value")
+		return
+	}
+	name := constant.StringVal(tv.Value)
+	if !namePattern.MatchString(name) {
+		pass.Reportf(arg.Pos(), "metric name %q must match gcs_<layer>_<metric> lower snake_case (^gcs_[a-z0-9]+(_[a-z0-9]+)+$)", name)
+		return
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(arg.Pos(), "counter %q must end in _total", name)
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			pass.Reportf(arg.Pos(), "histogram %q must end in _seconds (latency histograms record seconds)", name)
+		}
+	case "gauge":
+		// _seconds is a unit suffix, legal on gauges (a last-observed
+		// duration); the counter/histogram structural suffixes are not.
+		for _, suffix := range []string{"_total", "_count", "_sum", "_bucket"} {
+			if strings.HasSuffix(name, suffix) {
+				pass.Reportf(arg.Pos(), "gauge %q must not end in %s (reserved for other kinds)", name, suffix)
+			}
+		}
+	}
+	c.checkDuplicate(pass, arg.Pos(), name, kind)
+}
+
+func (c *checker) checkDuplicate(pass *analysis.Pass, pos token.Pos, name, kind string) {
+	p := pass.Fset.Position(pos)
+	site := p.Filename + ":" + itoa(p.Line)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.registered[name]
+	if !ok {
+		c.registered[name] = &registration{kind: kind, pos: site}
+		return
+	}
+	if prev.pos == site {
+		return // same site seen again (test variant of the same package)
+	}
+	if prev.kind != kind {
+		pass.Reportf(pos, "metric %q registered as %s here but as %s at %s: one name, one kind", name, kind, prev.kind, prev.pos)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,14 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	// New, not the shared Analyzer: the duplicate-kind table is
+	// process-wide state and must start empty for the fixture.
+	analyzertest.Run(t, "testdata", metricname.New(), "a")
+}

@@ -1,0 +1,33 @@
+// Package a exercises the metricname analyzer: constant gcs_ snake_case
+// names with kind-appropriate suffixes pass; everything else is reported.
+package a
+
+import "telemetry"
+
+const okName = "gcs_const_named_total"
+
+var computed = "gcs_runtime_built"
+
+func register(r *telemetry.Registry, s telemetry.Scope) {
+	// Legal registrations: literal, named constant, constant concatenation,
+	// scope method, gauge with the _seconds unit suffix.
+	r.Counter("gcs_transport_frames_total", "frames moved")
+	r.Counter(okName, "named constant is still compile-time")
+	r.Counter("gcs_"+"concat_parts"+"_total", "constant concatenation")
+	r.Histogram("gcs_rpc_latency_seconds", "request latency")
+	r.Gauge("gcs_replica_commit_index", "commit index")
+	r.Gauge("gcs_sync_last_pull_age_seconds", "unit suffix is legal on a gauge")
+	s.Counter("gcs_scope_events_total", "scoped registration")
+
+	// Violations.
+	r.Counter(computed, "x")                    // want `must be a compile-time constant`
+	r.Counter("transport_frames_total", "x")    // want `must match gcs_<layer>_<metric>`
+	r.Counter("gcs_Frames_total", "x")          // want `must match gcs_<layer>_<metric>`
+	r.Counter("gcs_total", "x")                 // want `must match gcs_<layer>_<metric>`
+	r.Counter("gcs_transport_frames", "x")      // want `counter "gcs_transport_frames" must end in _total`
+	r.CounterFunc("gcs_engine_syncs", "x", nil) // want `counter "gcs_engine_syncs" must end in _total`
+	r.Histogram("gcs_rpc_latency_ms", "x")      // want `histogram "gcs_rpc_latency_ms" must end in _seconds`
+	r.Gauge("gcs_replica_commands_total", "x")  // want `gauge "gcs_replica_commands_total" must not end in _total`
+	s.Gauge("gcs_scope_backlog_sum", "x")       // want `must not end in _sum`
+	r.Gauge("gcs_rpc_latency_seconds", "x")     // want `one name, one kind`
+}

@@ -1,0 +1,29 @@
+// Package telemetry is a fixture stub of the real registry: the analyzer
+// matches registration methods by receiver type and name, so only the
+// shapes matter here. The stub itself is never analyzed — metricname
+// skips the telemetry-defining package.
+package telemetry
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter { return nil }
+
+func (r *Registry) Gauge(name, help string) *Gauge { return nil }
+
+func (r *Registry) Histogram(name, help string) *Histogram { return nil }
+
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {}
+
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {}
+
+type Scope struct{ r *Registry }
+
+func (s Scope) Counter(name, help string) *Counter { return nil }
+
+func (s Scope) Gauge(name, help string) *Gauge { return nil }

@@ -1,0 +1,15 @@
+// Package ignorefix backs the driver's ignore-directive tests: one
+// unsuppressed finding, one suppressed by a reasoned ignore, one under a
+// reasonless ignore (which suppresses nothing and is itself a finding).
+package ignorefix
+
+func FlagUnsuppressed() {}
+
+//gcsvet:ignore probe -- test: reasoned ignores suppress matching analyzers
+func FlagSuppressed() {}
+
+//gcsvet:ignore probe
+func FlagReasonless() {}
+
+//gcsvet:ignore otheranalyzer -- test: an ignore naming another analyzer must not suppress probe
+func FlagWrongName() {}

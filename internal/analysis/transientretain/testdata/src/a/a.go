@@ -1,0 +1,109 @@
+// Package a exercises the transientretain analyzer: retention of an
+// EncodeTransient buffer past its release is a violation, the
+// encode-send-release pattern is the sanctioned idiom.
+package a
+
+import "msg"
+
+type holder struct{ buf []byte }
+
+type transport interface {
+	Send(to string, frame []byte) error
+}
+
+func consume(b []byte) {}
+
+func storeField(h *holder, v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	h.buf = buf // want `transient buffer buf stored in field buf`
+	release()
+}
+
+func storeElement(m map[string][]byte, v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	m["k"] = buf // want `stored in a map or slice element`
+	release()
+}
+
+func sendBuf(ch chan []byte, v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	ch <- buf // want `sent on a channel`
+	release()
+}
+
+func capture(v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	go func() { consume(buf) }() // want `captured by a goroutine`
+	release()
+}
+
+func dropRelease(v any) {
+	buf, _, err := msg.EncodeTransient(v) // want `release function discarded`
+	if err != nil {
+		return
+	}
+	consume(buf)
+}
+
+func neverReleased(v any) {
+	buf, release, err := msg.EncodeTransient(v) // want `release function release is never called`
+	if err != nil {
+		return
+	}
+	consume(buf)
+	_ = release
+}
+
+func useAfterRelease(v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	consume(buf)
+	release()
+	consume(buf) // want `use of transient buffer buf after release`
+}
+
+// sendLegal is the sanctioned pattern: encode, hand the view to a call
+// (transports copy on Send), release.
+func sendLegal(tr transport, to string, v any) error {
+	frame, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return err
+	}
+	err = tr.Send(to, frame)
+	release()
+	return err
+}
+
+// deferLegal releases at return; every use inside the body is safe.
+func deferLegal(v any) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	defer release()
+	consume(buf)
+	consume(buf[4:])
+}
+
+// callbackLegal hands the release to the callee, which owns the call.
+func callbackLegal(v any, then func([]byte, func())) {
+	buf, release, err := msg.EncodeTransient(v)
+	if err != nil {
+		return
+	}
+	then(buf, release)
+}

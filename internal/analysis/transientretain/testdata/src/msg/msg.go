@@ -1,0 +1,8 @@
+// Package msg is a fixture stub of the real codec: the analyzer matches
+// EncodeTransient by package suffix and name, so only the signature
+// matters here.
+package msg
+
+func EncodeTransient(v any) ([]byte, func(), error) {
+	return nil, func() {}, nil
+}

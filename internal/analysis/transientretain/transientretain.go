@@ -1,0 +1,272 @@
+// Package transientretain enforces the msg.EncodeTransient contract: the
+// returned buffer is a view into a pooled encoder buffer, valid only until
+// the release function runs, so it must never outlive the call.
+//
+// Reported:
+//   - storing the buffer in a struct field, map/slice element, package
+//     variable, or composite literal (all of which can outlive the frame);
+//   - sending the buffer on a channel (the receiver runs later);
+//   - capturing the buffer in a closure launched with go (the goroutine
+//     may run after release);
+//   - never calling (or deferring) the release function — a permanent
+//     encoder-pool leak;
+//   - using the buffer after release() in the same block.
+//
+// Passing the buffer to an ordinary call (tr.Send(to, frame)) is the
+// sanctioned pattern — transports copy on Send — and is not reported.
+package transientretain
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the transientretain pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "transientretain",
+	Doc:  "check that msg.EncodeTransient buffers never outlive their release function",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkBody(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				checkBody(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// binding is one `buf, release, err := msg.EncodeTransient(v)` result.
+type binding struct {
+	buf      *types.Var
+	release  *types.Var
+	bufDef   *ast.Ident
+	released bool // a release() call was seen in straight-line order
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	var bindings []*binding
+	byBuf := make(map[*types.Var]*binding)
+	byRel := make(map[*types.Var]*binding)
+
+	// Pass 1: collect bindings.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closures are checked as their own bodies by run
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 3 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok || !analysis.IsFunc(analysis.CalleeFunc(pass.TypesInfo, call), "msg", "EncodeTransient") {
+			return true
+		}
+		bufID, ok1 := as.Lhs[0].(*ast.Ident)
+		relID, ok2 := as.Lhs[1].(*ast.Ident)
+		if !ok1 || !ok2 {
+			return true
+		}
+		b := &binding{bufDef: bufID}
+		if v, ok := defOrUse(pass, bufID); ok {
+			b.buf = v
+			byBuf[v] = b
+		}
+		if v, ok := defOrUse(pass, relID); ok && relID.Name != "_" {
+			b.release = v
+			byRel[v] = b
+		} else if relID.Name == "_" {
+			pass.Reportf(relID.Pos(), "EncodeTransient release function discarded: the encoder buffer is never returned to the pool")
+		}
+		bindings = append(bindings, b)
+		return true
+	})
+	if len(bindings) == 0 {
+		return
+	}
+
+	// Pass 2: retention checks over the whole body.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				if i >= len(s.Rhs) && len(s.Rhs) != 1 {
+					break
+				}
+				rhs := s.Rhs[min(i, len(s.Rhs)-1)]
+				b := usedBinding(pass, rhs, byBuf)
+				if b == nil {
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(rhs.Pos(), "transient buffer %s stored in field %s: it is invalid after release", b.buf.Name(), l.Sel.Name)
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(), "transient buffer %s stored in a map or slice element: it is invalid after release", b.buf.Name())
+				case *ast.Ident:
+					if v, ok := defOrUse(pass, l); ok && v.Parent() == pass.Pkg.Scope() {
+						pass.Reportf(rhs.Pos(), "transient buffer %s stored in package variable %s: it is invalid after release", b.buf.Name(), l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if b := usedBinding(pass, s.Value, byBuf); b != nil {
+				pass.Reportf(s.Value.Pos(), "transient buffer %s sent on a channel: the receiver may use it after release", b.buf.Name())
+			}
+		case *ast.GoStmt:
+			reportCaptures(pass, s.Call, byBuf, "captured by a goroutine: it may run after release")
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				expr := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					expr = kv.Value
+				}
+				if id, ok := ast.Unparen(expr).(*ast.Ident); ok {
+					if v, ok := defOrUse(pass, id); ok {
+						if b := byBuf[v]; b != nil {
+							pass.Reportf(id.Pos(), "transient buffer %s stored in a composite literal: it is invalid after release", b.buf.Name())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 3: straight-line release ordering (use-after-release) and
+	// whether release is ever invoked.
+	scanRelease(pass, body.List, byBuf, byRel)
+	for _, b := range bindings {
+		if b.release == nil || b.released {
+			continue
+		}
+		if !releaseInvoked(pass, body, b.release) {
+			pass.Reportf(b.bufDef.Pos(), "EncodeTransient release function %s is never called: the encoder buffer leaks from the pool", b.release.Name())
+		}
+	}
+}
+
+// scanRelease walks top-level statements in order, marking buffers dead at
+// release() calls and reporting later uses in the same statement list.
+func scanRelease(pass *analysis.Pass, stmts []ast.Stmt, byBuf map[*types.Var]*binding, byRel map[*types.Var]*binding) {
+	dead := make(map[*types.Var]*binding)
+	for _, stmt := range stmts {
+		if es, ok := stmt.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if v, ok := defOrUse(pass, id); ok {
+						if b := byRel[v]; b != nil {
+							b.released = true
+							if b.buf != nil {
+								dead[b.buf] = b
+							}
+							continue
+						}
+					}
+				}
+			}
+		}
+		if _, ok := stmt.(*ast.DeferStmt); ok {
+			continue // defer release() runs at return; later uses are fine
+		}
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if b, isDead := dead[v]; isDead {
+				pass.Reportf(id.Pos(), "use of transient buffer %s after release: the encoder buffer was already recycled", b.buf.Name())
+				delete(dead, v)
+			}
+			return true
+		})
+	}
+}
+
+// releaseInvoked reports whether the release variable is called or
+// deferred anywhere in the body (including inside closures — a release
+// smuggled into a defer'd closure still runs).
+func releaseInvoked(pass *analysis.Pass, body *ast.BlockStmt, rel *types.Var) bool {
+	invoked := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v == rel {
+				invoked = true
+			}
+		}
+		// Passing release as a value (callback(release)) also counts: the
+		// callee owns the call.
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && v == rel {
+					invoked = true
+				}
+			}
+		}
+		return true
+	})
+	return invoked
+}
+
+// usedBinding returns the binding whose buffer expr is (exactly, as a bare
+// identifier or slice of it), nil otherwise.
+func usedBinding(pass *analysis.Pass, expr ast.Expr, byBuf map[*types.Var]*binding) *binding {
+	e := ast.Unparen(expr)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X) // buf[4:] is the same storage
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return byBuf[v]
+	}
+	return nil
+}
+
+// reportCaptures reports buffer variables referenced anywhere inside expr.
+func reportCaptures(pass *analysis.Pass, expr ast.Expr, byBuf map[*types.Var]*binding, what string) {
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+			if b := byBuf[v]; b != nil {
+				pass.Reportf(id.Pos(), "transient buffer %s %s", b.buf.Name(), what)
+			}
+		}
+		return true
+	})
+}
+
+func defOrUse(pass *analysis.Pass, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	return v, ok
+}

@@ -1,0 +1,12 @@
+package transientretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/transientretain"
+)
+
+func TestTransientRetain(t *testing.T) {
+	analyzertest.Run(t, "testdata", transientretain.Analyzer, "a")
+}

@@ -1,0 +1,25 @@
+// Package seeded exercises the rand-seeding rule, which applies in EVERY
+// package, not just the deterministic ones: a time-seeded source cannot be
+// reproduced from a printed seed.
+package seeded
+
+import (
+	"math/rand"
+	"time"
+)
+
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand source seeded from the wall clock`
+}
+
+// fixedSeeded is the sanctioned pattern: the seed is a value that can be
+// printed and replayed.
+func fixedSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// wallRead is legal here: this package is not a deterministic harness, so
+// plain time.Now use is out of scope for wallclock.
+func wallRead() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,37 @@
+// Package sim exercises the wallclock analyzer inside a deterministic
+// package (path suffix "sim"): direct wall-clock reads are violations,
+// routing through a swappable clock function is the sanctioned seam.
+package sim
+
+import "time"
+
+// clock is the seam: reading the FUNCTION VALUE is not a call, so the
+// seam itself needs no escape — only calling time.Now directly does.
+var clock = time.Now
+
+type span struct{ start time.Time }
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall clock \(time.Now\) forbidden in deterministic package sim`
+}
+
+func age(s span) time.Duration {
+	return time.Since(s.start) // want `wall clock \(time.Since\) forbidden in deterministic package sim`
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `wall clock \(time.Until\) forbidden in deterministic package sim`
+}
+
+// seamStamp is the sanctioned pattern: every read goes through the seam,
+// which a deterministic run swaps for virtual time.
+func seamStamp() int64 {
+	return clock().UnixNano()
+}
+
+// watchdog proves the escape hatch: a real-time deadline over real
+// concurrency is suppressed with a reason — silence IS the assertion.
+func watchdog() time.Time {
+	//gcsvet:ignore wallclock -- fixture: watchdog deadline over real goroutines, not simulated time
+	return time.Now().Add(time.Second)
+}

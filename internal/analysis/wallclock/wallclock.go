@@ -1,0 +1,82 @@
+// Package wallclock enforces deterministic time in the deterministic
+// harnesses: internal/sim and internal/chaostest must not read the wall
+// clock directly — both exist to make runs reproducible from a seed, and a
+// time.Now() buried in a helper silently couples a "deterministic" run to
+// the scheduler. They must route through their harness clock seam (a
+// swappable clock function, itself annotated with a //gcsvet:ignore and a
+// reason).
+//
+// Reported:
+//   - any use of time.Now, time.Since, or time.Until in a package whose
+//     last path segment is sim or chaostest (test files included — the
+//     seeded chaos tests are exactly where wall-clock reads are most
+//     tempting);
+//   - anywhere in the tree: seeding a rand source from the wall clock
+//     (rand.NewSource(time.Now()...), rand.NewPCG with a time.Now
+//     argument). A time-seeded run cannot be reproduced from its printed
+//     seed, which defeats the CHAOS_SEED contract.
+package wallclock
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock reads in deterministic packages (internal/sim, internal/chaostest) and time-seeded rand sources",
+	Run:  run,
+}
+
+// deterministic reports whether pkgPath names a package that must not read
+// the wall clock.
+func deterministic(pkgPath string) bool {
+	return analysis.PkgPathMatches(pkgPath, "sim") ||
+		analysis.PkgPathMatches(pkgPath, "chaostest")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	banAll := pass.Pkg != nil && deterministic(pass.Pkg.Path())
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil {
+				return true
+			}
+			if banAll && (analysis.IsFunc(f, "time", "Now") ||
+				analysis.IsFunc(f, "time", "Since") ||
+				analysis.IsFunc(f, "time", "Until")) {
+				pass.Reportf(call.Pos(), "wall clock (time.%s) forbidden in deterministic package %s: use the harness clock seam", f.Name(), pass.Pkg.Name())
+			}
+			if analysis.IsFunc(f, "rand", "NewSource") || analysis.IsFunc(f, "rand", "NewPCG") {
+				for _, arg := range call.Args {
+					if usesWallClock(pass, arg) {
+						pass.Reportf(arg.Pos(), "rand source seeded from the wall clock: the run cannot be reproduced from a printed seed")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// usesWallClock reports whether expr contains a time.Now call.
+func usesWallClock(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if analysis.IsFunc(analysis.CalleeFunc(pass.TypesInfo, call), "time", "Now") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

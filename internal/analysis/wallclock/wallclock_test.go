@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analyzertest.Run(t, "testdata", wallclock.Analyzer, "sim", "seeded")
+}

@@ -764,6 +764,7 @@ func (c *cluster) newShardedClient(addrs []string, opTimeout time.Duration, stic
 // views side by side.
 func (c *cluster) converge(timeout time.Duration) []uint64 {
 	c.t.Helper()
+	//gcsvet:ignore wallclock -- watchdog over real goroutines: the chaos schedule is seeded-deterministic, but convergence runs on real concurrency and needs a real deadline
 	deadline := time.Now().Add(timeout * raceScale)
 	targets := make([]uint64, c.shards)
 	for k := 0; k < c.shards; k++ {
@@ -798,6 +799,7 @@ func (c *cluster) converge(timeout time.Duration) []uint64 {
 				targets[k] = target
 				break
 			}
+			//gcsvet:ignore wallclock -- same watchdog deadline; expiry only fails the test louder, never changes the schedule
 			if time.Now().After(deadline) {
 				for _, n := range c.liveCores() {
 					g, ok := c.commitIndexGauge(n.id, k)

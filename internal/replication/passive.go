@@ -193,8 +193,10 @@ type Passive struct {
 	// (DeliverFunc wraps the handlers) and by snapshot capture/install and
 	// log replay: a "delivery boundary" is precisely a point where deliverMu
 	// is free. It nests OUTSIDE p.mu and is uncontended on the hot path —
-	// deliveries already run on a single goroutine.
-	deliverMu sync.Mutex
+	// deliveries already run on a single goroutine. Blocking while holding
+	// it stalls every delivery of the replica (gcsvet lockhold enforces
+	// this; the durable-before-ack fsync is the one sanctioned exception).
+	deliverMu sync.Mutex  //gcsvet:lock deliverMu
 	snap      Snapshotter // application state hooks for snapshots
 	follower  bool        // catch-up replica: no node, log-driven deliveries
 	logBase   uint64      // commit index preceding the first retained log entry

@@ -271,6 +271,7 @@ func (p *Passive) InstallSnapshot(data []byte) error {
 	// (behind-index) snapshots persist nothing, and disk replay is excluded
 	// — its snapshot came FROM the engine.
 	if installed && p.store != nil && !p.storeReplay {
+		//gcsvet:ignore lockhold -- adopt must be atomic wrt deliveries; a delivery interleaved with install would fork the state
 		if err := p.store.SaveSnapshot(idx, data); err != nil {
 			return fmt.Errorf("replication: persist snapshot: %w", err)
 		}

@@ -90,6 +90,8 @@ func (p *Passive) SetStorage(cfg StorageConfig) {
 // paths, BEFORE the acking waiter is woken — that ordering is the whole
 // durability contract. During bulk replay (ApplySyncEntries) the per-entry
 // sync is suppressed and one sync closes the batch.
+//
+//gcsvet:blocking (it fsyncs: callers holding other guarded locks beware)
 func (p *Passive) persistDelivered(syncNow bool) {
 	if p.store == nil || p.storeReplay {
 		return
@@ -236,9 +238,11 @@ func (p *Passive) CloseStorage() error {
 	if p.store == nil {
 		return nil
 	}
+	//gcsvet:ignore lockhold -- graceful shutdown: delivery has stopped, holding deliverMu across the final fsync+snapshot is the point
 	p.persistDelivered(true)
 	idx, data := p.captureSnapshotLocked()
 	store := p.store
+	//gcsvet:ignore lockhold -- graceful shutdown: same final-drain path, nothing contends deliverMu anymore
 	if err := store.SaveSnapshot(idx, data); err != nil && !errors.Is(err, storage.ErrClosed) {
 		return err
 	}

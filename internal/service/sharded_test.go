@@ -19,9 +19,9 @@ type shardedCluster struct {
 	network *transport.Network
 	ids     []proc.ID
 	muxes   []*transport.GroupMux
-	nodes   [][]*core.Node            // [node][shard]
-	reps    [][]*replication.Passive  // [node][shard]
-	sms     [][]*ledgerSM             // [node][shard]
+	nodes   [][]*core.Node           // [node][shard]
+	reps    [][]*replication.Passive // [node][shard]
+	sms     [][]*ledgerSM            // [node][shard]
 	gws     []*Gateway
 	addrs   map[proc.ID]string
 	shards  int

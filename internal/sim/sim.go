@@ -24,14 +24,30 @@ func init() {
 	msg.Register(Payload{})
 }
 
+// clock is the package's single time source. Experiments that replay
+// recorded traces (or run under the deterministic harness) swap it with
+// SetClock so every stamp and every age computation reads the same virtual
+// instant — the reason wall-clock calls are banned from this package by
+// gcsvet wallclock.
+var clock = time.Now
+
+// SetClock replaces the package time source and returns a restore func.
+// Intended for deterministic replays and tests; not safe to call while
+// measurements are in flight.
+func SetClock(now func() time.Time) (restore func()) {
+	prev := clock
+	clock = now
+	return func() { clock = prev }
+}
+
 // NewPayload stamps a payload with the current time.
 func NewPayload(seq uint64, padBytes int) Payload {
-	return Payload{Seq: seq, SentNanos: time.Now().UnixNano(), Pad: make([]byte, padBytes)}
+	return Payload{Seq: seq, SentNanos: clock().UnixNano(), Pad: make([]byte, padBytes)}
 }
 
 // Age returns the time elapsed since the payload was stamped.
 func (p Payload) Age() time.Duration {
-	return time.Duration(time.Now().UnixNano() - p.SentNanos)
+	return time.Duration(clock().UnixNano() - p.SentNanos)
 }
 
 // Histogram collects duration samples.
@@ -111,14 +127,14 @@ type Timeline struct {
 
 // NewTimeline starts a timeline with the given bucket width.
 func NewTimeline(width time.Duration) *Timeline {
-	return &Timeline{start: time.Now(), width: width}
+	return &Timeline{start: clock(), width: width}
 }
 
 // Mark records one event at the current time.
 func (t *Timeline) Mark() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	idx := int(time.Since(t.start) / t.width)
+	idx := int(clock().Sub(t.start) / t.width)
 	for len(t.buckets) <= idx {
 		t.buckets = append(t.buckets, 0)
 	}
@@ -129,7 +145,7 @@ func (t *Timeline) Mark() {
 func (t *Timeline) Index() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return int(time.Since(t.start) / t.width)
+	return int(clock().Sub(t.start) / t.width)
 }
 
 // Buckets returns a copy of the counts.

@@ -38,9 +38,11 @@ type Engine interface {
 	// Sync; an engine may lose any unsynced suffix on a crash.
 	Append(rec Record) error
 	// Sync makes all appended records durable (one fsync on a file engine).
+	//gcsvet:blocking
 	Sync() error
 	// SaveSnapshot atomically replaces the snapshot slot with state
 	// standing at index. Older snapshots are retired.
+	//gcsvet:blocking
 	SaveSnapshot(index uint64, data []byte) error
 	// LoadSnapshot returns the newest intact snapshot, ok=false when none.
 	LoadSnapshot() (index uint64, data []byte, ok bool, err error)

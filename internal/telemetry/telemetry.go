@@ -150,7 +150,11 @@ type family struct {
 // (every registration method no-ops), so wiring code never branches on
 // "metrics enabled".
 type Registry struct {
-	mu       sync.Mutex
+	// mu guards the family map only. Scrape-cost rule, enforced by gcsvet
+	// lockhold: counter/gauge funcs and histogram snapshots are evaluated
+	// OUTSIDE this lock (they may take component locks of arbitrary cost),
+	// so a slow exposition can never stall concurrent registrations.
+	mu       sync.Mutex //gcsvet:lock telemetry-registry
 	families map[string]*family
 	dropped  atomic.Uint64 // registrations refused by the cardinality cap
 }

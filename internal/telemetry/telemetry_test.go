@@ -256,12 +256,12 @@ func TestExpositionRoundTrip(t *testing.T) {
 
 func TestValidateExpositionRejectsMalformed(t *testing.T) {
 	for _, bad := range []string{
-		"9metric 1\n",                     // name starts with digit
-		"ok_metric{le=\"x} 1\n",           // unterminated label value
-		"ok_metric{9bad=\"x\"} 1\n",       // bad label name
-		"ok_metric notanumber\n",          // bad value
-		"# TYPE m wat\nm 1\n",             // unknown type
-		"m 1\n# TYPE m counter\n",         // TYPE after samples
+		"9metric 1\n",                        // name starts with digit
+		"ok_metric{le=\"x} 1\n",              // unterminated label value
+		"ok_metric{9bad=\"x\"} 1\n",          // bad label name
+		"ok_metric notanumber\n",             // bad value
+		"# TYPE m wat\nm 1\n",                // unknown type
+		"m 1\n# TYPE m counter\n",            // TYPE after samples
 		"# TYPE m counter\n# TYPE m gauge\n", // duplicate TYPE
 	} {
 		if err := ValidateExposition(strings.NewReader(bad)); err == nil {

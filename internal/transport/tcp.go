@@ -51,7 +51,11 @@ type TCPTransport struct {
 
 	metrics atomic.Pointer[tcpMetrics] // nil until RegisterMetrics
 
-	mu      sync.Mutex
+	// mu guards the connection tables. The write loops drain their queues
+	// without it; nothing that can block (dialing, flushing, waiting) may
+	// run while holding it (gcsvet lockhold) — conn() deliberately dials
+	// with the lock dropped.
+	mu      sync.Mutex //gcsvet:lock tcp-conns
 	conns   map[proc.ID]*tcpConn
 	inbound map[net.Conn]bool  // accepted connections, closed on shutdown
 	learned map[proc.ID]string // dial-back addresses announced by inbound peers
@@ -213,6 +217,7 @@ func (t *TCPTransport) conn(to proc.ID) (*tcpConn, error) {
 	// Handshake first: pack it like any frame so it rides the same loop.
 	// It announces our listen address so the peer can dial back even if we
 	// are not in its static peer map.
+	//gcsvet:ignore lockhold -- tc.out is a fresh buffered channel (outQueue deep) nobody else holds; this send cannot block
 	tc.out <- packFrame([]byte(string(t.self) + "\n" + t.ln.Addr().String()))
 	t.conns[to] = tc
 	t.wg.Add(1)
