@@ -29,6 +29,11 @@
 //	                         no engine / in-memory engine / fsynced
 //	                         segmented WAL, one fsync per commit window
 //	                         (JSON rows)
+//	gcsbench partition       E18: partition availability — idle fault-layer
+//	                         pass-through tax (paired) and the degraded-mode
+//	                         timeline of an isolated primary: watchdog trip,
+//	                         fail-fast latency, majority-side availability,
+//	                         recovery after heal (JSON rows)
 //	gcsbench all             everything above
 //
 // All experiments run on the in-memory simulated network with identical
@@ -75,6 +80,8 @@ func run(cmd string) error {
 		return experimentOverhead()
 	case "durability":
 		return experimentDurability()
+	case "partition":
+		return experimentPartition()
 	case "all":
 		for _, f := range []func() error{
 			experimentOrdering,
@@ -88,6 +95,7 @@ func run(cmd string) error {
 			experimentRecovery,
 			experimentOverhead,
 			experimentDurability,
+			experimentPartition,
 		} {
 			if err := f(); err != nil {
 				return err
@@ -96,6 +104,6 @@ func run(cmd string) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|overhead|durability|all)", cmd)
+		return fmt.Errorf("unknown experiment %q (want ordering|bank|responsiveness|viewchange|fig8|service|service-reads|service-shards|recovery|overhead|durability|partition|all)", cmd)
 	}
 }

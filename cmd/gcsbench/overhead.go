@@ -160,7 +160,7 @@ func (h *svcHarness) instrument(reg *telemetry.Registry) (stop func()) {
 // runOverhead is runService's workload (batched writes, closed-loop
 // sessions) with the instrumentation toggle.
 func runOverhead(sessions int, instrumented bool, runFor time.Duration) (overheadRecord, error) {
-	h, err := buildSvcHarness(int64(1600+sessions), true)
+	h, err := buildSvcHarness(int64(1600+sessions), true, false)
 	if err != nil {
 		return overheadRecord{}, err
 	}

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// ---- E18: partition availability -----------------------------------------
+//
+// Two halves. First, the fault layer's pass-through tax: the batched write
+// path of E12 with every node's transport wrapped in an IDLE FaultTransport
+// (no rules installed) versus bare, measured E16-style as back-to-back
+// alternating pairs with the median pair reported — the wrapper is one
+// atomic load per send, so the acceptance bar is "no measurable
+// regression" (the paired overhead sits inside the trial noise).
+//
+// Second, the availability timeline of a partitioned primary. The primary
+// is split from its quorum while a client stays attached to its gateway
+// (streams outlive the replica-tier partition). The quorum-progress
+// watchdog must turn that primary's silence into fast retryable DEGRADED
+// answers: the timeline records time-to-degraded (watchdog trip), the
+// fresh-write fail-fast latency (≪ gateway request timeout), how many
+// writes the MAJORITY side served while the split was up (failover keeps
+// it available), and the time from heal to the stuck write's ack.
+
+// partOverheadRecord is the JSON shape of one pass-through measurement row.
+type partOverheadRecord struct {
+	Experiment  string  `json:"experiment"`
+	FaultLayer  bool    `json:"fault_layer"`
+	Sessions    int     `json:"sessions"`
+	DurationS   float64 `json:"duration_s"`
+	Ops         uint64  `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_s"`
+	MeanUS      float64 `json:"mean_us"`
+	P99US       float64 `json:"p99_us"`
+	OverheadPct float64 `json:"overhead_pct"` // vs the bare pair row (0 on baselines)
+}
+
+// partTrialRecord is the JSON shape of one partition-timeline trial.
+type partTrialRecord struct {
+	Experiment      string  `json:"experiment"`
+	Seed            int64   `json:"seed"`
+	TripMS          float64 `json:"trip_ms"`           // partition → watchdog degraded
+	FailFastMS      float64 `json:"fail_fast_ms"`      // fresh write → DEGRADED answer
+	MajorityWrites  int     `json:"majority_writes"`   // acked on the quorum side mid-split
+	RecoverMS       float64 `json:"recover_ms"`        // heal → stuck write acked
+	DegradedAnswers uint64  `json:"degraded_answers"`  // client-side, partition signature
+	GatewayDegraded uint64  `json:"gateway_degraded"`  // gateway-side DEGRADED answers
+	WatchdogTrips   uint64  `json:"watchdog_trips"`    // across all replicas
+	AckedOnMinority bool    `json:"acked_on_minority"` // must be false
+}
+
+func experimentPartition() error {
+	fmt.Println("== E18 — partition availability: fault-layer tax + degraded-mode timeline ==")
+	fmt.Println("   idle FaultTransport pass-through vs bare (paired, median), then isolated-primary trials")
+
+	// Half 1: pass-through tax, E16-style pairing.
+	fmt.Printf("%-6s %-10s %10s %12s %10s %10s %10s\n",
+		"fault", "sessions", "ops", "ops/s", "mean", "p99", "overhead")
+	const runFor = time.Second
+	const trials = 6
+	for _, sessions := range []int{16, 64} {
+		type pair struct{ off, on partOverheadRecord }
+		pairs := make([]pair, 0, trials)
+		for t := 0; t < trials; t++ {
+			var off, on partOverheadRecord
+			run := func(fault bool) error {
+				r, err := runPartitionOverhead(sessions, fault, runFor)
+				if fault {
+					on = r
+				} else {
+					off = r
+				}
+				return err
+			}
+			first := t%2 == 0
+			if err := run(first); err != nil {
+				return err
+			}
+			if err := run(!first); err != nil {
+				return err
+			}
+			on.OverheadPct = (off.OpsPerSec - on.OpsPerSec) / off.OpsPerSec * 100
+			pairs = append(pairs, pair{off, on})
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairs[i].on.OverheadPct < pairs[j].on.OverheadPct
+		})
+		median := pairs[len(pairs)/2]
+		for _, rec := range []partOverheadRecord{median.off, median.on} {
+			fmt.Printf("%-6v %-10d %10d %12.0f %10v %10v %9.1f%%\n",
+				rec.FaultLayer, rec.Sessions, rec.Ops, rec.OpsPerSec,
+				time.Duration(rec.MeanUS*float64(time.Microsecond)).Round(time.Microsecond),
+				time.Duration(rec.P99US*float64(time.Microsecond)).Round(time.Microsecond),
+				rec.OverheadPct)
+			line, err := json.Marshal(rec)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(line))
+		}
+	}
+
+	// Half 2: the degraded-mode availability timeline.
+	fmt.Printf("%-6s %10s %12s %14s %12s %10s\n",
+		"seed", "trip", "fail-fast", "majority-ok", "recover", "degraded")
+	for _, seed := range []int64{41, 42, 43} {
+		rec, err := runPartitionTrial(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %10v %12v %14d %12v %10d\n",
+			rec.Seed,
+			time.Duration(rec.TripMS*float64(time.Millisecond)).Round(time.Millisecond),
+			time.Duration(rec.FailFastMS*float64(time.Millisecond)).Round(100*time.Microsecond),
+			rec.MajorityWrites,
+			time.Duration(rec.RecoverMS*float64(time.Millisecond)).Round(time.Millisecond),
+			rec.DegradedAnswers)
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(line))
+	}
+	return nil
+}
+
+// runPartitionOverhead is E12's batched closed-loop write workload with the
+// fault-layer toggle and no other instrumentation.
+func runPartitionOverhead(sessions int, fault bool, runFor time.Duration) (partOverheadRecord, error) {
+	h, err := buildSvcHarness(int64(1800+sessions), true, fault)
+	if err != nil {
+		return partOverheadRecord{}, err
+	}
+	defer h.stop()
+	warm(h.network)
+
+	dial := h.dialer()
+	addrList := []string{"s0", "s1", "s2"}
+
+	var (
+		wg      sync.WaitGroup
+		hist    = telemetry.NewHistogram()
+		ops     atomic.Uint64
+		stop    = make(chan struct{})
+		downErr atomic.Value
+	)
+	clients := make([]*service.Client, sessions)
+	for i := range clients {
+		cl, err := service.NewClient(service.ClientConfig{
+			Addrs: addrList,
+			Dial:  dial,
+		})
+		if err != nil {
+			return partOverheadRecord{}, err
+		}
+		clients[i] = cl
+		defer cl.Close()
+	}
+
+	start := time.Now()
+	for _, cl := range clients {
+		wg.Add(1)
+		go func(cl *service.Client) {
+			defer wg.Done()
+			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := cl.Call(op); err != nil {
+					downErr.Store(err)
+					return
+				}
+				ops.Add(1)
+				hist.Observe(time.Since(t0))
+			}
+		}(cl)
+	}
+	time.Sleep(runFor)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := downErr.Load().(error); ok && err != nil {
+		return partOverheadRecord{}, err
+	}
+
+	return partOverheadRecord{
+		Experiment: "partition_overhead",
+		FaultLayer: fault,
+		Sessions:   sessions,
+		DurationS:  elapsed.Seconds(),
+		Ops:        ops.Load(),
+		OpsPerSec:  float64(ops.Load()) / elapsed.Seconds(),
+		MeanUS:     float64(hist.Mean()) / float64(time.Microsecond),
+		P99US:      float64(hist.Quantile(0.99)) / float64(time.Microsecond),
+	}, nil
+}
+
+// runPartitionTrial measures one isolated-primary availability timeline.
+func runPartitionTrial(seed int64) (partTrialRecord, error) {
+	h, err := buildSvcHarness(seed, true, false)
+	if err != nil {
+		return partTrialRecord{}, err
+	}
+	defer h.stop()
+	const (
+		stallTimeout = 250 * time.Millisecond
+		holdFor      = 1200 * time.Millisecond
+	)
+	for _, rep := range h.reps {
+		rep.StartFailover(100 * time.Millisecond)
+		rep.StartWatchdog(replication.WatchdogConfig{
+			StallTimeout: stallTimeout,
+			CheckEvery:   25 * time.Millisecond,
+		})
+	}
+	defer func() {
+		for _, rep := range h.reps {
+			rep.StopWatchdog()
+			rep.StopFailover()
+		}
+	}()
+	warm(h.network)
+	dial := h.dialer()
+
+	// Locate the primary and split the membership around it.
+	members := ids(3, "s")
+	pi := -1
+	for deadline := time.Now().Add(5 * time.Second); pi < 0; {
+		for i, rep := range h.reps {
+			if rep.Primary() == members[i] {
+				pi = i
+			}
+		}
+		if pi < 0 {
+			if time.Now().After(deadline) {
+				return partTrialRecord{}, fmt.Errorf("no primary elected")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	var minority, majority []proc.ID
+	var majAddrs []string
+	for i, id := range members {
+		if i == pi {
+			minority = append(minority, id)
+		} else {
+			majority = append(majority, id)
+			majAddrs = append(majAddrs, string(id))
+		}
+	}
+
+	// Doomed and fresh sessions stay attached to the minority primary's
+	// gateway; the majority client uses the quorum side only.
+	newPinned := func() (*service.Client, error) {
+		return service.NewClient(service.ClientConfig{
+			Addrs: []string{string(members[pi])}, Dial: dial,
+			Sticky: true, OpTimeout: 30 * time.Second,
+		})
+	}
+	doomedCl, err := newPinned()
+	if err != nil {
+		return partTrialRecord{}, err
+	}
+	defer doomedCl.Close()
+	freshCl, err := newPinned()
+	if err != nil {
+		return partTrialRecord{}, err
+	}
+	defer freshCl.Close()
+	majCl, err := service.NewClient(service.ClientConfig{
+		Addrs: majAddrs, Dial: dial, OpTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		return partTrialRecord{}, err
+	}
+	defer majCl.Close()
+	if _, err := doomedCl.Call([]byte("warmup")); err != nil {
+		return partTrialRecord{}, fmt.Errorf("healthy write: %w", err)
+	}
+
+	h.network.Partition(minority, majority)
+	t0 := time.Now()
+
+	// The doomed write is admitted pre-trip, parks in flight, and supplies
+	// the pending work the watchdog needs to observe the stall.
+	doomed := make(chan error, 1)
+	go func() {
+		_, err := doomedCl.Call([]byte("doomed"))
+		doomed <- err
+	}()
+	for !h.reps[pi].Degraded() {
+		if time.Since(t0) > 10*time.Second {
+			return partTrialRecord{}, fmt.Errorf("watchdog never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tripMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	// Fresh-session write: must bounce DEGRADED nearly instantly.
+	f0 := time.Now()
+	fresh := make(chan error, 1)
+	go func() {
+		_, err := freshCl.Call([]byte("fresh"))
+		fresh <- err
+	}()
+	for freshCl.Stats().DegradedAnswers == 0 {
+		if time.Since(f0) > 10*time.Second {
+			return partTrialRecord{}, fmt.Errorf("no DEGRADED answer at the fresh session")
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	failFastMS := float64(time.Since(f0)) / float64(time.Millisecond)
+
+	// The majority side stays available mid-split (failover elects a new
+	// primary there); count its acked writes until the hold elapses.
+	majorityWrites := 0
+	for time.Since(t0) < holdFor {
+		if _, err := majCl.Call([]byte(fmt.Sprintf("maj-%d", majorityWrites))); err != nil {
+			return partTrialRecord{}, fmt.Errorf("majority-side write during split: %w", err)
+		}
+		majorityWrites++
+	}
+
+	ackedOnMinority := false
+	select {
+	case <-doomed:
+		ackedOnMinority = true // a quorumless ack — the violation E18 exists to rule out
+	case <-fresh:
+		ackedOnMinority = true
+	default:
+	}
+
+	h.network.Heal()
+	h0 := time.Now()
+	for _, ch := range []chan error{doomed, fresh} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				return partTrialRecord{}, fmt.Errorf("pinned write after heal: %w", err)
+			}
+		case <-time.After(30 * time.Second):
+			return partTrialRecord{}, fmt.Errorf("pinned write never recovered after heal")
+		}
+	}
+	recoverMS := float64(time.Since(h0)) / float64(time.Millisecond)
+
+	var gwDegraded, trips uint64
+	for _, gw := range h.gws {
+		gwDegraded += gw.Stats().Degraded
+	}
+	for _, rep := range h.reps {
+		trips += rep.DegradedTrips()
+	}
+	return partTrialRecord{
+		Experiment:      "partition",
+		Seed:            seed,
+		TripMS:          tripMS,
+		FailFastMS:      failFastMS,
+		MajorityWrites:  majorityWrites,
+		RecoverMS:       recoverMS,
+		DegradedAnswers: freshCl.Stats().DegradedAnswers + doomedCl.Stats().DegradedAnswers,
+		GatewayDegraded: gwDegraded,
+		WatchdogTrips:   trips,
+		AckedOnMinority: ackedOnMinority,
+	}, nil
+}

@@ -77,16 +77,19 @@ func experimentService() error {
 	return nil
 }
 
-// svcHarness is one benchmark cluster: 3 nodes, a gateway each.
+// svcHarness is one benchmark cluster: 3 nodes, a gateway each. When fault
+// is set, every node's transport is wrapped in an (idle) FaultTransport —
+// the pass-through-cost configuration E18 measures.
 type svcHarness struct {
 	network *transport.Network
 	nodes   []*core.Node
 	reps    []*replication.Passive
 	sms     []*benchSM
 	gws     []*service.Gateway
+	faults  []*transport.FaultTransport
 }
 
-func buildSvcHarness(seed int64, batch bool) (*svcHarness, error) {
+func buildSvcHarness(seed int64, batch, fault bool) (*svcHarness, error) {
 	h := &svcHarness{network: newNet(seed)}
 	members := ids(3, "s")
 	addrs := make(map[proc.ID]string)
@@ -97,7 +100,13 @@ func buildSvcHarness(seed int64, batch bool) (*svcHarness, error) {
 		sm := &benchSM{}
 		h.sms = append(h.sms, sm)
 		rep := replication.NewPassive(sm, members)
-		nd, err := core.NewNode(h.network.Endpoint(id),
+		var tr transport.Transport = h.network.Endpoint(id)
+		if fault {
+			ft := transport.NewFaultTransport(tr, seed+int64(len(h.faults)))
+			h.faults = append(h.faults, ft)
+			tr = ft
+		}
+		nd, err := core.NewNode(tr,
 			core.Config{Self: id, Universe: members, Relation: replication.PassiveRelation()},
 			rep.DeliverFunc())
 		if err != nil {
@@ -148,7 +157,7 @@ func (h *svcHarness) dialer() func(addr string) (transport.StreamConn, error) {
 }
 
 func runService(sessions int, batch bool, runFor time.Duration) (svcRecord, error) {
-	h, err := buildSvcHarness(int64(500+sessions), batch)
+	h, err := buildSvcHarness(int64(500+sessions), batch, false)
 	if err != nil {
 		return svcRecord{}, err
 	}
@@ -289,7 +298,7 @@ func experimentServiceReads() error {
 }
 
 func runServiceReads(name string, level service.ReadLevel, sessions int, runFor time.Duration) (svcReadRecord, error) {
-	h, err := buildSvcHarness(int64(900+sessions), false)
+	h, err := buildSvcHarness(int64(900+sessions), false, false)
 	if err != nil {
 		return svcReadRecord{}, err
 	}

@@ -85,13 +85,14 @@ func main() {
 		svcShards    = flag.Int("service-shards", 1, "shard the key space across this many parallel replicated groups (all members must agree)")
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
+		svcWatchdog  = flag.Duration("service-watchdog", 2*time.Second, "quorum-progress watchdog: a primary whose ordered sequence stalls this long with work pending answers new writes DEGRADED (fail fast, retryable) instead of queueing them to their timeouts; keep it above the failover suspicion timeout (0 = disabled)")
 		join         = flag.Bool("join", false, "join a RUNNING service deployment as a catch-up follower: install a replica snapshot from the group and follow its command log, serving reads at backup parity (requires -service-listen; -peers lists the full members)")
 		incarnation  = flag.Uint64("incarnation", 1, "with -join or -data-dir: this process's incarnation; increase it on every restart")
 		dataDir      = flag.String("data-dir", "", "durable storage root (requires -service-listen): shard k's WAL segments and snapshots live in <data-dir>/shard<k>; every acknowledged write is fsynced before its ack, and a restart replays local disk, then pulls only the missing delta from the group")
 		adminListen  = flag.String("admin-listen", "", "expose the admin/debug HTTP endpoint on this address: /metrics (Prometheus), /healthz, /debug/traces, /debug/pprof")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *join, *incarnation, *dataDir, *adminListen); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *svcWatchdog, *join, *incarnation, *dataDir, *adminListen); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
@@ -205,7 +206,7 @@ func (a *admin) serve(addr string) (func(), error) {
 	return func() { _ = srv.Close() }, nil
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease time.Duration, join bool, incarnation uint64, dataDir, adminListen string) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease, svcWatchdog time.Duration, join bool, incarnation uint64, dataDir, adminListen string) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -481,6 +482,12 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 					p := rep.Primary()
 					return p != "", fmt.Sprintf("primary=%s commit=%d epoch=%d", p, rep.CommitIndex(), rep.Epoch())
 				})
+				adm.check(fmt.Sprintf("shard%d_quorum_progress", k), func() (bool, string) {
+					if rep.Degraded() {
+						return false, fmt.Sprintf("degraded: quorum progress stalled, failing writes fast (trips=%d)", rep.DegradedTrips())
+					}
+					return true, fmt.Sprintf("ok (trips=%d)", rep.DegradedTrips())
+				})
 				adm.freshnessCheck(k, svcLease, rep.CommitIndex)
 				if dataDir != "" {
 					adm.storageCheck(k, rep.StorageStats)
@@ -518,6 +525,12 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 		for _, s := range members {
 			s.replica.StartFailover(500 * time.Millisecond)
 			defer s.replica.StopFailover()
+			if svcWatchdog > 0 {
+				// Above the failover suspicion timeout, or an ordinary
+				// election would look like a stall.
+				s.replica.StartWatchdog(gcs.ReplicaWatchdogConfig{StallTimeout: svcWatchdog})
+				defer s.replica.StopWatchdog()
+			}
 			if svcBatch {
 				s.replica.EnableBatching(gcs.BatchConfig{})
 				defer s.replica.StopBatching()

@@ -44,6 +44,18 @@ type (
 	NetOption = transport.NetOption
 	// Transport is the unreliable transport abstraction.
 	Transport = transport.Transport
+	// FaultTransport wraps any Transport with seeded, per-destination
+	// directed fault injection — drops, one-way blackholes, delay/jitter,
+	// duplication, reordering — plus scripted schedules (RunSchedule) for
+	// flapping partitions. Idle (no rules) it passes through at one atomic
+	// load per send.
+	FaultTransport = transport.FaultTransport
+	// FaultRule is one directed link's fault profile.
+	FaultRule = transport.FaultRule
+	// FaultStats counts a FaultTransport's interventions.
+	FaultStats = transport.FaultStats
+	// FaultStep is one step of a scripted fault schedule.
+	FaultStep = transport.FaultStep
 	// MonitoringPolicy configures exclusion decisions.
 	MonitoringPolicy = monitoring.Policy
 	// BroadcastStats counts fast/ordered deliveries and epoch boundaries.
@@ -69,6 +81,12 @@ type (
 	// LeaseStats is the replicated session lease's accounting
 	// (PassiveReplica.LeaseStats).
 	LeaseStats = replication.LeaseStats
+	// ReplicaWatchdogConfig tunes the quorum-progress watchdog
+	// (PassiveReplica.StartWatchdog): a primary whose ordered sequence
+	// stalls for StallTimeout with work pending fails new writes fast with
+	// ErrReplicaDegraded instead of queueing them until their timeouts, and
+	// re-admits automatically on the first post-heal delivery.
+	ReplicaWatchdogConfig = replication.WatchdogConfig
 	// ReadLevel selects the consistency of ServiceClient reads: ReadLocal,
 	// ReadMonotonic (the default) or ReadLinearizable.
 	ReadLevel = service.ReadLevel
@@ -199,6 +217,18 @@ func RegisterTransportMetrics(tr Transport, s *MetricsScope) {
 // entire primary set briefly unreachable): errors.Is(err,
 // ErrServiceUnavailable) distinguishes "retry later" from terminal errors.
 var ErrServiceUnavailable = service.ErrUnavailable
+
+// ErrReplicaDegraded is the typed error a quorumless primary answers new
+// writes and barriers with while its quorum-progress watchdog has tripped
+// (PassiveReplica.StartWatchdog): retryable — try another replica or wait
+// for heal; the service layer maps it to a DEGRADED answer.
+var ErrReplicaDegraded = replication.ErrDegraded
+
+// NewFaultTransport wraps tr with deterministic (seeded) fault injection;
+// see FaultTransport. The wrapper owns tr: Close closes it.
+func NewFaultTransport(tr Transport, seed int64) *FaultTransport {
+	return transport.NewFaultTransport(tr, seed)
+}
 
 // Read consistency levels of the service client (see service.ReadLevel).
 const (

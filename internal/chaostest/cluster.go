@@ -33,13 +33,14 @@ const (
 // coreNode is one full member: S complete protocol stacks multiplexed over
 // one memnet endpoint, a passive replica per shard, and a service gateway.
 type coreNode struct {
-	id   proc.ID
-	dead bool // wiped (rejoined as follower, tracked in cluster.extras)
-	mux  *transport.GroupMux
-	sms  []*chaosSM
-	reps []*replication.Passive
-	nds  []*core.Node
-	gw   *service.Gateway
+	id    proc.ID
+	dead  bool // wiped (rejoined as follower, tracked in cluster.extras)
+	fault *transport.FaultTransport
+	mux   *transport.GroupMux
+	sms   []*chaosSM
+	reps  []*replication.Passive
+	nds   []*core.Node
+	gw    *service.Gateway
 
 	// Durable mode only (cluster.dataDir set): the per-shard file engines,
 	// what each shard replayed from its own disk at this life's boot, and
@@ -92,6 +93,8 @@ type cluster struct {
 	dataDir string
 	coreInc uint64
 	drain   sync.WaitGroup
+
+	seed int64 // the schedule seed; also derives each core's fault-layer seed
 }
 
 // shardDir is where node id keeps shard k's engine.
@@ -175,6 +178,7 @@ func newCluster(t *testing.T, shards int, seed int64) *cluster {
 		t:       t,
 		network: transport.NewNetwork(transport.WithDelay(0, 2*time.Millisecond), transport.WithSeed(seed)),
 		reg:     telemetry.NewRegistry(),
+		seed:    seed,
 		shards:  shards,
 		ids:     proc.IDs("r1", "r2", "r3"),
 		edgeID:  "e1",
@@ -227,7 +231,19 @@ func (c *cluster) startCoresFromDisk() {
 // its previous one on the reliable channels.
 func (c *cluster) assembleCore(id proc.ID) *coreNode {
 	durable := c.dataDir != ""
-	n := &coreNode{id: id, mux: transport.NewGroupMux(c.network.Endpoint(id), c.shards)}
+	// Fault-injection layer between the memnet endpoint and the mux: all of
+	// the core's protocol traffic (every shard) crosses it, so partition
+	// scenarios steer one knob per node. Idle it is pure pass-through (one
+	// atomic load per send), which makes every non-partition chaos suite an
+	// implicit overhead proof for the fault layer.
+	var idx int64
+	for i, cid := range c.ids {
+		if cid == id {
+			idx = int64(i)
+		}
+	}
+	fault := transport.NewFaultTransport(c.network.Endpoint(id), c.seed*31+idx)
+	n := &coreNode{id: id, fault: fault, mux: transport.NewGroupMux(fault, c.shards)}
 	for k := 0; k < c.shards; k++ {
 		sm := newChaosSM()
 		rep := replication.NewPassive(sm, rotated(c.ids, k))
@@ -292,8 +308,25 @@ func (c *cluster) assembleCore(id proc.ID) *coreNode {
 func (c *cluster) finishCore(n *coreNode) {
 	for _, rep := range n.reps {
 		rep.StartFailover(60 * raceScale * time.Millisecond)
+		// Quorum-progress watchdog, well above the suspicion timeout so an
+		// ordinary election never reads as a stall: a partitioned primary
+		// answers fresh writes DEGRADED instead of parking them.
+		rep.StartWatchdog(replication.WatchdogConfig{
+			StallTimeout: 400 * raceScale * time.Millisecond,
+		})
 	}
 	n.gw = c.newGateway(n.id, n.shardTable())
+}
+
+// faultOf returns core id's fault-injection layer.
+func (c *cluster) faultOf(id proc.ID) *transport.FaultTransport {
+	for _, n := range c.cores {
+		if n.id == id {
+			return n.fault
+		}
+	}
+	c.t.Fatalf("no core %s", id)
+	return nil
 }
 
 // recoverCores runs the restart alignment concurrently for every shard of
@@ -478,6 +511,7 @@ func (c *cluster) powerLoss() {
 			c.drainGateway(n.gw)
 			for _, rep := range n.reps {
 				rep.StopFailover()
+				rep.StopWatchdog()
 			}
 			for _, nd := range n.nds {
 				nd.Stop() // deliveries drain here — before the engines die
@@ -575,6 +609,7 @@ func (c *cluster) wipeCore(i int) {
 	n.gw.Close()
 	for _, rep := range n.reps {
 		rep.StopFailover()
+		rep.StopWatchdog()
 	}
 	for _, nd := range n.nds {
 		nd.Stop()
@@ -682,6 +717,7 @@ func (c *cluster) teardown() {
 		n.gw.Close()
 		for _, rep := range n.reps {
 			rep.StopFailover()
+			rep.StopWatchdog()
 		}
 		for _, nd := range n.nds {
 			nd.Stop()

@@ -1,0 +1,105 @@
+package rchannel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/transport"
+)
+
+// TestOneWayAckStarvation is the regression test for a one-way link: data
+// a→b flows, but the reverse direction is cut, so every ack starves. The
+// channel must (1) keep delivering exactly once and in FIFO order at b
+// despite the retransmission storm of duplicates, (2) cap the storm itself
+// — per-frame exponential backoff must settle at its ceiling rather than
+// livelocking the link at the raw RTO rate, and (3) recover promptly on
+// heal: the first re-ack that gets through drains the whole backlog and
+// BackoffResets records that the backoff paid off.
+func TestOneWayAckStarvation(t *testing.T) {
+	const rto = 5 * time.Millisecond
+	r := newRig(t, proc.IDs("a", "b"),
+		[]transport.NetOption{transport.WithSeed(17)},
+		WithRTO(rto))
+	var (
+		mu  sync.Mutex
+		got []int
+	)
+	r.eps["b"].Handle("t", func(from proc.ID, body any) {
+		p := body.(probe)
+		mu.Lock()
+		got = append(got, p.N)
+		mu.Unlock()
+	})
+	for _, ep := range r.eps {
+		ep.Start()
+	}
+
+	// Starve the ack direction only: b hears a, a never hears b.
+	r.net.CutLinkOneWay("b", "a")
+
+	const total = 10
+	for i := 0; i < total; i++ {
+		if err := r.eps["a"].Send("b", "t", probe{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Data still flows: all messages arrive at b, in order, exactly once.
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= total
+	}, "one-way delivery stalled")
+	if pending := r.eps["a"].PendingTo("b"); pending != total {
+		t.Fatalf("ack starvation: PendingTo = %d, want %d", pending, total)
+	}
+
+	// Let every frame's backoff climb to the 32×RTO ceiling, then measure
+	// the steady-state retransmission rate over one window. Without the cap
+	// check this is where a livelock hides: a fixed-interval retransmitter
+	// sends window/RTO frames per pending message (64 here); at the ceiling
+	// it may send at most window/(32×RTO) (+1 for phase), and it must still
+	// be retrying at all — silently giving the frames up is the other way
+	// to "win" this test, and it loses eventual delivery.
+	time.Sleep(64 * rto) // 5+10+20+40+80+160ms: every frame is at the cap now
+	before := r.eps["a"].Stats().Retransmits
+	window := 64 * rto
+	time.Sleep(window)
+	delta := r.eps["a"].Stats().Retransmits - before
+	perFrameCeil := uint64(window/(32*rto)) + 1
+	if delta > total*perFrameCeil {
+		t.Fatalf("retransmission livelock: %d resends in %v for %d pending frames (cap allows ≤ %d)",
+			delta, window, total, total*perFrameCeil)
+	}
+	if delta == 0 {
+		t.Fatal("retransmissions stopped entirely while unacked frames were pending")
+	}
+
+	// Heal the ack direction: the next capped retransmission triggers a
+	// re-ack that now gets through, draining the entire backlog at once.
+	r.net.HealLinkOneWay("b", "a")
+	if err := r.eps["a"].Send("b", "t", probe{N: total}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return r.eps["a"].PendingTo("b") == 0
+	}, "backlog never drained after heal")
+	if st := r.eps["a"].Stats(); st.BackoffResets == 0 {
+		t.Fatal("no BackoffResets: the acked-after-retransmission accounting never fired")
+	}
+
+	// Exactly once, FIFO, including the post-heal message — the duplicate
+	// storm must not have re-delivered anything.
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != total+1 {
+		t.Fatalf("delivered %d messages, want %d: %v", len(got), total+1, got)
+	}
+	for i, n := range got {
+		if n != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}

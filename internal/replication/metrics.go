@@ -30,6 +30,7 @@ import (
 // ReplMetrics is the replica's pushed instrument set.
 type ReplMetrics struct {
 	commitIndex     *telemetry.Gauge
+	degraded        *telemetry.Gauge     // 1 while the watchdog fails fast
 	batchWait       *telemetry.Histogram // op enqueue → batch flush start
 	commitLatency   *telemetry.Histogram // g-broadcast → delivery (update path)
 	snapshotInstall *telemetry.Histogram
@@ -88,10 +89,15 @@ func (p *Passive) RegisterMetrics(s *telemetry.Scope) {
 	s.GaugeFunc("gcs_replication_epoch",
 		"Current epoch (primary-change count).",
 		func() float64 { return float64(p.Epoch()) })
+	s.CounterFunc("gcs_replication_degraded_trips_total",
+		"Times the quorum-progress watchdog tripped into fail-fast mode.",
+		func() float64 { return float64(p.DegradedTrips()) })
 
 	m := &ReplMetrics{
 		commitIndex: s.Gauge("gcs_replication_commit_index",
 			"Position in the totally ordered command sequence; lag = max-min over a group."),
+		degraded: s.Gauge("gcs_replication_degraded",
+			"1 while the quorum-progress watchdog has this replica failing writes fast."),
 		batchWait: s.Histogram("gcs_replication_batch_wait_seconds",
 			"Time an operation waits in the batch queue before its flush starts."),
 		commitLatency: s.Histogram("gcs_replication_commit_seconds",
@@ -113,6 +119,9 @@ func (p *Passive) RegisterMetrics(s *telemetry.Scope) {
 	p.mu.Lock()
 	m.commitIndex.Set(int64(p.commitIdx))
 	p.mu.Unlock()
+	if p.degraded.Load() {
+		m.degraded.Set(1)
+	}
 	p.metrics.Store(m)
 }
 

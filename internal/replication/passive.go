@@ -119,6 +119,13 @@ var (
 	// client has already acknowledged: the result was pruned from the
 	// session table and the retry indicates a client bug.
 	ErrPruned = errors.New("replication: request already acknowledged and pruned")
+	// ErrDegraded is returned while the quorum-progress watchdog has this
+	// replica failing fast (watchdog.go): it believes it is the primary but
+	// ordered progress has stalled past the bound with work pending —
+	// typically a partition severed it from its quorum — or the pending
+	// queue hit its admission bound. Retryable: the caller should back off
+	// and retry, here or elsewhere.
+	ErrDegraded = errors.New("replication: degraded: no quorum progress")
 )
 
 // Passive is one replica of a passively-replicated service.
@@ -186,6 +193,15 @@ type Passive struct {
 	failover     *fd.Subscription
 	stopFailover chan struct{}
 	failoverDone sync.WaitGroup
+
+	// Quorum-progress watchdog state (watchdog.go). degraded is the
+	// fail-fast gate read on every admission path; maxPending (under p.mu)
+	// bounds admitted-but-undelivered work while the watchdog runs.
+	degraded      atomic.Bool
+	degradedTrips atomic.Uint64
+	maxPending    int
+	watchdogStop  chan struct{}
+	watchdogDone  sync.WaitGroup
 
 	// Snapshot / state-transfer machinery (snapshot.go, sync.go).
 	//
@@ -464,6 +480,11 @@ func (p *Passive) WaitCommit(index uint64, timeout time.Duration, abort <-chan s
 // against other deliveries.)
 func (p *Passive) advanceCommitLocked(n uint64) {
 	p.commitIdx += n
+	// A delivery is proof of quorum: progress clears the watchdog's
+	// fail-fast gate on the spot (heal re-admission, see watchdog.go).
+	if p.degraded.Load() {
+		p.setDegraded(false)
+	}
 	if m := p.metrics.Load(); m != nil {
 		m.commitIndex.Set(int64(p.commitIdx))
 	}
@@ -533,6 +554,10 @@ func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
 	if p.replicas.Primary() != p.self {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, p.replicas.Primary())
+	}
+	if err := p.admitLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
 	}
 	if b := p.batcher; b != nil {
 		w := &sessWaiter{done: make(chan struct{})}
@@ -620,6 +645,12 @@ func (p *Passive) RequestSession(session string, seq, ack uint64, op []byte, tim
 	if w, ok := p.inflight[key]; ok {
 		p.mu.Unlock()
 		return w.wait(timeout)
+	}
+	// Fresh work only past this point: cached results and in-flight joins
+	// above stay servable while degraded (they need no new quorum round).
+	if err := p.admitLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
 	}
 	w := &sessWaiter{done: make(chan struct{})}
 	p.inflight[key] = w

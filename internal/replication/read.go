@@ -78,6 +78,12 @@ func (p *Passive) ReadBarrier(timeout time.Duration, abort <-chan struct{}) (uin
 		p.mu.Unlock()
 		return 0, fmt.Errorf("%w (primary is %s)", ErrNotPrimary, primary)
 	}
+	if err := p.admitLocked(); err != nil {
+		// Degraded: a barrier could never confirm anyway (confirmation IS
+		// quorum progress), so fail the reader fast instead of parking it.
+		p.mu.Unlock()
+		return 0, err
+	}
 	g := p.pendingBarrier
 	if g == nil {
 		g = &barrierGroup{done: make(chan struct{})}

@@ -93,6 +93,7 @@ type call struct {
 	read     bool
 	level    ReadLevel // resolved read level (reads only)
 	minIndex uint64    // monotonic token captured when the read was issued
+	deadline time.Time // OpTimeout deadline; Budget = what remains at each transmit
 	done     chan struct{}
 	result   []byte
 	err      error
@@ -132,10 +133,19 @@ type Client struct {
 
 	permErr error // terminal misconfiguration (e.g. shard mismatch); set before Close
 
-	dials          atomic.Uint64 // handshakes attempted
-	dialFailures   atomic.Uint64 // handshakes that failed (dial, hello or welcome)
-	redirects      atomic.Uint64 // primary hints chased: NOT_PRIMARY answers, demotion pushes, handshake hops
-	unavailRetries atomic.Uint64 // TIMEOUT/UNAVAILABLE answers retried on another connection
+	dials           atomic.Uint64 // handshakes attempted
+	dialFailures    atomic.Uint64 // handshakes that failed (dial, hello or welcome)
+	redirects       atomic.Uint64 // primary hints chased: NOT_PRIMARY answers, demotion pushes, handshake hops
+	unavailRetries  atomic.Uint64 // TIMEOUT/UNAVAILABLE answers retried on another connection
+	degradedAnswers atomic.Uint64 // DEGRADED answers retried (quorumless primary failing fast)
+
+	// degradedMode is set by a DEGRADED answer and cleared by the next
+	// success: while set, reconnect() inserts a jittered, capped backoff
+	// before re-probing — a degraded gateway is perfectly reachable, so
+	// without the pause the client would handshake, retransmit and be told
+	// DEGRADED again in a tight loop. degradedStreak scales that pause.
+	degradedMode   atomic.Bool
+	degradedStreak atomic.Uint32
 }
 
 // ClientStats is a snapshot of a client's recovery accounting: how hard it
@@ -147,6 +157,11 @@ type ClientStats struct {
 	DialFailures       uint64 // handshakes that failed
 	Redirects          uint64 // primary hints chased (answers, pushes, handshake hops)
 	UnavailableRetries uint64 // server TIMEOUT/UNAVAILABLE answers retried
+	// DegradedAnswers counts DEGRADED answers retried — a gateway whose
+	// primary is up but quorumless (the partition signature), kept apart
+	// from UnavailableRetries (crashes, shutdowns, plain timeouts) so the
+	// two outage shapes stay distinguishable in client-side accounting.
+	DegradedAnswers uint64
 }
 
 // Stats returns a snapshot of the client's recovery counters.
@@ -156,6 +171,7 @@ func (c *Client) Stats() ClientStats {
 		DialFailures:       c.dialFailures.Load(),
 		Redirects:          c.redirects.Load(),
 		UnavailableRetries: c.unavailRetries.Load(),
+		DegradedAnswers:    c.degradedAnswers.Load(),
 	}
 }
 
@@ -320,10 +336,11 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 	}
 	c.nextSeq++
 	cl := &call{
-		seq:  c.nextSeq,
-		op:   append([]byte(nil), op...),
-		read: read,
-		done: make(chan struct{}),
+		seq:      c.nextSeq,
+		op:       append([]byte(nil), op...),
+		read:     read,
+		deadline: time.Now().Add(c.cfg.OpTimeout),
+		done:     make(chan struct{}),
 	}
 	if read {
 		cl.level = level
@@ -398,9 +415,19 @@ func (c *Client) connLocked() (transport.StreamConn, bool) {
 // transmit sends one operation on conn; a send failure triggers recovery
 // (the op stays pending and is retransmitted on the next connection).
 func (c *Client) transmit(conn transport.StreamConn, gen int, cl *call, ack uint64) {
+	// The remaining OpTimeout budget travels with every transmission (as a
+	// duration — client and gateway clocks need not agree), so a gateway can
+	// drop the op instead of serving an answer this client has already
+	// abandoned. An op with no budget left is about to fail locally; sending
+	// it would only manufacture such an answer.
+	budget := time.Until(cl.deadline)
+	if budget <= 0 {
+		return
+	}
 	frame, err := encodeFrame(reqFrame{
 		Seq: cl.seq, Ack: ack, Op: cl.op, Shard: uint32(c.cfg.Shard),
 		Read: cl.read, Level: cl.level, MinIndex: cl.minIndex,
+		Budget: budget,
 	})
 	if err != nil {
 		c.mu.Lock()
@@ -440,6 +467,23 @@ func (c *Client) connBroken(gen int) {
 // and learn fresher hints.
 func (c *Client) reconnect() {
 	backoff := c.cfg.RetryBackoff
+	// A DEGRADED answer breaks the connection like UNAVAILABLE, but unlike a
+	// crash the degraded gateway is perfectly reachable: an immediate redial
+	// handshakes fine, retransmits, and is told DEGRADED again — a tight loop
+	// producing nothing but load on an already-partitioned primary. While the
+	// degraded flag is up, give the group a jittered beat (doubling with the
+	// streak, capped at 32x) to heal or elect before the first probe.
+	if c.degradedMode.Load() {
+		shift := c.degradedStreak.Load()
+		if shift > 5 {
+			shift = 5
+		}
+		base := c.cfg.RetryBackoff << shift
+		select {
+		case <-time.After(base/2 + mrand.N(base/2+1)):
+		case <-c.done:
+		}
+	}
 	for sweep := 0; ; sweep++ {
 		select {
 		case <-c.done:
@@ -665,6 +709,29 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 		// another gateway — and retry under the same seq.
 		c.unavailRetries.Add(1)
 		c.connBroken(gen)
+	case errDegraded:
+		// The gateway's primary is up but quorumless — the partition
+		// signature, counted apart from plain unavailability. Warn once per
+		// degraded episode (the flag clears on the next success), then retry
+		// elsewhere like UNAVAILABLE, with reconnect() pacing the re-probe.
+		c.degradedAnswers.Add(1)
+		c.degradedStreak.Add(1)
+		// Drop the redirect hint if it points at the degraded gateway:
+		// otherwise reconnect() chases it first every sweep (it still
+		// handshakes fine and still claims primaryship), pinning the client
+		// to the quorumless side instead of finding the majority's primary.
+		c.mu.Lock()
+		addr := c.connAddr
+		if c.hint == addr {
+			c.hint = ""
+		}
+		c.mu.Unlock()
+		if !c.degradedMode.Swap(true) {
+			slog.Warn("service: gateway degraded (quorumless primary); retrying elsewhere",
+				"session", c.session, "shard", c.cfg.Shard, "seq", f.Seq,
+				"gateway", addr, "degraded_answers", c.degradedAnswers.Load())
+		}
+		c.connBroken(gen)
 	default:
 		// Terminal server-side error (PRUNED, NO_READS, BAD_READ_LEVEL,
 		// application error).
@@ -695,6 +762,12 @@ func (c *Client) complete(seq uint64, result []byte, err error, gen int, index u
 	}
 	c.mu.Unlock()
 	if ok {
+		if err == nil && c.degradedMode.Load() {
+			// A served operation ends the degraded episode: re-arm the
+			// one-shot WARN and reset the re-probe backoff.
+			c.degradedMode.Store(false)
+			c.degradedStreak.Store(0)
+		}
 		cl.finish(result, err)
 	}
 }

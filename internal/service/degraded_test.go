@@ -1,0 +1,158 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/replication"
+)
+
+// waitUntil polls f until it returns true or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, f func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !f() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServiceDegradedFailFastAndRecovery drives the full degraded path
+// end to end: a partitioned primary trips the quorum-progress watchdog,
+// fresh writes bounce with DEGRADED (counted apart from plain
+// unavailability at both gateway and client), and after heal everything
+// recovers with exactly-once semantics — the write stuck in flight across
+// the partition applies once, not twice, despite all the retries.
+func TestServiceDegradedFailFastAndRecovery(t *testing.T) {
+	c := buildService(t, 3, func(cfg *GatewayConfig) {
+		// Short enough that admitted-but-stuck writes cycle quickly through
+		// TIMEOUT answers; the DEGRADED path itself answers instantly.
+		cfg.RequestTimeout = 300 * time.Millisecond
+	})
+	for _, rep := range c.reps {
+		rep.StartWatchdog(replication.WatchdogConfig{
+			StallTimeout: 80 * time.Millisecond, CheckEvery: 10 * time.Millisecond,
+		})
+	}
+	t.Cleanup(func() {
+		for _, rep := range c.reps {
+			rep.StopWatchdog()
+		}
+	})
+
+	client := c.newClient(t, nil)
+	if _, err := client.Call([]byte("w0")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+
+	// Cut the primary off from its quorum. Memnet streams are unaffected, so
+	// the client stays attached to the gateway fronting the now-quorumless
+	// primary — the exact shape the watchdog exists for.
+	c.network.Partition([]proc.ID{"s1"}, []proc.ID{"s2", "s3"})
+
+	// w1 is admitted before the trip: its broadcast sticks in flight and its
+	// retries join that in-flight op (still servable), resolving only after
+	// heal. It doubles as the heal probe.
+	w1 := make(chan error, 1)
+	go func() {
+		_, err := client.Call([]byte("w1"))
+		w1 <- err
+	}()
+	waitUntil(t, 5*time.Second, "watchdog trip", c.reps[0].Degraded)
+
+	// w2 is fresh work admitted after the trip: it must bounce with DEGRADED
+	// instead of queueing, and the client must count that separately.
+	w2 := make(chan error, 1)
+	go func() {
+		_, err := client.Call([]byte("w2"))
+		w2 <- err
+	}()
+	waitUntil(t, 10*time.Second, "client DEGRADED answer", func() bool {
+		return client.Stats().DegradedAnswers > 0
+	})
+	var gwDegraded uint64
+	for _, gw := range c.gws {
+		gwDegraded += gw.Stats().Degraded
+	}
+	if gwDegraded == 0 {
+		t.Fatal("no gateway counted a DEGRADED answer")
+	}
+
+	c.network.Heal()
+	for name, ch := range map[string]chan error{"w1": w1, "w2": w2} {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("%s after heal: %v", name, err)
+			}
+		case <-time.After(25 * time.Second):
+			t.Fatalf("%s never recovered after heal", name)
+		}
+	}
+	for _, op := range []string{"w0", "w1", "w2"} {
+		if n := c.sms[0].count(op); n != 1 {
+			t.Fatalf("%s applied %d times at the primary", op, n)
+		}
+	}
+	if dups := c.sms[0].duplicatedOps(); len(dups) > 0 {
+		t.Fatalf("duplicated applies: %v", dups)
+	}
+}
+
+// TestServiceBudgetCapsGatewayWait ships the client's remaining OpTimeout to
+// the gateway, which must bound its replicated-delivery wait by it: with a
+// 400ms budget against a 30s gateway RequestTimeout, a write stuck at a
+// quorumless primary surfaces ErrUnavailable in ~the budget, not the
+// gateway's timeout, and the gateway's deadline accounting moves.
+func TestServiceBudgetCapsGatewayWait(t *testing.T) {
+	c := buildService(t, 3, func(cfg *GatewayConfig) {
+		cfg.RequestTimeout = 30 * time.Second
+	})
+	client := c.newClient(t, func(cfg *ClientConfig) {
+		cfg.OpTimeout = 400 * time.Millisecond
+	})
+	if _, err := client.Call([]byte("warm")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+
+	c.network.Partition([]proc.ID{"s1"}, []proc.ID{"s2", "s3"})
+	defer c.network.Heal()
+	start := time.Now()
+	_, err := client.Call([]byte("stuck"))
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("stuck write: err=%v", err)
+	}
+	// The gateway must answer TIMEOUT at ~the budget (not at 30s), so the
+	// client's own timer and the gateway's capped wait land together; give
+	// generous slack for scheduling but stay far under RequestTimeout.
+	if elapsed > 5*time.Second {
+		t.Fatalf("stuck write took %v; budget cap not propagated", elapsed)
+	}
+	waitUntil(t, 5*time.Second, "gateway timeout accounting", func() bool {
+		return c.gws[0].Stats().Timeouts > 0
+	})
+}
+
+// TestOpTimeoutBudgetMath pins the gateway's budget arithmetic: no budget
+// means no cap, a lapsed budget kills the op, a live one caps the wait.
+func TestOpTimeoutBudgetMath(t *testing.T) {
+	g := &Gateway{cfg: GatewayConfig{RequestTimeout: 5 * time.Second}}
+	now := time.Now()
+	if timeout, live := g.opTimeout(0, now.Add(-time.Hour)); !live || timeout != 5*time.Second {
+		t.Fatalf("no budget: timeout=%v live=%v", timeout, live)
+	}
+	if _, live := g.opTimeout(10*time.Millisecond, now.Add(-time.Second)); live {
+		t.Fatal("lapsed budget still live")
+	}
+	if timeout, live := g.opTimeout(time.Hour, now); !live || timeout != 5*time.Second {
+		t.Fatalf("huge budget: timeout=%v live=%v", timeout, live)
+	}
+	if timeout, live := g.opTimeout(time.Second, now); !live || timeout > time.Second || timeout <= 0 {
+		t.Fatalf("capping budget: timeout=%v live=%v", timeout, live)
+	}
+}

@@ -112,6 +112,8 @@ type GatewayStats struct {
 	ActiveStreams int64  // currently attached connections
 	Timeouts      uint64 // operations answered TIMEOUT
 	Unavailable   uint64 // operations answered UNAVAILABLE
+	Degraded      uint64 // operations answered DEGRADED (quorumless primary failing fast)
+	DeadlineDrops uint64 // operations dropped because the client's budget lapsed in queue
 }
 
 // Gateway accepts networked client sessions at one node of the group and
@@ -142,6 +144,8 @@ type Gateway struct {
 	active      atomic.Int64
 	timeouts    atomic.Uint64
 	unavail     atomic.Uint64
+	degraded    atomic.Uint64
+	ddlDrops    atomic.Uint64
 
 	// Observability hookups, nil until wired (RegisterMetrics/SetTracer).
 	metrics atomic.Pointer[gwMetrics]
@@ -352,6 +356,8 @@ func (g *Gateway) Stats() GatewayStats {
 		ActiveStreams: g.active.Load(),
 		Timeouts:      g.timeouts.Load(),
 		Unavailable:   g.unavail.Load(),
+		Degraded:      g.degraded.Load(),
+		DeadlineDrops: g.ddlDrops.Load(),
 	}
 }
 
@@ -714,6 +720,15 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 			g.observeRead(s, level, start)
 			return
 		}
+		timeout, live := g.opTimeout(req.Budget, start)
+		if !live {
+			// The client's per-op budget already lapsed: it has abandoned (or
+			// is abandoning) this read, so don't park a waiter on its behalf.
+			g.timeouts.Add(1)
+			g.ddlDrops.Add(1)
+			s.send(resFrame{Seq: req.Seq, Err: errTimeout})
+			return
+		}
 		// Same backpressure as writes: at most MaxInflight waiting reads per
 		// session; beyond that this blocks, pausing the connection's read
 		// loop until a slot frees.
@@ -728,7 +743,7 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 		go func() {
 			defer g.wg.Done()
 			defer func() { <-s.readSlots }()
-			s.send(g.processRead(req, level))
+			s.send(g.processRead(req, level, timeout))
 			s.touch()
 			g.observeRead(s, level, start)
 		}()
@@ -750,21 +765,42 @@ func (g *Gateway) observeRead(s *gwSession, level ReadLevel, start time.Time) {
 	}
 }
 
+// opTimeout derives one operation's wait bound: the gateway's RequestTimeout
+// capped at the client's remaining per-op budget, measured from the op's
+// arrival at this gateway (zero Budget = old clients = no cap). live=false
+// means the budget already lapsed — the client has abandoned the op and will
+// retry it under the same (session, seq) name, so the gateway should answer
+// TIMEOUT immediately instead of burning ordered-path work on it.
+func (g *Gateway) opTimeout(budget time.Duration, at time.Time) (timeout time.Duration, live bool) {
+	timeout = g.cfg.RequestTimeout
+	if budget <= 0 {
+		return timeout, true
+	}
+	rem := budget - time.Since(at)
+	if rem <= 0 {
+		return 0, false
+	}
+	if rem < timeout {
+		timeout = rem
+	}
+	return timeout, true
+}
+
 // processRead serves a waiting read level against its shard and builds its
 // response frame.
-func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
+func (g *Gateway) processRead(req reqFrame, level ReadLevel, timeout time.Duration) resFrame {
 	shard := g.shardList()[req.Shard]
 	res := resFrame{Seq: req.Seq}
 	var err error
 	if level == ReadMonotonic {
 		// Any replica may answer once it has caught up to the session's
 		// last-seen commit index on this shard.
-		_, err = shard.Replica.WaitCommit(req.MinIndex, g.cfg.RequestTimeout, g.done)
+		_, err = shard.Replica.WaitCommit(req.MinIndex, timeout, g.done)
 	} else {
 		// Linearizable: only the shard's primary answers, behind an ordered
 		// no-op confirmed through the broadcast path (coalesced across
 		// readers of the same shard).
-		_, err = shard.Replica.ReadBarrier(g.cfg.RequestTimeout, g.done)
+		_, err = shard.Replica.ReadBarrier(timeout, g.done)
 	}
 	switch {
 	case err == nil:
@@ -778,6 +814,12 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 	case errors.Is(err, replication.ErrTimeout):
 		res.Err = errTimeout
 		g.timeouts.Add(1)
+	case errors.Is(err, replication.ErrDegraded):
+		// The quorum-progress watchdog has the shard's primary failing fast:
+		// retryable like UNAVAILABLE, but counted apart — it is the signature
+		// of a partition, not a crash.
+		res.Err = errDegraded
+		g.degraded.Add(1)
 	default:
 		// Infrastructure failure below the gateway (e.g. a dying replica
 		// stack): retryable, not terminal — the client reconnects and
@@ -789,11 +831,22 @@ func (g *Gateway) processRead(req reqFrame, level ReadLevel) resFrame {
 }
 
 // processWrite routes one write into its shard's replicated group and
-// builds its response frame.
-func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
+// builds its response frame. The wait for replicated delivery is bounded by
+// RequestTimeout capped at the client's remaining budget; a write whose
+// budget lapsed while queued is dropped with TIMEOUT before it reaches the
+// ordered path at all.
+func (g *Gateway) processWrite(s *gwSession, qr gwReq) resFrame {
+	req := qr.f
 	shard := g.shardList()[req.Shard]
 	res := resFrame{Seq: req.Seq}
-	result, err := shard.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, g.cfg.RequestTimeout)
+	timeout, live := g.opTimeout(req.Budget, qr.at)
+	if !live {
+		res.Err = errTimeout
+		g.timeouts.Add(1)
+		g.ddlDrops.Add(1)
+		return res
+	}
+	result, err := shard.Replica.RequestSession(s.id, req.Seq, req.Ack, req.Op, timeout)
 	switch {
 	case err == nil:
 		res.Result = result
@@ -812,6 +865,12 @@ func (g *Gateway) processWrite(s *gwSession, req reqFrame) resFrame {
 		g.timeouts.Add(1)
 	case errors.Is(err, replication.ErrPruned):
 		res.Err = errPruned
+	case errors.Is(err, replication.ErrDegraded):
+		// Fail-fast answer from a quorumless primary (see processRead): the
+		// client retries elsewhere; exactly-once holds because nothing
+		// degraded was admitted, let alone delivered.
+		res.Err = errDegraded
+		g.degraded.Add(1)
 	default:
 		// See processRead: infrastructure errors are retryable. The write's
 		// (session, seq) name makes the retry exactly-once regardless of
@@ -854,7 +913,7 @@ func (g *Gateway) sessionWorker(s *gwSession) {
 		// Unanswered writes at this instant: the queued ones plus this one.
 		g.observeInflight(int64(len(s.queue)) + 1)
 		g.markDispatch(qr)
-		res := g.processWrite(s, qr.f)
+		res := g.processWrite(s, qr)
 		s.send(res)
 		s.touch()
 		s.inflight.Add(-1)
@@ -891,7 +950,7 @@ func (g *Gateway) batchingWorker(s *gwSession) {
 		go func(qr gwReq) {
 			defer g.wg.Done()
 			g.markDispatch(qr)
-			res := g.processWrite(s, qr.f)
+			res := g.processWrite(s, qr)
 			s.send(res)
 			s.touch()
 			s.processing.Add(-1)

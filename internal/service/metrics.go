@@ -73,6 +73,12 @@ func (g *Gateway) RegisterMetrics(s *telemetry.Scope) {
 	s.CounterFunc("gcs_service_unavailable_total",
 		"Operations answered UNAVAILABLE (retryable infrastructure failure).",
 		func() float64 { return float64(g.unavail.Load()) })
+	s.CounterFunc("gcs_service_degraded_total",
+		"Operations answered DEGRADED by a quorumless primary failing fast.",
+		func() float64 { return float64(g.degraded.Load()) })
+	s.CounterFunc("gcs_service_deadline_drops_total",
+		"Operations dropped because the client's per-op budget lapsed in queue.",
+		func() float64 { return float64(g.ddlDrops.Load()) })
 	s.CounterFunc("gcs_service_sessions_expired_total",
 		"Sessions garbage-collected by the idle lease.",
 		func() float64 { return float64(g.expired.Load()) })

@@ -54,6 +54,7 @@ package service
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/msg"
 )
@@ -101,6 +102,14 @@ type (
 		// index on that shard, making reads monotonic across gateway
 		// failover. Commit indexes of different shards are incomparable.
 		MinIndex uint64
+		// Budget is the client's remaining per-op time budget at transmit
+		// (zero = unbounded, wire-compatible with old clients). It travels as
+		// a duration, not a deadline, because client and gateway clocks need
+		// not agree. The gateway drops an operation whose budget has lapsed
+		// on its queue instead of burning ordered-path work on an answer the
+		// client has already abandoned, and caps its own request timeout at
+		// the remaining budget.
+		Budget time.Duration
 	}
 	// resFrame answers reqFrame with the same Seq.
 	resFrame struct {
@@ -175,6 +184,12 @@ const (
 	// client reconnects and retries, like TIMEOUT, rather than failing the
 	// operation terminally.
 	errUnavailable = "UNAVAILABLE"
+	// errDegraded is the quorum-progress watchdog's fail-fast answer: the
+	// serving replica believes it is the primary but cannot make ordered
+	// progress (replication.ErrDegraded). Retryable like UNAVAILABLE — the
+	// client reconnects and retries elsewhere — but counted separately, as
+	// it is the signature of a partitioned primary rather than a crash.
+	errDegraded = "DEGRADED"
 )
 
 func init() {

@@ -152,6 +152,7 @@ func (sc *ShardedClient) Stats() ClientStats {
 		out.DialFailures += st.DialFailures
 		out.Redirects += st.Redirects
 		out.UnavailableRetries += st.UnavailableRetries
+		out.DegradedAnswers += st.DegradedAnswers
 	}
 	return out
 }

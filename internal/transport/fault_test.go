@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+)
+
+func TestFaultIdlePassThrough(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 1)
+	b := n.Endpoint("b")
+	a.Send("b", []byte("hi"))
+	if pkt, ok := recvOne(t, b, time.Second); !ok || string(pkt.Data) != "hi" {
+		t.Fatalf("idle wrapper did not pass through: %+v ok=%v", pkt, ok)
+	}
+	if st := a.Stats(); st != (FaultStats{}) {
+		t.Fatalf("idle traffic counted as injected: %+v", st)
+	}
+}
+
+func TestFaultBlackholeIsDirected(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 1)
+	b := n.Endpoint("b")
+	a.SetRule("b", FaultRule{Blackhole: true})
+	a.Send("b", []byte("void"))
+	if _, ok := recvOne(t, b, 50*time.Millisecond); ok {
+		t.Fatal("blackholed packet delivered")
+	}
+	// Reverse direction untouched: b can still reach a.
+	b.Send("a", []byte("back"))
+	if _, ok := recvOne(t, a, time.Second); !ok {
+		t.Fatal("reverse direction lost")
+	}
+	if st := a.Stats(); st.Blackholed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// ClearRule heals.
+	a.ClearRule("b")
+	a.Send("b", []byte("healed"))
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("ClearRule did not heal")
+	}
+}
+
+func TestFaultDropProbabilityAndDefaultRule(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 7)
+	n.Endpoint("b")
+	a.SetDefault(FaultRule{Drop: 1.0})
+	for i := 0; i < 10; i++ {
+		a.Send("b", []byte("x"))
+	}
+	if st := a.Stats(); st.Dropped != 10 {
+		t.Fatalf("drop 1.0 leaked: %+v", st)
+	}
+	// Explicit zero rule exempts one destination from the default.
+	a.SetRule("c", FaultRule{})
+	c := n.Endpoint("c")
+	a.Send("c", []byte("exempt"))
+	if _, ok := recvOne(t, c, time.Second); !ok {
+		t.Fatal("zero rule did not exempt destination from default")
+	}
+}
+
+func TestFaultDelayAndDuplicate(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 3)
+	b := n.Endpoint("b")
+	a.SetRule("b", FaultRule{Delay: 30 * time.Millisecond, Duplicate: 1.0})
+	start := time.Now()
+	buf := []byte("dup")
+	a.Send("b", buf)
+	buf[0] = 'X' // caller reuses its buffer immediately; the copy must hold
+	first, ok := recvOne(t, b, time.Second)
+	if !ok || string(first.Data) != "dup" {
+		t.Fatalf("delayed packet lost or aliased: %q ok=%v", first.Data, ok)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+	if second, ok := recvOne(t, b, time.Second); !ok || string(second.Data) != "dup" {
+		t.Fatal("duplicate copy missing")
+	}
+	if st := a.Stats(); st.Duplicated != 1 || st.Delayed != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFaultReorder(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 5)
+	b := n.Endpoint("b")
+	// Hold every packet one quantum... except that later sends with the
+	// same hold land after earlier ones. To see true overtaking, hold only
+	// (deterministically) some packets: with Reorder=1 every packet is
+	// held equally, so alternate the rule around a probe packet instead.
+	a.SetRule("b", FaultRule{Reorder: 1.0, Delay: 20 * time.Millisecond})
+	a.Send("b", []byte("held"))
+	a.ClearRule("b")
+	a.Send("b", []byte("fast"))
+	first, ok1 := recvOne(t, b, time.Second)
+	second, ok2 := recvOne(t, b, time.Second)
+	if !ok1 || !ok2 {
+		t.Fatal("packets lost")
+	}
+	if string(first.Data) != "fast" || string(second.Data) != "held" {
+		t.Fatalf("no overtake: got %q then %q", first.Data, second.Data)
+	}
+}
+
+func TestFaultPreservesMuxFastPath(t *testing.T) {
+	// The wrapper must keep GroupMux working in both states (idle
+	// delegation to the underlying prefixSender, and materialized frames
+	// when rules are live).
+	n := NewNetwork()
+	defer n.Shutdown()
+	fa := NewFaultTransport(n.Endpoint("a"), 9)
+	ma := NewGroupMux(fa, 2)
+	mb := NewGroupMux(n.Endpoint("b"), 2)
+	defer ma.Close()
+	defer mb.Close()
+
+	ma.Group(1).Send("b", []byte("idle-path"))
+	if pkt, ok := recvOne(t, mb.Group(1), time.Second); !ok || string(pkt.Data) != "idle-path" {
+		t.Fatalf("idle mux send: %+v ok=%v", pkt, ok)
+	}
+	fa.SetRule("b", FaultRule{Delay: 5 * time.Millisecond})
+	ma.Group(0).Send("b", []byte("faulted-path"))
+	if pkt, ok := recvOne(t, mb.Group(0), time.Second); !ok || string(pkt.Data) != "faulted-path" {
+		t.Fatalf("faulted mux send: %+v ok=%v", pkt, ok)
+	}
+}
+
+func TestFaultSchedule(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a := NewFaultTransport(n.Endpoint("a"), 11)
+	b := n.Endpoint("b")
+	// Flap: blackhole after 10ms, heal 10ms later, looped.
+	stop := a.RunSchedule([]FaultStep{
+		{After: 10 * time.Millisecond, Apply: func(f *FaultTransport) {
+			f.SetRule("b", FaultRule{Blackhole: true})
+		}},
+		{After: 10 * time.Millisecond, Apply: func(f *FaultTransport) {
+			f.Clear()
+		}},
+	}, true)
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Blackholed == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("schedule never blackholed a packet")
+		}
+		a.Send("b", []byte("probe"))
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	a.Clear()
+	a.Send("b", []byte("after"))
+	for {
+		pkt, ok := recvOne(t, b, time.Second)
+		if !ok {
+			t.Fatal("post-schedule packet lost")
+		}
+		if string(pkt.Data) == "after" {
+			break
+		}
+	}
+}
+
+func TestMemnetCutLinkOneWay(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a, b := n.Endpoint("a"), n.Endpoint("b")
+	n.CutLinkOneWay("b", "a") // b's packets toward a vanish; a→b works
+	a.Send("b", []byte("data"))
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("open direction a->b lost")
+	}
+	b.Send("a", []byte("ack"))
+	if _, ok := recvOne(t, a, 50*time.Millisecond); ok {
+		t.Fatal("cut direction b->a delivered")
+	}
+	n.HealLinkOneWay("b", "a")
+	b.Send("a", []byte("ack2"))
+	if _, ok := recvOne(t, a, time.Second); !ok {
+		t.Fatal("healed direction did not deliver")
+	}
+}
+
+func TestMemnetPartitionOneWay(t *testing.T) {
+	n := NewNetwork()
+	defer n.Shutdown()
+	a, b, c := n.Endpoint("a"), n.Endpoint("b"), n.Endpoint("c")
+	// a is deaf: everyone's traffic toward a is dropped, but a's own
+	// packets still reach the majority side.
+	n.PartitionOneWay([]proc.ID{"b", "c"}, []proc.ID{"a"})
+	b.Send("a", []byte("x"))
+	c.Send("a", []byte("y"))
+	if _, ok := recvOne(t, a, 50*time.Millisecond); ok {
+		t.Fatal("packet crossed one-way partition")
+	}
+	a.Send("b", []byte("out"))
+	if _, ok := recvOne(t, b, time.Second); !ok {
+		t.Fatal("reverse direction a->b lost")
+	}
+	b.Send("c", []byte("side"))
+	if _, ok := recvOne(t, c, time.Second); !ok {
+		t.Fatal("same-side b->c lost")
+	}
+	n.Heal()
+	b.Send("a", []byte("healed"))
+	if _, ok := recvOne(t, a, time.Second); !ok {
+		t.Fatal("Heal did not clear one-way partition")
+	}
+}

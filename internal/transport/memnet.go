@@ -28,8 +28,10 @@ type Network struct {
 	endpoints  map[proc.ID]*memEndpoint
 	crashed    map[proc.ID]bool
 	cutLinks   map[link]bool
+	cutOneWay  map[dlink]bool            // directed cuts: from→to dropped, reverse unaffected
 	linkDelay  map[link][2]time.Duration // per-link latency override
 	partition  map[proc.ID]int           // partition group per process; empty = connected
+	partOneWay map[dlink]bool            // directed partition edges (PartitionOneWay)
 	partActive bool
 	closed     bool
 	listeners  map[proc.ID]*memStreamListener // service stream listeners
@@ -82,6 +84,10 @@ func normLink(a, b proc.ID) link {
 	return link{a: a, b: b}
 }
 
+// dlink is a directed link: traffic flowing from → to. One-way faults (ack
+// starvation, asymmetric partitions) are sets of dlinks.
+type dlink struct{ from, to proc.ID }
+
 // NetOption configures a Network.
 type NetOption func(*Network)
 
@@ -106,12 +112,14 @@ func WithSeed(seed int64) NetOption {
 // NewNetwork creates a simulated network.
 func NewNetwork(opts ...NetOption) *Network {
 	n := &Network{
-		rng:       rand.New(rand.NewSource(1)),
-		endpoints: make(map[proc.ID]*memEndpoint),
-		crashed:   make(map[proc.ID]bool),
-		cutLinks:  make(map[link]bool),
-		linkDelay: make(map[link][2]time.Duration),
-		partition: make(map[proc.ID]int),
+		rng:        rand.New(rand.NewSource(1)),
+		endpoints:  make(map[proc.ID]*memEndpoint),
+		crashed:    make(map[proc.ID]bool),
+		cutLinks:   make(map[link]bool),
+		cutOneWay:  make(map[dlink]bool),
+		linkDelay:  make(map[link][2]time.Duration),
+		partition:  make(map[proc.ID]int),
+		partOneWay: make(map[dlink]bool),
 	}
 	for _, o := range opts {
 		o(n)
@@ -172,6 +180,22 @@ func (n *Network) HealLink(a, b proc.ID) {
 	delete(n.cutLinks, normLink(a, b))
 }
 
+// CutLinkOneWay drops traffic flowing from → to only; the reverse direction
+// keeps working. This is the ack-starvation fault: to still hears from, but
+// from never hears back.
+func (n *Network) CutLinkOneWay(from, to proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cutOneWay[dlink{from: from, to: to}] = true
+}
+
+// HealLinkOneWay restores the directed from → to link.
+func (n *Network) HealLinkOneWay(from, to proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cutOneWay, dlink{from: from, to: to})
+}
+
 // Partition splits the network into the given groups; traffic crosses group
 // boundaries only by being dropped. Processes not listed in any group form
 // an implicit extra group.
@@ -187,11 +211,29 @@ func (n *Network) Partition(groups ...[]proc.ID) {
 	n.partActive = true
 }
 
-// Heal removes any partition.
+// PartitionOneWay blocks traffic from every process in src toward every
+// process in dst; the dst → src direction is unaffected. Asymmetric splits
+// compose: multiple calls accumulate directed edges, alongside (not
+// replacing) any symmetric Partition. Heal removes them all.
+func (n *Network) PartitionOneWay(src, dst []proc.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range src {
+		for _, d := range dst {
+			if s == d {
+				continue
+			}
+			n.partOneWay[dlink{from: s, to: d}] = true
+		}
+	}
+}
+
+// Heal removes any partition, symmetric or one-way.
 func (n *Network) Heal() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.partition = make(map[proc.ID]int)
+	n.partOneWay = make(map[dlink]bool)
 	n.partActive = false
 }
 
@@ -278,11 +320,15 @@ func (n *Network) route(from, to proc.ID, size int) (*memEndpoint, time.Duration
 		n.stats.addDropped()
 		return nil, 0, false
 	}
-	if n.cutLinks[normLink(from, to)] {
+	if n.cutLinks[normLink(from, to)] || n.cutOneWay[dlink{from: from, to: to}] {
 		n.stats.addDropped()
 		return nil, 0, false
 	}
 	if n.partActive && n.partition[from] != n.partition[to] {
+		n.stats.addDropped()
+		return nil, 0, false
+	}
+	if len(n.partOneWay) > 0 && n.partOneWay[dlink{from: from, to: to}] {
 		n.stats.addDropped()
 		return nil, 0, false
 	}
