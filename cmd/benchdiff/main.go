@@ -29,7 +29,8 @@ var metrics = map[string]bool{
 	"mean_us": true, "p50_us": true, "p99_us": true,
 	"batches": true, "max_batch": true,
 	"barriers": true, "barrier_reads": true, "max_coalesced": true,
-	"overhead_pct": true, "hist_record_ns": true,
+	"lease_reads": true, "lease_fallbacks": true, "too_stale": true,
+	"overhead_pct": true, "hist_record_ns": true, "hist_overflow": true,
 	"fsyncs": true, "fsyncs_per_window": true, "fsync_p99_us": true,
 	"wal_bytes": true, "durable_tax_pct": true,
 }
@@ -130,6 +131,14 @@ func main() {
 				arrow = " (worse)"
 			}
 			parts = append(parts, fmt.Sprintf("%s %+.1f%%%s", h.field, delta, arrow))
+		}
+		// A row whose latency histogram overflowed reports CLAMPED tail
+		// quantiles (telemetry.Histogram.Overflow): its p99 understates the
+		// truth, so flag either side rather than diff a lie silently.
+		if b["hist_overflow"] > 0 || c["hist_overflow"] > 0 {
+			parts = append(parts, fmt.Sprintf(
+				"TAIL OUT OF HISTOGRAM RANGE (overflow base=%.0f cur=%.0f; p99 clamped)",
+				b["hist_overflow"], c["hist_overflow"]))
 		}
 		if len(parts) > 0 {
 			fmt.Printf("  %s: %s\n", key, strings.Join(parts, ", "))

@@ -215,7 +215,7 @@ func runDurability(engine string, sessions int, runFor time.Duration, seed int64
 		wg.Add(1)
 		go func(cl *service.Client) {
 			defer wg.Done()
-			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			op := benchPayload()
 			for {
 				select {
 				case <-stop:

@@ -22,6 +22,14 @@ func newNet(seed int64) *transport.Network {
 		transport.WithSeed(seed))
 }
 
+// benchPayload returns the standard 64-byte write payload every write-path
+// experiment shares, so cross-experiment throughput numbers compare like for
+// like. A fresh slice per call: sessions mutate nothing today, but a shared
+// backing array would make that an action at a distance.
+func benchPayload() []byte {
+	return []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+}
+
 func ids(n int, prefix string) []proc.ID {
 	out := make([]proc.ID, n)
 	for i := range out {

@@ -199,7 +199,7 @@ func runOverhead(sessions int, instrumented bool, runFor time.Duration) (overhea
 		wg.Add(1)
 		go func(cl *service.Client) {
 			defer wg.Done()
-			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			op := benchPayload()
 			for {
 				select {
 				case <-stop:

@@ -172,7 +172,7 @@ func runPartitionOverhead(sessions int, fault bool, runFor time.Duration) (partO
 		wg.Add(1)
 		go func(cl *service.Client) {
 			defer wg.Done()
-			op := []byte("payload-64-bytes-xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")
+			op := benchPayload()
 			for {
 				select {
 				case <-stop:

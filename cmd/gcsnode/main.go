@@ -86,13 +86,14 @@ func main() {
 		svcTTL       = flag.Duration("service-session-ttl", time.Hour, "garbage-collect idle disconnected sessions after this lease (0 = never)")
 		svcLease     = flag.Duration("service-lease-ttl", 0, "replicated session lease: expire (session, seq) dedup records idle for this long as ordered messages, bounding the replicated table (0 = never)")
 		svcWatchdog  = flag.Duration("service-watchdog", 2*time.Second, "quorum-progress watchdog: a primary whose ordered sequence stalls this long with work pending answers new writes DEGRADED (fail fast, retryable) instead of queueing them to their timeouts; keep it above the failover suspicion timeout (0 = disabled)")
+		svcLdrLease  = flag.Duration("service-leader-lease", 0, "leadership lease TTL: the primary renews an ordered lease and serves linearizable reads locally while it holds (no per-read barrier); TTL plus a TTL/4 drift margin must fit under the 500ms failover suspicion timeout, so at most 400ms (0 = disabled)")
 		join         = flag.Bool("join", false, "join a RUNNING service deployment as a catch-up follower: install a replica snapshot from the group and follow its command log, serving reads at backup parity (requires -service-listen; -peers lists the full members)")
 		incarnation  = flag.Uint64("incarnation", 1, "with -join or -data-dir: this process's incarnation; increase it on every restart")
 		dataDir      = flag.String("data-dir", "", "durable storage root (requires -service-listen): shard k's WAL segments and snapshots live in <data-dir>/shard<k>; every acknowledged write is fsynced before its ack, and a restart replays local disk, then pulls only the missing delta from the group")
 		adminListen  = flag.String("admin-listen", "", "expose the admin/debug HTTP endpoint on this address: /metrics (Prometheus), /healthz, /debug/traces, /debug/pprof")
 	)
 	flag.Parse()
-	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *svcWatchdog, *join, *incarnation, *dataDir, *adminListen); err != nil {
+	if err := run(*self, *listen, *peersSpec, *sendEvery, *useAbcast, *svcListen, *svcPeersSpec, *svcBatch, *svcShards, *svcTTL, *svcLease, *svcWatchdog, *svcLdrLease, *join, *incarnation, *dataDir, *adminListen); err != nil {
 		fmt.Fprintln(os.Stderr, "gcsnode:", err)
 		os.Exit(1)
 	}
@@ -206,7 +207,7 @@ func (a *admin) serve(addr string) (func(), error) {
 	return func() { _ = srv.Close() }, nil
 }
 
-func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease, svcWatchdog time.Duration, join bool, incarnation uint64, dataDir, adminListen string) error {
+func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool, svcListen, svcPeersSpec string, svcBatch bool, svcShards int, svcTTL, svcLease, svcWatchdog, svcLdrLease time.Duration, join bool, incarnation uint64, dataDir, adminListen string) error {
 	if self == "" || listen == "" || peersSpec == "" {
 		return fmt.Errorf("-self, -listen and -peers are required")
 	}
@@ -521,9 +522,19 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			}
 		}
 
+		// The lease windows must be disjoint from a successor's first writes:
+		// TTL + Margin (TTL/4 default) may not exceed the failover suspicion
+		// timeout below, or a deposed primary could still be inside its
+		// nominal lease when the group elects around it.
+		const suspicion = 500 * time.Millisecond
+		if svcLdrLease > 0 && svcLdrLease+svcLdrLease/4 > suspicion {
+			return fmt.Errorf("-service-leader-lease %v too long: TTL + TTL/4 margin must fit under the %v failover suspicion timeout (max %v)",
+				svcLdrLease, suspicion, suspicion*4/5)
+		}
+
 		// Phase 3 — only an aligned replica may campaign or batch.
 		for _, s := range members {
-			s.replica.StartFailover(500 * time.Millisecond)
+			s.replica.StartFailover(suspicion)
 			defer s.replica.StopFailover()
 			if svcWatchdog > 0 {
 				// Above the failover suspicion timeout, or an ordinary
@@ -534,6 +545,10 @@ func run(self, listen, peersSpec string, sendEvery time.Duration, useAbcast bool
 			if svcBatch {
 				s.replica.EnableBatching(gcs.BatchConfig{})
 				defer s.replica.StopBatching()
+			}
+			if svcLdrLease > 0 {
+				s.replica.EnableLeaderLease(gcs.LeaderLeaseConfig{TTL: svcLdrLease})
+				defer s.replica.DisableLeaderLease()
 			}
 			shards = append(shards, gcs.ServiceShard{Replica: s.replica, Read: s.store.Read})
 		}

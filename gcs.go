@@ -81,6 +81,17 @@ type (
 	// LeaseStats is the replicated session lease's accounting
 	// (PassiveReplica.LeaseStats).
 	LeaseStats = replication.LeaseStats
+	// LeaderLeaseConfig tunes the leadership lease
+	// (PassiveReplica.EnableLeaderLease): a primary holding a live,
+	// ordered-granted lease serves linearizable reads locally with no
+	// per-read barrier broadcast. TTL+Margin must stay at or below the
+	// failover suspicion timeout.
+	LeaderLeaseConfig = replication.LeaderLeaseConfig
+	// LeaderLeaseStats is the leadership lease's accounting
+	// (PassiveReplica.LeaderLeaseStats): lease-path reads vs barrier
+	// fallbacks shows how much of the linearizable read load escaped the
+	// ordered path.
+	LeaderLeaseStats = replication.LeaderLeaseStats
 	// ReplicaWatchdogConfig tunes the quorum-progress watchdog
 	// (PassiveReplica.StartWatchdog): a primary whose ordered sequence
 	// stalls for StallTimeout with work pending fails new writes fast with
@@ -88,7 +99,7 @@ type (
 	// re-admits automatically on the first post-heal delivery.
 	ReplicaWatchdogConfig = replication.WatchdogConfig
 	// ReadLevel selects the consistency of ServiceClient reads: ReadLocal,
-	// ReadMonotonic (the default) or ReadLinearizable.
+	// ReadMonotonic (the default), ReadLinearizable or ReadBoundedStaleness.
 	ReadLevel = service.ReadLevel
 	// ServiceGateway accepts networked client sessions at one node.
 	ServiceGateway = service.Gateway
@@ -242,8 +253,15 @@ const (
 	// last-seen commit index.
 	ReadMonotonic = service.ReadMonotonic
 	// ReadLinearizable reflects every write acknowledged before the read
-	// began, via an ordered no-op barrier at the primary.
+	// began, via an ordered no-op barrier at the primary — or, with the
+	// leadership lease enabled, from the lease holder's local state with no
+	// broadcast at all.
 	ReadLinearizable = service.ReadLinearizable
+	// ReadBoundedStaleness serves from any replica whose applied state is
+	// within the per-call bound of the primary's commit timestamps
+	// (ServiceClient.ReadAtMost); outside the bound the read is retried
+	// rather than silently served stale.
+	ReadBoundedStaleness = service.ReadBoundedStaleness
 )
 
 // Default class names of the standard relation (Section 3.3 of the paper).

@@ -50,6 +50,9 @@ type (
 		Client  proc.ID
 		ReqID   uint64 // originator's waiter key, same space as pUpdate.ReqID
 		Entries []pBatchEntry
+		// TS is the primary's clock at broadcast — one commit timestamp for
+		// the whole batch, stamped onto applied state (leaderlease.go).
+		TS int64
 	}
 )
 
@@ -337,7 +340,8 @@ func (b *batcher) flush(ops []*batchOp) {
 			Session: op.key.session, Seq: op.key.seq, Ack: op.ack,
 		}
 	}
-	u := pUpdateBatch{Epoch: epoch, Client: p.self, ReqID: req, Entries: entries}
+	u := pUpdateBatch{Epoch: epoch, Client: p.self, ReqID: req, Entries: entries,
+		TS: time.Now().UnixNano()}
 	var sent time.Time
 	if m != nil {
 		sent = time.Now()
@@ -451,6 +455,7 @@ func (p *Passive) onUpdateBatch(u pUpdateBatch) {
 		p.advanceCommitLocked(uint64(len(u.Entries)))
 		p.logAppendLocked(u)
 		p.mu.Unlock()
+		p.bumpStamp(u.TS)
 		// Durable BEFORE acked, one fsync for the whole batch — the commit
 		// window IS the fsync window. Must precede the gate resolutions and
 		// the originator's wake below.

@@ -83,6 +83,26 @@ func (p *Passive) RegisterMetrics(s *telemetry.Scope) {
 	s.CounterFunc("gcs_replication_lease_expired_total",
 		"Session records pruned by the lease.",
 		func() float64 { return float64(p.LeaseStats().Expired) })
+	s.CounterFunc("gcs_replication_lease_grants_total",
+		"Leadership-lease renewals delivered (non-stale).",
+		func() float64 { return float64(p.LeaderLeaseStats().Grants) })
+	s.CounterFunc("gcs_replication_lease_voided_total",
+		"Leadership leases voided by delivered epoch changes.",
+		func() float64 { return float64(p.LeaderLeaseStats().Voided) })
+	s.CounterFunc("gcs_replication_lease_reads_total",
+		"Linearizable reads served on the leadership-lease fast path (no broadcast).",
+		func() float64 { return float64(p.LeaderLeaseStats().LeaseReads) })
+	s.CounterFunc("gcs_replication_lease_fallbacks_total",
+		"Lease-enabled linearizable reads that fell back to the ordered barrier.",
+		func() float64 { return float64(p.LeaderLeaseStats().BarrierFallbacks) })
+	s.GaugeFunc("gcs_replication_lease_held",
+		"1 while this replica holds a live leadership lease for the current epoch.",
+		func() float64 {
+			if p.leaseHeld() {
+				return 1
+			}
+			return 0
+		})
 	s.GaugeFunc("gcs_replication_sessions",
 		"Sessions in the replicated dedup table.",
 		func() float64 { n, _ := p.SessionTableSize(); return float64(n) })

@@ -91,6 +91,10 @@ type (
 		Session string
 		Seq     uint64
 		Ack     uint64
+		// TS is the primary's clock at broadcast (unix nanos): the commit
+		// timestamp replicas stamp their applied state with, which is what a
+		// bounded-staleness read measures its age against (leaderlease.go).
+		TS int64
 	}
 	pChange struct {
 		Old proc.ID
@@ -187,6 +191,24 @@ type Passive struct {
 	// are pruned identically at every replica.
 	leaseClock   uint64
 	leaseExpired uint64
+
+	// Leadership-lease state (leaderlease.go). leaseMu guards only the lease
+	// window fields below; it nests INSIDE p.mu (p.mu → leaseMu) and is never
+	// held across anything that blocks. llEnabled gates the read fast path
+	// with one atomic load; stateStamp is the applied-state commit timestamp
+	// (monotone max of delivered TS fields) behind bounded-staleness reads.
+	leaseMu    sync.Mutex //gcsvet:lock leaseMu
+	llCfg      LeaderLeaseConfig
+	llHolder   proc.ID
+	llEpoch    uint64
+	llExpiry   time.Time // holder-local: own send stamp + TTL
+	llGuard    time.Time // local delivery time + TTL + margin
+	llHandoff  time.Time // lease reads gated until this after an epoch change
+	llStats    LeaderLeaseStats
+	llEnabled  atomic.Bool
+	llStop     chan struct{}
+	llDone     sync.WaitGroup
+	stateStamp atomic.Int64
 
 	onPrimaryChange func(primary proc.ID, epoch uint64)
 
@@ -309,6 +331,8 @@ func (p *Passive) applyDelivered(body any) {
 		p.onBarrier(m)
 	case pLease:
 		p.onLease(m)
+	case pLeaderLease:
+		p.onLeaderLease(m)
 	}
 	// Ordered-class commands (changes, barriers, leases) append to storage
 	// without forcing an fsync — nobody acks a client on them, and the next
@@ -573,7 +597,8 @@ func (p *Passive) request(op []byte, timeout time.Duration) ([]byte, error) {
 	p.mu.Unlock()
 
 	result, update := p.sm.Execute(op)
-	u := pUpdate{Epoch: epoch, Client: p.self, ReqID: req, Update: update, Result: result}
+	u := pUpdate{Epoch: epoch, Client: p.self, ReqID: req, Update: update, Result: result,
+		TS: time.Now().UnixNano()}
 	if err := p.node.Gbcast(ClassUpdate, u); err != nil {
 		p.mu.Lock()
 		delete(p.waiters, req)
@@ -683,6 +708,7 @@ func (p *Passive) driveSession(key sessKey, w *sessWaiter, req uint64, ch chan p
 		Epoch: epoch, Client: p.self, ReqID: req,
 		Update: update, Result: result,
 		Session: key.session, Seq: key.seq, Ack: ack,
+		TS: time.Now().UnixNano(),
 	}
 	p.markOp(key, "broadcast")
 	m := p.metrics.Load()
@@ -845,6 +871,7 @@ func (p *Passive) onUpdate(u pUpdate) {
 		p.advanceCommitLocked(1)
 		p.logAppendLocked(u)
 		p.mu.Unlock()
+		p.bumpStamp(u.TS)
 		// Durable BEFORE acked: the fsync must precede both the gate
 		// resolution and the originator's wake below — either may release a
 		// client ack on another goroutine.
@@ -872,7 +899,8 @@ func (p *Passive) onChange(c pChange) {
 	p.advanceCommitLocked(1)
 	p.logAppendLocked(c)
 	next := p.replicas.RotatePast(c.Old)
-	if next.Seq != p.replicas.Seq {
+	changed := next.Seq != p.replicas.Seq
+	if changed {
 		p.replicas = next
 		p.epoch++
 		p.changes++
@@ -881,6 +909,13 @@ func (p *Passive) onChange(c pChange) {
 		epoch = p.epoch
 	}
 	p.mu.Unlock()
+	if changed {
+		// Void any leadership lease the instant the epoch change lands —
+		// including at the deposed primary — and raise the handoff gate the
+		// new primary must wait out (leaderlease.go). Runs on the delivery
+		// goroutine, so it precedes every later delivery of the new epoch.
+		p.voidLeaseOnChange()
+	}
 	if hook != nil {
 		hook(primary, epoch)
 	}

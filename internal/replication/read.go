@@ -36,6 +36,9 @@ type pBarrier struct {
 	Epoch  uint64
 	Client proc.ID
 	ReqID  uint64
+	// TS is the primary's clock at broadcast: barriers stamp applied state
+	// for bounded-staleness freshness just like updates (leaderlease.go).
+	TS int64
 
 	// idx is delivery-local (never encoded): the commit index at this
 	// replica when the barrier was counted.
@@ -71,6 +74,13 @@ type barrierGroup struct {
 func (p *Passive) ReadBarrier(timeout time.Duration, abort <-chan struct{}) (uint64, error) {
 	if p.follower {
 		return p.followerBarrier(timeout, abort)
+	}
+	// Leader-lease fast path (leaderlease.go): with a live, current-epoch
+	// lease past the handoff gate, the primary's local state is already
+	// confirmed linearizable — no broadcast. Any doubt falls through to the
+	// ordered barrier below, so correctness never depends on the lease.
+	if idx, ok := p.leaseRead(); ok {
+		return idx, nil
 	}
 	p.mu.Lock()
 	if p.replicas.Primary() != p.self {
@@ -150,7 +160,7 @@ func (p *Passive) driveBarriers() {
 		}
 		p.mu.Unlock()
 
-		if err := p.node.Gbcast(ClassUpdate, pBarrier{Epoch: epoch, Client: p.self, ReqID: req}); err != nil {
+		if err := p.node.Gbcast(ClassUpdate, pBarrier{Epoch: epoch, Client: p.self, ReqID: req, TS: time.Now().UnixNano()}); err != nil {
 			p.mu.Lock()
 			delete(p.barrierWaiters, req)
 			p.mu.Unlock()
@@ -226,6 +236,9 @@ func (p *Passive) onBarrier(b pBarrier) {
 		delete(p.barrierWaiters, b.ReqID)
 	}
 	p.mu.Unlock()
+	if !stale {
+		p.bumpStamp(b.TS)
+	}
 	if ch != nil {
 		if stale {
 			b.Epoch = staleEpoch

@@ -56,6 +56,17 @@ const DefaultLogCap = 1024
 // identical bytes) — cross-replica equality checks compare its output — and
 // both run at a delivery boundary, so they may read/write the state machine
 // without racing ApplyUpdate.
+//
+// Restore must additionally swap the state ATOMICALLY with respect to
+// concurrent lock-free readers: the gateway's read paths (Local, the
+// Monotonic fast path, lease and bounded-staleness reads) call the
+// application's read hook with NO replica lock held, concurrently with a
+// snapshot install. A Restore that mutates in place could expose a reader to
+// a torn mix of old and new state — and, because installSnapshotLocked
+// advances the commit index only AFTER Restore returns, an in-place partial
+// restore could even be observed under an index the reader already checked.
+// Build the new state aside and publish it with one atomic pointer/reference
+// swap (as every in-tree state machine does).
 type Snapshotter struct {
 	Snapshot func() []byte
 	Restore  func([]byte)
@@ -79,6 +90,10 @@ type pSnapshot struct {
 	LeaseClock uint64
 	Sessions   []pSessionSnap // sorted by ID for deterministic encoding
 	App        []byte         // application state via the Snapshotter hook
+	// StateTS is the donor's applied-state commit timestamp (unix nanos) at
+	// capture, so an installed snapshot seeds the receiver's freshness stamp
+	// for bounded-staleness reads (leaderlease.go).
+	StateTS int64
 }
 
 // pSessionSnap is one session's slice of the replicated dedup table.
@@ -196,6 +211,7 @@ func (p *Passive) captureSnapshotLocked() (uint64, []byte) {
 		ViewSeq:    p.replicas.Seq,
 		Members:    slices.Clone(p.replicas.Members),
 		LeaseClock: p.leaseClock,
+		StateTS:    p.stateStamp.Load(),
 	}
 	ids := make([]string, 0, len(p.sessions))
 	for id := range p.sessions {
@@ -334,6 +350,11 @@ func (p *Passive) installSnapshotLocked(data []byte) (uint64, bool, error) {
 	p.mu.Lock()
 	p.advanceCommitLocked(s.Index - p.commitIdx)
 	p.mu.Unlock()
+	// The snapshot replaced this replica's world: adopt the donor's
+	// freshness stamp and conservatively forget any leadership lease (the
+	// handoff gate survives, so lease reads resume only via a fresh grant).
+	p.bumpStamp(s.StateTS)
+	p.clearLeaseOnInstall()
 	if m != nil {
 		m.snapInstalled.Inc()
 		m.snapBytesIn.Add(uint64(len(data)))

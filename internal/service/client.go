@@ -91,9 +91,10 @@ type call struct {
 	seq      uint64
 	op       []byte
 	read     bool
-	level    ReadLevel // resolved read level (reads only)
-	minIndex uint64    // monotonic token captured when the read was issued
-	deadline time.Time // OpTimeout deadline; Budget = what remains at each transmit
+	level    ReadLevel     // resolved read level (reads only)
+	minIndex uint64        // monotonic token captured when the read was issued
+	maxAge   time.Duration // staleness bound (ReadBoundedStaleness only)
+	deadline time.Time     // OpTimeout deadline; Budget = what remains at each transmit
 	done     chan struct{}
 	result   []byte
 	err      error
@@ -138,6 +139,7 @@ type Client struct {
 	redirects       atomic.Uint64 // primary hints chased: NOT_PRIMARY answers, demotion pushes, handshake hops
 	unavailRetries  atomic.Uint64 // TIMEOUT/UNAVAILABLE answers retried on another connection
 	degradedAnswers atomic.Uint64 // DEGRADED answers retried (quorumless primary failing fast)
+	tooStaleRetries atomic.Uint64 // TOO_STALE answers retried (bounded-staleness reads)
 
 	// degradedMode is set by a DEGRADED answer and cleared by the next
 	// success: while set, reconnect() inserts a jittered, capped backoff
@@ -162,6 +164,10 @@ type ClientStats struct {
 	// from UnavailableRetries (crashes, shutdowns, plain timeouts) so the
 	// two outage shapes stay distinguishable in client-side accounting.
 	DegradedAnswers uint64
+	// TooStaleRetries counts TOO_STALE answers to bounded-staleness reads
+	// that the client retried — at the hinted primary, or (Sticky) at the
+	// same gateway after a jittered beat for the replica to catch up.
+	TooStaleRetries uint64
 }
 
 // Stats returns a snapshot of the client's recovery counters.
@@ -172,6 +178,7 @@ func (c *Client) Stats() ClientStats {
 		Redirects:          c.redirects.Load(),
 		UnavailableRetries: c.unavailRetries.Load(),
 		DegradedAnswers:    c.degradedAnswers.Load(),
+		TooStaleRetries:    c.tooStaleRetries.Load(),
 	}
 }
 
@@ -198,6 +205,11 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	case ReadDefault:
 		cfg.ReadLevel = ReadMonotonic
 	case ReadLocal, ReadMonotonic, ReadLinearizable:
+	case ReadBoundedStaleness:
+		// A bounded read is meaningless without its bound, which is per-call:
+		// reject the level as a session default instead of silently sending
+		// MaxAge=0 reads that every gateway answers BAD_READ_LEVEL.
+		return nil, fmt.Errorf("service: %v needs a per-call bound: use ReadAtMost", cfg.ReadLevel)
 	default:
 		return nil, fmt.Errorf("service: unknown read level %v", cfg.ReadLevel)
 	}
@@ -287,14 +299,14 @@ func (c *Client) errLocked() error {
 // result. Calls may be issued concurrently; up to MaxInflight are pipelined.
 // An acknowledged call executed exactly once, even across primary failover.
 func (c *Client) Call(op []byte) ([]byte, error) {
-	return c.do(op, false, ReadDefault)
+	return c.do(op, false, ReadDefault, 0)
 }
 
 // Read executes a read-only operation at the client's configured read level
 // (ReadMonotonic unless overridden): the result is never older than any
 // state this session has already observed, across reconnects and failover.
 func (c *Client) Read(op []byte) ([]byte, error) {
-	return c.do(op, true, c.cfg.ReadLevel)
+	return c.do(op, true, c.cfg.ReadLevel, 0)
 }
 
 // ReadAt is Read at an explicit consistency level, overriding the
@@ -304,12 +316,27 @@ func (c *Client) ReadAt(op []byte, level ReadLevel) ([]byte, error) {
 	case ReadDefault:
 		level = c.cfg.ReadLevel
 	case ReadLocal, ReadMonotonic, ReadLinearizable:
+	case ReadBoundedStaleness:
+		return nil, fmt.Errorf("service: %v needs a per-call bound: use ReadAtMost", level)
 	default:
 		// Reject locally, like NewClient: no point burning a round trip and
 		// a window slot on a guaranteed BAD_READ_LEVEL.
 		return nil, fmt.Errorf("service: unknown read level %v", level)
 	}
-	return c.do(op, true, level)
+	return c.do(op, true, level, 0)
+}
+
+// ReadAtMost executes a bounded-staleness read: the answering replica's
+// applied state is no older than maxAge behind the primary's commit
+// timestamps. Any gateway — including one fronting a catch-up follower —
+// may answer from local state within the bound; outside it the read is
+// retried, at the hinted primary or (Sticky) at the same gateway after a
+// jittered beat, until served or the OpTimeout lapses.
+func (c *Client) ReadAtMost(op []byte, maxAge time.Duration) ([]byte, error) {
+	if maxAge <= 0 {
+		return nil, fmt.Errorf("service: non-positive staleness bound %v", maxAge)
+	}
+	return c.do(op, true, ReadBoundedStaleness, maxAge)
 }
 
 // LastIndex returns the highest replica commit index this session has
@@ -320,7 +347,7 @@ func (c *Client) LastIndex() uint64 {
 	return c.lastIndex
 }
 
-func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
+func (c *Client) do(op []byte, read bool, level ReadLevel, maxAge time.Duration) ([]byte, error) {
 	select {
 	case c.window <- struct{}{}:
 		defer func() { <-c.window }()
@@ -344,6 +371,7 @@ func (c *Client) do(op []byte, read bool, level ReadLevel) ([]byte, error) {
 	}
 	if read {
 		cl.level = level
+		cl.maxAge = maxAge
 		// The monotonic token is captured at issue time and stays fixed
 		// across retransmissions: any replica that has reached this index
 		// has applied everything the session had observed when the read
@@ -427,7 +455,7 @@ func (c *Client) transmit(conn transport.StreamConn, gen int, cl *call, ack uint
 	frame, err := encodeFrame(reqFrame{
 		Seq: cl.seq, Ack: ack, Op: cl.op, Shard: uint32(c.cfg.Shard),
 		Read: cl.read, Level: cl.level, MinIndex: cl.minIndex,
-		Budget: budget,
+		Budget: budget, MaxAge: cl.maxAge,
 	})
 	if err != nil {
 		c.mu.Lock()
@@ -474,13 +502,8 @@ func (c *Client) reconnect() {
 	// degraded flag is up, give the group a jittered beat (doubling with the
 	// streak, capped at 32x) to heal or elect before the first probe.
 	if c.degradedMode.Load() {
-		shift := c.degradedStreak.Load()
-		if shift > 5 {
-			shift = 5
-		}
-		base := c.cfg.RetryBackoff << shift
 		select {
-		case <-time.After(base/2 + mrand.N(base/2+1)):
+		case <-time.After(c.degradedPause()):
 		case <-c.done:
 		}
 	}
@@ -536,6 +559,25 @@ func (c *Client) reconnect() {
 		}
 		return
 	}
+}
+
+// degradedPause is the jittered beat reconnect() waits out while the
+// degraded flag is up: [base/2, base] where base doubles with the streak,
+// capped at 32x RetryBackoff. The result is floored strictly above zero:
+// NewClient normalizes RetryBackoff, but this path must never spin even if
+// a copied or mutated config smuggles in a zero base — time.After(0) here
+// would turn every degraded sweep into a hot handshake/DEGRADED loop
+// against an already-partitioned primary.
+func (c *Client) degradedPause() time.Duration {
+	shift := c.degradedStreak.Load()
+	if shift > 5 {
+		shift = 5
+	}
+	base := c.cfg.RetryBackoff << shift
+	if base < time.Millisecond {
+		base = time.Millisecond
+	}
+	return base/2 + mrand.N(base/2+1)
 }
 
 // attemptConnect tries one sweep: the primary hint first, then every
@@ -732,6 +774,56 @@ func (c *Client) handleResponse(gen int, f resFrame) {
 				"gateway", addr, "degraded_answers", c.degradedAnswers.Load())
 		}
 		c.connBroken(gen)
+	case errTooStale:
+		// A bounded-staleness read found this gateway's replica outside (or
+		// of unknown) staleness — retryable, the bound still has its budget.
+		c.tooStaleRetries.Add(1)
+		if !c.cfg.Sticky {
+			// Chase the redirect: the primary is fresh by construction, so
+			// reconnecting toward it serves the retransmitted read there.
+			// A hint naming the gateway we are already on (the primary
+			// itself answering TOO_STALE, possible before any stamped
+			// delivery) falls through to the paced in-place retry below —
+			// reconnecting to the same address would retransmit instantly
+			// and spin until the first write stamps the state.
+			c.mu.Lock()
+			if f.Redirect != "" {
+				c.hint = f.Redirect
+			}
+			elsewhere := f.Redirect != "" && f.Redirect != c.connAddr
+			stillPending := c.pending[f.Seq] != nil
+			c.mu.Unlock()
+			if elsewhere {
+				c.redirects.Add(1)
+				if stillPending {
+					c.connBroken(gen)
+				}
+				return
+			}
+		}
+		// Sticky (follower-read) clients stay put: chasing the primary on
+		// every stale answer would permanently migrate the whole read load
+		// there, defeating the point of follower reads. Retry HERE after a
+		// jittered beat — a catch-up follower re-enters the bound as it
+		// drains — and let the OpTimeout bound the pursuit.
+		go func() {
+			base := c.cfg.RetryBackoff
+			select {
+			case <-time.After(base/2 + mrand.N(base/2+1)):
+			case <-c.done:
+				return
+			}
+			c.mu.Lock()
+			cl := c.pending[f.Seq]
+			conn := c.conn
+			g := c.gen
+			ack := c.acked
+			c.mu.Unlock()
+			if cl == nil || conn == nil {
+				return
+			}
+			c.transmit(conn, g, cl, ack)
+		}()
 	default:
 		// Terminal server-side error (PRUNED, NO_READS, BAD_READ_LEVEL,
 		// application error).

@@ -26,6 +26,11 @@ type Replica interface {
 	CommitIndex() uint64
 	WaitCommit(index uint64, timeout time.Duration, abort <-chan struct{}) (uint64, error)
 	ReadBarrier(timeout time.Duration, abort <-chan struct{}) (uint64, error)
+	// StateAge reports how far the replica's applied state lags the
+	// primary's commit timestamps; ok=false means the age is unknown (no
+	// stamped delivery observed yet) and the replica must not serve
+	// bounded-staleness reads.
+	StateAge() (time.Duration, bool)
 	OnPrimaryChange(fn func(primary proc.ID, epoch uint64))
 	LeaseTick(sessions []string) error
 }
@@ -114,6 +119,7 @@ type GatewayStats struct {
 	Unavailable   uint64 // operations answered UNAVAILABLE
 	Degraded      uint64 // operations answered DEGRADED (quorumless primary failing fast)
 	DeadlineDrops uint64 // operations dropped because the client's budget lapsed in queue
+	TooStale      uint64 // bounded-staleness reads answered TOO_STALE
 }
 
 // Gateway accepts networked client sessions at one node of the group and
@@ -146,6 +152,7 @@ type Gateway struct {
 	unavail     atomic.Uint64
 	degraded    atomic.Uint64
 	ddlDrops    atomic.Uint64
+	tooStale    atomic.Uint64
 
 	// Observability hookups, nil until wired (RegisterMetrics/SetTracer).
 	metrics atomic.Pointer[gwMetrics]
@@ -358,6 +365,7 @@ func (g *Gateway) Stats() GatewayStats {
 		Unavailable:   g.unavail.Load(),
 		Degraded:      g.degraded.Load(),
 		DeadlineDrops: g.ddlDrops.Load(),
+		TooStale:      g.tooStale.Load(),
 	}
 }
 
@@ -706,10 +714,55 @@ func (g *Gateway) serveRead(s *gwSession, req reqFrame) {
 			Index:  shard.Replica.CommitIndex(),
 		})
 		g.observeRead(s, level, start)
+	case ReadBoundedStaleness:
+		// Bounded staleness: serve inline from local state when the shard's
+		// applied state is provably within the client's bound; otherwise a
+		// retryable TOO_STALE with the primary as the freshness hint. A
+		// replica that has never observed a stamped delivery has UNKNOWN age
+		// and must refuse too — silently serving it would turn "at most
+		// maxAge stale" into "arbitrarily stale".
+		if req.MaxAge <= 0 {
+			s.send(resFrame{Seq: req.Seq, Err: errBadReadLevel})
+			return
+		}
+		age, known := shard.Replica.StateAge()
+		if !known || age > req.MaxAge {
+			g.tooStale.Add(1)
+			s.send(resFrame{Seq: req.Seq, Err: errTooStale, Redirect: g.hint(req.Shard)})
+			return
+		}
+		g.reads.Add(1)
+		s.send(resFrame{
+			Seq:    req.Seq,
+			Result: shard.Read(req.Op),
+			Index:  shard.Replica.CommitIndex(),
+		})
+		if m := g.metrics.Load(); m != nil {
+			m.staleAge.Observe(age)
+		}
+		g.observeRead(s, level, start)
 	case ReadMonotonic, ReadLinearizable:
 		// Monotonic fast path: when the shard's replica has already reached
 		// the session's token — the steady-state case — the read is
 		// answered inline, as cheap as a local one.
+		//
+		// Ordering audit (do not reorder): the index is CHECKED before the
+		// read and FETCHED for the response after it. Both directions are
+		// deliberate. Check-before-read is safe against a concurrent
+		// snapshot install because installSnapshotLocked restores the
+		// application state BEFORE advancing the commit index, and
+		// Snapshotter.Restore swaps state atomically — so any index this
+		// check observes stands for state already readable through
+		// shard.Read; the state can only be NEWER than the check, never
+		// older. (ReplaceShard cannot regress it either: `shard` is one
+		// consistent handle pair captured in a single atomic load above, so
+		// check, read and response all hit the same replica, whose index
+		// never moves backward.) Fetch-after-read is the conservative
+		// direction for the response token: fetching it before the read
+		// could hand the client an index OLDER than the state it was served,
+		// and its next monotonic read, gated on that too-small token at a
+		// lagging gateway, could then observe time going backward.
+		// TestMonotonicFastPathIndexNeverAheadOfState pins all of this.
 		if level == ReadMonotonic && shard.Replica.CommitIndex() >= req.MinIndex {
 			g.reads.Add(1)
 			s.send(resFrame{

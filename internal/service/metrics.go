@@ -32,11 +32,13 @@ type gwReq struct {
 
 // gwMetrics is the gateway's pushed instrument set.
 type gwMetrics struct {
-	queueWait *telemetry.Histogram // connection read loop → worker dispatch
-	writeOp   *telemetry.Histogram // enqueue → response sent
-	readLocal *telemetry.Histogram
-	readMono  *telemetry.Histogram
-	readLin   *telemetry.Histogram
+	queueWait   *telemetry.Histogram // connection read loop → worker dispatch
+	writeOp     *telemetry.Histogram // enqueue → response sent
+	readLocal   *telemetry.Histogram
+	readMono    *telemetry.Histogram
+	readLin     *telemetry.Histogram
+	readBounded *telemetry.Histogram
+	staleAge    *telemetry.Histogram // served bounded reads' state age
 }
 
 // readOp returns the histogram for a read level (levels are validated
@@ -47,6 +49,8 @@ func (m *gwMetrics) readOp(level ReadLevel) *telemetry.Histogram {
 		return m.readMono
 	case ReadLinearizable:
 		return m.readLin
+	case ReadBoundedStaleness:
+		return m.readBounded
 	default:
 		return m.readLocal
 	}
@@ -79,6 +83,9 @@ func (g *Gateway) RegisterMetrics(s *telemetry.Scope) {
 	s.CounterFunc("gcs_service_deadline_drops_total",
 		"Operations dropped because the client's per-op budget lapsed in queue.",
 		func() float64 { return float64(g.ddlDrops.Load()) })
+	s.CounterFunc("gcs_service_too_stale_total",
+		"Bounded-staleness reads refused because local state exceeded the bound.",
+		func() float64 { return float64(g.tooStale.Load()) })
 	s.CounterFunc("gcs_service_sessions_expired_total",
 		"Sessions garbage-collected by the idle lease.",
 		func() float64 { return float64(g.expired.Load()) })
@@ -108,6 +115,10 @@ func (g *Gateway) RegisterMetrics(s *telemetry.Scope) {
 			"Monotonic-level read latency at the gateway (incl. commit waits)."),
 		readLin: s.Histogram("gcs_service_read_linearizable_seconds",
 			"Linearizable read latency at the gateway (incl. the ordered barrier)."),
+		readBounded: s.Histogram("gcs_service_read_bounded_seconds",
+			"Bounded-staleness read latency at the gateway."),
+		staleAge: s.Histogram("gcs_service_read_staleness_seconds",
+			"Applied-state age of served bounded-staleness reads."),
 	})
 }
 

@@ -1,0 +1,208 @@
+package service
+
+import (
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/proc"
+	"repro/internal/replication"
+	"repro/internal/transport"
+)
+
+// installReplica is a fake Replica whose commit index and readable state are
+// advanced with the snapshot-install contract the gateway's monotonic fast
+// path depends on: state is published BEFORE the index that stands for it
+// (installSnapshotLocked restores, then advances; Snapshotter.Restore swaps
+// atomically). The fake lets the test drive installs concurrently with reads
+// and swap lagging replicas in via ReplaceShard.
+type installReplica struct {
+	idx     atomic.Uint64
+	state   atomic.Uint64
+	primary proc.ID
+}
+
+// install publishes state n: application state first, commit index after —
+// the documented Restore/install ordering. Reversing these two stores is
+// exactly the regression TestMonotonicFastPathIndexNeverAheadOfState exists
+// to catch (an index the fast path trusts standing for state not yet
+// readable).
+func (r *installReplica) install(n uint64) {
+	r.state.Store(n)
+	r.idx.Store(n)
+}
+
+func (r *installReplica) read(op []byte) []byte {
+	return []byte(strconv.FormatUint(r.state.Load(), 10))
+}
+
+func (r *installReplica) RequestSession(string, uint64, uint64, []byte, time.Duration) ([]byte, error) {
+	return nil, replication.ErrNotPrimary
+}
+func (r *installReplica) Primary() proc.ID    { return r.primary }
+func (r *installReplica) CommitIndex() uint64 { return r.idx.Load() }
+
+func (r *installReplica) WaitCommit(index uint64, timeout time.Duration, abort <-chan struct{}) (uint64, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if got := r.idx.Load(); got >= index {
+			return got, nil
+		}
+		if timeout > 0 && time.Now().After(deadline) {
+			return 0, replication.ErrTimeout
+		}
+		select {
+		case <-abort:
+			return 0, replication.ErrTimeout
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+func (r *installReplica) ReadBarrier(time.Duration, <-chan struct{}) (uint64, error) {
+	return r.idx.Load(), nil
+}
+func (r *installReplica) StateAge() (time.Duration, bool)                     { return 0, true }
+func (r *installReplica) OnPrimaryChange(func(primary proc.ID, epoch uint64)) {}
+func (r *installReplica) LeaseTick([]string) error                            { return nil }
+
+// TestMonotonicFastPathIndexNeverAheadOfState pins the ordering audit on the
+// gateway's monotonic fast path (gateway.go): the commit index is checked
+// BEFORE the state read and fetched for the response AFTER it. Two hazards
+// are exercised:
+//
+//  1. ReplaceShard swaps in a rebuilt, lagging replica while the session
+//     holds a token from the old one. The fast-path check must fail and the
+//     read must park until the new replica's installs catch up — a gateway
+//     that read state before (or without) checking the index would serve
+//     state older than the session has already observed.
+//  2. Concurrent installs race every fast-path read. Because installs
+//     publish state before index, any index the check observes stands for
+//     readable state, so a session chaining each response's Index into the
+//     next MinIndex must never see its value regress below the token.
+func TestMonotonicFastPathIndexNeverAheadOfState(t *testing.T) {
+	network := transport.NewNetwork(transport.WithDelay(0, time.Millisecond), transport.WithSeed(11))
+	defer network.Shutdown()
+
+	fresh := &installReplica{primary: "s1"}
+	fresh.install(10)
+	gw := NewGateway(GatewayConfig{
+		Self:    "s1",
+		Replica: fresh,
+		Read:    fresh.read,
+		Addrs:   map[proc.ID]string{"s1": "s1"},
+	})
+	l, err := network.ListenStream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Serve(l)
+	defer gw.Close()
+
+	client, err := NewClient(ClientConfig{
+		Addrs:        []string{"s1"},
+		Dial:         func(addr string) (transport.StreamConn, error) { return network.DialStream(proc.ID(addr)) },
+		ReadLevel:    ReadMonotonic,
+		RetryBackoff: 2 * time.Millisecond,
+		OpTimeout:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	res, err := client.Read([]byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "10" {
+		t.Fatalf("warm read %q, want 10", res)
+	}
+	if tok := client.LastIndex(); tok < 10 {
+		t.Fatalf("monotonic token %d after reading state 10", tok)
+	}
+
+	// Hazard 1: swap in a lagging replacement (a rebuilt replica still
+	// replaying) and read with the old token. The answer must wait for the
+	// catch-up installs, never serve the stale state.
+	lag := &installReplica{primary: "s1"}
+	lag.install(3)
+	gw.ReplaceShard(0, Shard{Replica: lag, Read: lag.read})
+
+	got := make(chan uint64, 1)
+	readErr := make(chan error, 1)
+	go func() {
+		res, err := client.Read([]byte("k"))
+		if err != nil {
+			readErr <- err
+			return
+		}
+		v, err := strconv.ParseUint(string(res), 10, 64)
+		if err != nil {
+			readErr <- err
+			return
+		}
+		got <- v
+	}()
+	// Give a buggy fast path every chance to answer from the stale replica
+	// before any catch-up happens.
+	select {
+	case v := <-got:
+		t.Fatalf("read answered %d from a replica at index 3 against token >= 10", v)
+	case err := <-readErr:
+		t.Fatal(err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	for n := uint64(4); n <= 12; n++ {
+		lag.install(n)
+	}
+	select {
+	case v := <-got:
+		if v < 10 {
+			t.Fatalf("monotonic read observed state %d < token 10 across ReplaceShard", v)
+		}
+	case err := <-readErr:
+		t.Fatal(err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("read never unparked after the replacement caught up")
+	}
+	if tok := client.LastIndex(); tok < 10 {
+		t.Fatalf("token %d regressed below 10 after the catch-up read", tok)
+	}
+
+	// Hazard 2: installs race the fast path continuously; every chained
+	// read must observe state >= its own token.
+	stop := make(chan struct{})
+	installerDone := make(chan struct{})
+	go func() {
+		defer close(installerDone)
+		n := uint64(12)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n++
+			lag.install(n)
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		tok := client.LastIndex()
+		res, err := client.Read([]byte("k"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := strconv.ParseUint(string(res), 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < tok {
+			t.Fatalf("read %d observed state %d < monotonic token %d", i, v, tok)
+		}
+	}
+	close(stop)
+	<-installerDone
+}

@@ -4,7 +4,15 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/replication"
 )
+
+// replicationLeaseConfig is the leadership-lease config the service tests
+// share: a TTL comfortably above test scheduling jitter, renewed often.
+func replicationLeaseConfig() replication.LeaderLeaseConfig {
+	return replication.LeaderLeaseConfig{TTL: 2 * time.Second}
+}
 
 // lagS3 isolates s3 from its peers so it misses subsequent updates; the
 // client-facing stream to s3's gateway is unaffected.
@@ -216,6 +224,198 @@ func TestBadReadLevelRejected(t *testing.T) {
 	res, ok = recv(t, conn).(resFrame)
 	if !ok || res.Err != "" {
 		t.Fatalf("legacy zero-level read failed: %+v", res)
+	}
+}
+
+// TestLinearizableLeaseReads: with the leadership lease enabled, a client's
+// linearizable reads are served off the lease fast path — same results,
+// read-your-writes intact, but no ordered barrier broadcast per read burst.
+func TestLinearizableLeaseReads(t *testing.T) {
+	c := buildService(t, 3, nil)
+	for _, r := range c.reps {
+		r.EnableLeaderLease(replicationLeaseConfig())
+	}
+	t.Cleanup(func() {
+		for _, r := range c.reps {
+			r.DisableLeaderLease()
+		}
+	})
+	client := c.newClient(t, func(cfg *ClientConfig) {
+		cfg.ReadLevel = ReadLinearizable
+	})
+	if _, err := client.Call([]byte("lease-ryw")); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "first lease grant", func() bool {
+		return c.reps[0].LeaderLeaseStats().Grants > 0
+	})
+	barriersBefore := c.reps[0].ReadBarrierStats().Broadcasts
+	for i := 0; i < 30; i++ {
+		got, err := client.Read([]byte("lease-ryw"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "1" {
+			t.Fatalf("linearizable read %d returned %q, want %q", i, got, "1")
+		}
+	}
+	st := c.reps[0].LeaderLeaseStats()
+	if st.LeaseReads < 30 {
+		t.Fatalf("lease reads %d, want >= 30 (fast path not taken)", st.LeaseReads)
+	}
+	if got := c.reps[0].ReadBarrierStats().Broadcasts; got != barriersBefore {
+		t.Fatalf("lease-path reads cost %d extra barrier broadcasts", got-barriersBefore)
+	}
+}
+
+// TestBoundedStalenessRead drives the wire level of ReadBoundedStaleness:
+// a replica within the bound answers locally, a replica that has never
+// observed a stamped delivery answers TOO_STALE with a primary redirect
+// hint (unknown age must refuse, not serve), a missing bound is rejected,
+// and a healed laggard becomes servable again once it catches up.
+func TestBoundedStalenessRead(t *testing.T) {
+	c := buildService(t, 3, nil)
+	lagS3(c) // s3 never sees the write: its state age stays unknown
+
+	writer := c.newClient(t, nil)
+	if _, err := writer.Call([]byte("mark")); err != nil {
+		t.Fatal(err)
+	}
+
+	// s2 delivered the write; a generous bound is served from local state.
+	conn2, err := c.network.DialStream("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	send(t, conn2, helloFrame{Session: "bounded-raw"})
+	if _, ok := recv(t, conn2).(welcomeFrame); !ok {
+		t.Fatal("no welcome")
+	}
+	send(t, conn2, reqFrame{Seq: 1, Op: []byte("mark"), Read: true,
+		Level: ReadBoundedStaleness, MaxAge: time.Minute})
+	res, ok := recv(t, conn2).(resFrame)
+	if !ok || res.Err != "" {
+		t.Fatalf("bounded read at fresh backup failed: %+v", res)
+	}
+	if string(res.Result) != "1" {
+		t.Fatalf("bounded read returned %q, want %q", res.Result, "1")
+	}
+
+	// A bounded read without its bound is a protocol error, not a local read.
+	send(t, conn2, reqFrame{Seq: 2, Op: []byte("mark"), Read: true,
+		Level: ReadBoundedStaleness})
+	if res, ok := recv(t, conn2).(resFrame); !ok || res.Err != errBadReadLevel {
+		t.Fatalf("boundless bounded read answered %+v, want err %q", res, errBadReadLevel)
+	}
+
+	// s3 has never delivered a stamped message: age unknown -> TOO_STALE,
+	// hinting at the primary, which is fresh by construction.
+	conn3, err := c.network.DialStream("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	send(t, conn3, helloFrame{Session: "bounded-raw-3"})
+	if _, ok := recv(t, conn3).(welcomeFrame); !ok {
+		t.Fatal("no welcome")
+	}
+	send(t, conn3, reqFrame{Seq: 1, Op: []byte("mark"), Read: true,
+		Level: ReadBoundedStaleness, MaxAge: time.Minute})
+	res, ok = recv(t, conn3).(resFrame)
+	if !ok || res.Err != errTooStale {
+		t.Fatalf("bounded read at unstamped laggard answered %+v, want err %q", res, errTooStale)
+	}
+	if res.Redirect != c.addrs["s1"] {
+		t.Fatalf("TOO_STALE redirect %q, want primary %q", res.Redirect, c.addrs["s1"])
+	}
+	if c.gws[2].Stats().TooStale == 0 {
+		t.Fatal("laggard gateway did not count the TOO_STALE answer")
+	}
+
+	// Healed and caught up, the same replica serves within the bound.
+	healS3(c)
+	waitUntil(t, 10*time.Second, "s3 to re-enter the bound", func() bool {
+		send(t, conn3, reqFrame{Seq: 2, Op: []byte("mark"), Read: true,
+			Level: ReadBoundedStaleness, MaxAge: time.Minute})
+		res, ok := recv(t, conn3).(resFrame)
+		return ok && res.Err == "" && string(res.Result) == "1"
+	})
+}
+
+// TestBoundedStalenessClientRetry covers the client's TOO_STALE retry
+// policies. A non-sticky client settles at the primary, so its TOO_STALE
+// case is the unknown-age window before ANY stamped delivery: the redirect
+// names the gateway it is already on, and the client must pace retries in
+// place (not reconnect-spin) until the first write stamps the state. A
+// sticky (follower-read) client retries at its own gateway until the
+// replica re-enters the bound — it must not migrate to the primary, or
+// follower reads would collapse onto it.
+func TestBoundedStalenessClientRetry(t *testing.T) {
+	c := buildService(t, 3, nil)
+	lagS3(c)
+
+	// Non-sticky, before any write anywhere: even the primary's state age
+	// is unknown, so the read parks in paced retries until a write lands.
+	chaser := c.newClient(t, nil)
+	chaserDone := make(chan struct{})
+	var chaserRes []byte
+	var chaserErr error
+	go func() {
+		defer close(chaserDone)
+		chaserRes, chaserErr = chaser.ReadAtMost([]byte("mark"), time.Minute)
+	}()
+	waitUntil(t, 10*time.Second, "pre-write TOO_STALE retries", func() bool {
+		return chaser.Stats().TooStaleRetries > 0
+	})
+	writer := c.newClient(t, nil)
+	if _, err := writer.Call([]byte("mark")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-chaserDone:
+	case <-time.After(15 * time.Second):
+		t.Fatal("bounded read never completed after the first write stamped the state")
+	}
+	if chaserErr != nil {
+		t.Fatal(chaserErr)
+	}
+	if string(chaserRes) != "1" {
+		t.Fatalf("bounded read returned %q, want %q", chaserRes, "1")
+	}
+
+	// Sticky at the laggard: the read parks in retry-here mode; healing the
+	// partition lets s3 catch up and serve it locally.
+	sticky := c.newClient(t, func(cfg *ClientConfig) {
+		cfg.Addrs = []string{"s3"}
+		cfg.Sticky = true
+		cfg.OpTimeout = 30 * time.Second
+	})
+	done := make(chan struct{})
+	var stickyRes []byte
+	var stickyErr error
+	go func() {
+		defer close(done)
+		stickyRes, stickyErr = sticky.ReadAtMost([]byte("mark"), time.Minute)
+	}()
+	waitUntil(t, 10*time.Second, "sticky TOO_STALE retries", func() bool {
+		return sticky.Stats().TooStaleRetries > 0
+	})
+	healS3(c)
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("sticky bounded read never completed after heal")
+	}
+	if stickyErr != nil {
+		t.Fatal(stickyErr)
+	}
+	if string(stickyRes) != "1" {
+		t.Fatalf("sticky bounded read returned %q, want %q", stickyRes, "1")
+	}
+	// Served by s3 itself: the sticky client never dialed another gateway.
+	if st := sticky.Stats(); st.Redirects != 0 {
+		t.Fatalf("sticky client chased %d redirects on TOO_STALE", st.Redirects)
 	}
 }
 

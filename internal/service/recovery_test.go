@@ -89,6 +89,39 @@ func TestClientWholeGroupUnreachable(t *testing.T) {
 	}
 }
 
+// TestDegradedPauseNeverSpins pins the floor on reconnect()'s degraded-mode
+// pause: the pause must stay strictly positive for every streak even when a
+// copied or mutated config carries a zero (or negative) RetryBackoff —
+// otherwise a degraded episode becomes a hot handshake/DEGRADED loop — and
+// must keep its doubling-with-streak, capped-at-32x shape for sane configs.
+func TestDegradedPauseNeverSpins(t *testing.T) {
+	// Built directly, not via NewClient: the clamp is defense in depth
+	// BEHIND the constructor's normalization, so the test smuggles the
+	// zero base past it the same way a mutated config would.
+	zero := &Client{cfg: ClientConfig{RetryBackoff: 0}}
+	for streak := uint32(0); streak <= 8; streak++ {
+		zero.degradedStreak.Store(streak)
+		if p := zero.degradedPause(); p <= 0 {
+			t.Fatalf("streak %d: pause %v with zero RetryBackoff — degraded reconnect would spin", streak, p)
+		}
+	}
+
+	const base = 8 * time.Millisecond
+	sane := &Client{cfg: ClientConfig{RetryBackoff: base}}
+	for streak, want := uint32(0), base; streak <= 7; streak++ {
+		sane.degradedStreak.Store(streak)
+		for i := 0; i < 50; i++ {
+			p := sane.degradedPause()
+			if p < want/2 || p > want {
+				t.Fatalf("streak %d: pause %v outside [%v, %v]", streak, p, want/2, want)
+			}
+		}
+		if want < 32*base { // doubling caps at 32x (shift clamped to 5)
+			want *= 2
+		}
+	}
+}
+
 // TestGatewayReplaceShard: a gateway's replica handle is replaced mid-life
 // — the crash-recovery path where a node's replica stack is swapped for a
 // rebuilt one — and the attached session keeps working: in-flight dedup

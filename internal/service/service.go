@@ -110,6 +110,13 @@ type (
 		// client has already abandoned, and caps its own request timeout at
 		// the remaining budget.
 		Budget time.Duration
+		// MaxAge, with ReadBoundedStaleness, is the oldest applied state the
+		// client will accept: the serving replica answers locally if its
+		// state's commit-timestamp age is within MaxAge, and answers TOO_STALE
+		// (with a primary redirect hint) otherwise. Like Budget it travels as
+		// a duration — never a timestamp — so client and gateway clocks need
+		// not agree.
+		MaxAge time.Duration
 	}
 	// resFrame answers reqFrame with the same Seq.
 	resFrame struct {
@@ -152,8 +159,18 @@ const (
 	// no-op barrier (replication.ReadBarrier): the answer reflects every
 	// write acknowledged before the read began, and a deposed or partitioned
 	// primary cannot answer at all. Concurrent linearizable reads coalesce
-	// into one barrier broadcast.
+	// into one barrier broadcast. With the leadership lease enabled, a
+	// primary holding a live lease serves the read locally with no broadcast
+	// at all, falling back to the barrier across lease handoffs.
 	ReadLinearizable
+	// ReadBoundedStaleness serves the read from the contacted replica's
+	// local state provided that state is no older than reqFrame.MaxAge
+	// behind the primary's commit timestamps — any replica, including PR 5
+	// catch-up followers, becomes usable read capacity within an explicit
+	// staleness bound. A replica outside the bound (or one that has never
+	// observed a stamped delivery) answers a retryable TOO_STALE with a
+	// primary redirect hint instead of silently serving older state.
+	ReadBoundedStaleness
 )
 
 func (l ReadLevel) String() string {
@@ -166,6 +183,8 @@ func (l ReadLevel) String() string {
 		return "monotonic"
 	case ReadLinearizable:
 		return "linearizable"
+	case ReadBoundedStaleness:
+		return "bounded-staleness"
 	default:
 		return fmt.Sprintf("ReadLevel(%d)", int(l))
 	}
@@ -190,6 +209,12 @@ const (
 	// client reconnects and retries elsewhere — but counted separately, as
 	// it is the signature of a partitioned primary rather than a crash.
 	errDegraded = "DEGRADED"
+	// errTooStale answers a ReadBoundedStaleness whose serving replica's
+	// applied state is older than the request's MaxAge (or of unknown age).
+	// Retryable: the redirect hint names the primary, which is fresh by
+	// construction, but a sticky client may equally retry here after the
+	// replica catches up.
+	errTooStale = "TOO_STALE"
 )
 
 func init() {

@@ -30,6 +30,7 @@ package service
 import (
 	"fmt"
 	"hash/fnv"
+	"time"
 )
 
 // ShardOf maps a key to a shard in [0, shards). Every client and gateway
@@ -140,6 +141,14 @@ func (sc *ShardedClient) ReadAt(op []byte, level ReadLevel) ([]byte, error) {
 	return sc.shardFor(op).ReadAt(op, level)
 }
 
+// ReadAtMost executes a bounded-staleness read on the op's shard: any
+// gateway whose replica for that shard is within maxAge of the primary's
+// commit timestamps may answer locally. The bound, like every consistency
+// promise here, is per shard.
+func (sc *ShardedClient) ReadAtMost(op []byte, maxAge time.Duration) ([]byte, error) {
+	return sc.shardFor(op).ReadAtMost(op, maxAge)
+}
+
 // Stats returns the recovery accounting summed over all per-shard clients.
 func (sc *ShardedClient) Stats() ClientStats {
 	var out ClientStats
@@ -153,6 +162,7 @@ func (sc *ShardedClient) Stats() ClientStats {
 		out.Redirects += st.Redirects
 		out.UnavailableRetries += st.UnavailableRetries
 		out.DegradedAnswers += st.DegradedAnswers
+		out.TooStaleRetries += st.TooStaleRetries
 	}
 	return out
 }

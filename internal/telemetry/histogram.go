@@ -118,6 +118,18 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sum.Load())
 }
 
+// Overflow returns the number of observations beyond the last finite bucket
+// bound (~64s). Overflowed samples still count toward Count, Sum and Mean,
+// but every Quantile that lands among them is CLAMPED to the last finite
+// bound — a nonzero overflow means the reported tail quantiles understate
+// the truth, which is why benchdiff flags baselines with hist_overflow > 0.
+func (h *Histogram) Overflow() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.buckets[numHistBuckets].Load()
+}
+
 // Mean returns the average observed duration, 0 if empty.
 func (h *Histogram) Mean() time.Duration {
 	if h == nil {
@@ -188,6 +200,10 @@ type HistogramSnapshot struct {
 	Bounds []int64
 	Sum    time.Duration
 	Count  uint64
+	// Overflow is the count of observations beyond the last finite bound:
+	// the +Inf bucket's own (non-cumulative) count. Nonzero overflow means
+	// quantile estimates in that range are clamped and understate the tail.
+	Overflow uint64
 }
 
 // Snapshot returns cumulative bucket counts and totals.
@@ -206,5 +222,6 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Sum = time.Duration(h.sum.Load())
 	s.Count = h.count.Load()
+	s.Overflow = h.buckets[numHistBuckets].Load()
 	return s
 }

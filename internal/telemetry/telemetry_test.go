@@ -104,6 +104,64 @@ func TestHistogramEdgeCases(t *testing.T) {
 	}
 }
 
+// TestHistogramOverflowClamping pins the out-of-range contract: samples
+// beyond the last finite bound (~64s) are counted — in Count, Sum, Mean and
+// the Overflow accessor/snapshot — but every quantile landing among them is
+// clamped to the last finite bound. The clamp is what makes a nonzero
+// Overflow significant: reported tail quantiles UNDERSTATE the truth, so
+// consumers (benchdiff) must surface the overflow count alongside them.
+func TestHistogramOverflowClamping(t *testing.T) {
+	var nilH *Histogram
+	if nilH.Overflow() != 0 {
+		t.Fatal("nil histogram must report zero overflow")
+	}
+	h := NewHistogram()
+	if h.Overflow() != 0 {
+		t.Fatal("empty histogram must report zero overflow")
+	}
+
+	// 90 in-range samples, 10 far beyond the last bound.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Minute)
+	}
+	if got := h.Overflow(); got != 10 {
+		t.Fatalf("overflow = %d, want 10", got)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d, want 100 (overflow samples must still count)", got)
+	}
+	last := time.Duration(histBounds[numHistBuckets-1])
+	// Quantiles below the overflow mass interpolate normally...
+	if q := h.Quantile(0.5); q > 2*time.Millisecond {
+		t.Fatalf("q50 = %v landed in overflow territory", q)
+	}
+	// ...while every quantile inside it clamps to the last finite bound —
+	// never extrapolates beyond, never wraps, never returns the raw 10min.
+	for _, q := range []float64{0.91, 0.95, 0.99, 1.0} {
+		if got := h.Quantile(q); got != last {
+			t.Fatalf("q%.2f = %v, want clamp to last bound %v", q, got, last)
+		}
+	}
+	// The sum stays exact even though the buckets clamp.
+	wantSum := 90*time.Millisecond + 10*10*time.Minute
+	if got := h.Sum(); got != wantSum {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+
+	// Snapshot surfaces the overflow as its own (non-cumulative) count next
+	// to the Prometheus-style cumulative buckets.
+	s := h.Snapshot()
+	if s.Overflow != 10 {
+		t.Fatalf("snapshot overflow = %d, want 10", s.Overflow)
+	}
+	if s.Buckets[len(s.Buckets)-1] != 100 {
+		t.Fatalf("snapshot +Inf cumulative = %d, want 100", s.Buckets[len(s.Buckets)-1])
+	}
+}
+
 func TestHistogramBoundsMonotone(t *testing.T) {
 	for i := 1; i < numHistBuckets; i++ {
 		if histBounds[i] <= histBounds[i-1] {
